@@ -1,0 +1,39 @@
+//! Automatic test-pattern generation (ATPG) for stuck-at faults.
+//!
+//! The paper applies 3000 ATPG patterns from a commercial flow to its
+//! industrial circuits; this crate is the from-scratch substitute: a
+//! PODEM deterministic generator ([`Podem`]) over the scan-test
+//! combinational view, plus the standard two-phase flow
+//! ([`generate_tests`]) — seeded random patterns with fault dropping,
+//! then PODEM top-off with random fill.
+//!
+//! Patterns produced here drive the end-to-end experiments: capture
+//! through `xhc-scan`, X's from the circuit's uninitialized state and
+//! tri-state buses, compaction and X-handling through `xhc-misr` /
+//! `xhc-core`, and coverage scoring through `xhc-fault`.
+//!
+//! # Examples
+//!
+//! ```
+//! use xhc_atpg::{generate_tests, AtpgConfig};
+//! use xhc_fault::all_output_faults;
+//! use xhc_logic::samples;
+//! use xhc_scan::{ScanConfig, ScanHarness};
+//!
+//! let (netlist, scan_flops) = samples::x_prone_sequential();
+//! let harness = ScanHarness::new(&netlist, ScanConfig::uniform(2, 2), scan_flops)?;
+//! let faults = all_output_faults(&netlist);
+//! let result = generate_tests(&harness, &faults, AtpgConfig::default());
+//! assert!(result.testable_coverage() > 0.99);
+//! # Ok::<(), xhc_scan::HarnessError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod flow;
+mod podem;
+pub mod scoap;
+
+pub use flow::{generate_tests, AtpgConfig, AtpgResult};
+pub use podem::{Podem, PodemFailure};

@@ -1,0 +1,646 @@
+//! PODEM (path-oriented decision making) deterministic test generation.
+//!
+//! Operates on the standard scan-test combinational view: assignable
+//! inputs are the primary inputs plus the scan-loaded cells; observation
+//! points are the captured scan cells. Unassigned inputs are `X`; Kleene
+//! simulation is monotonic (a known value never changes when more inputs
+//! are assigned), which is what makes PODEM's pruning sound.
+
+use xhc_fault::Fault;
+use xhc_logic::{GateKind, Node, NodeId, Simulator, Trit};
+use xhc_scan::{ScanHarness, TestPattern};
+
+/// An assignable input of the combinational view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InputRef {
+    /// Primary input by index.
+    Pi(usize),
+    /// Scan cell by linear index.
+    Cell(usize),
+}
+
+/// A partial assignment over the combinational view's inputs.
+#[derive(Debug, Clone)]
+struct Assignment {
+    pis: Vec<Option<bool>>,
+    cells: Vec<Option<bool>>,
+}
+
+impl Assignment {
+    fn new(num_pis: usize, num_cells: usize) -> Self {
+        Assignment {
+            pis: vec![None; num_pis],
+            cells: vec![None; num_cells],
+        }
+    }
+
+    fn set(&mut self, r: InputRef, v: Option<bool>) {
+        match r {
+            InputRef::Pi(i) => self.pis[i] = v,
+            InputRef::Cell(i) => self.cells[i] = v,
+        }
+    }
+
+    fn pi_trits(&self) -> Vec<Trit> {
+        self.pis
+            .iter()
+            .map(|o| o.map_or(Trit::X, Trit::from_bool))
+            .collect()
+    }
+
+    fn cell_trits(&self) -> Vec<Trit> {
+        self.cells
+            .iter()
+            .map(|o| o.map_or(Trit::X, Trit::from_bool))
+            .collect()
+    }
+}
+
+/// Why PODEM gave up on a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PodemFailure {
+    /// The search space was exhausted: the fault is untestable under this
+    /// scan configuration (a proof, given a complete search).
+    Untestable,
+    /// The backtrack budget ran out before a verdict.
+    Aborted,
+}
+
+/// A PODEM test generator bound to a scan harness.
+///
+/// # Examples
+///
+/// ```
+/// use xhc_atpg::Podem;
+/// use xhc_fault::Fault;
+/// use xhc_logic::samples;
+/// use xhc_scan::{ScanConfig, ScanHarness};
+///
+/// let (netlist, scan_flops) = samples::x_prone_sequential();
+/// let harness = ScanHarness::new(&netlist, ScanConfig::uniform(2, 2), scan_flops)?;
+/// let podem = Podem::new(&harness);
+/// let fault = Fault::sa0(netlist.inputs()[0]);
+/// if let Ok(pattern) = podem.generate(fault) {
+///     assert_eq!(pattern.scan_load.len(), 4);
+/// }
+/// # Ok::<(), xhc_scan::HarnessError>(())
+/// ```
+#[derive(Debug)]
+pub struct Podem<'h, 'n> {
+    harness: &'h ScanHarness<'n>,
+    max_backtracks: usize,
+    /// Per node, its combinational consumers plus flop nodes fed by it —
+    /// for the X-path pruning check.
+    fanout: Vec<Vec<NodeId>>,
+    /// Flop nodes that are captured (mapped to scan cells).
+    observed_flops: Vec<bool>,
+    /// SCOAP measures guiding choice ordering (never correctness).
+    testability: crate::scoap::Testability,
+}
+
+impl<'h, 'n> Podem<'h, 'n> {
+    /// A generator with the default backtrack budget (1000).
+    pub fn new(harness: &'h ScanHarness<'n>) -> Self {
+        let netlist = harness.netlist();
+        let mut fanout: Vec<Vec<NodeId>> = vec![Vec::new(); netlist.num_nodes()];
+        for (id, node) in netlist.iter_nodes() {
+            let inputs: Vec<NodeId> = match node {
+                Node::Gate { inputs, .. } => inputs.clone(),
+                Node::TriBuf { enable, data } => vec![*enable, *data],
+                Node::Bus { drivers } => drivers.clone(),
+                Node::Flop { d: Some(d), .. } => vec![*d],
+                _ => Vec::new(),
+            };
+            for src in inputs {
+                fanout[src.index()].push(id);
+            }
+        }
+        let mut observed_flops = vec![false; netlist.num_nodes()];
+        let cfg = harness.config();
+        for ci in 0..cfg.total_cells() {
+            let flop = harness.flop_of(cfg.cell_at(ci));
+            let node = netlist.flops()[flop];
+            observed_flops[node.index()] = true;
+        }
+        Podem {
+            harness,
+            max_backtracks: 1000,
+            fanout,
+            observed_flops,
+            testability: crate::scoap::Testability::compute(harness),
+        }
+    }
+
+    /// Overrides the backtrack budget.
+    pub fn with_max_backtracks(mut self, budget: usize) -> Self {
+        self.max_backtracks = budget;
+        self
+    }
+
+    /// Tries to generate a pattern detecting `fault` at the captured scan
+    /// cells. Unassigned positions of the returned pattern are `X` — the
+    /// caller typically random-fills them.
+    ///
+    /// # Errors
+    ///
+    /// [`PodemFailure::Untestable`] when the search space is exhausted,
+    /// [`PodemFailure::Aborted`] when the backtrack budget runs out.
+    pub fn generate(&self, fault: Fault) -> Result<TestPattern, PodemFailure> {
+        let netlist = self.harness.netlist();
+        let num_cells = self.harness.config().total_cells();
+        let mut assign = Assignment::new(netlist.num_inputs(), num_cells);
+        let mut good = Simulator::new(netlist);
+        let mut bad = Simulator::new(netlist);
+        // Decision stack: (input, value, tried_complement).
+        let mut stack: Vec<(InputRef, bool, bool)> = Vec::new();
+        let mut backtracks = 0usize;
+
+        loop {
+            self.simulate(&assign, fault, &mut good, &mut bad);
+
+            if self.detected(&good, &bad) {
+                return Ok(TestPattern {
+                    scan_load: assign.cell_trits(),
+                    inputs: assign.pi_trits(),
+                });
+            }
+
+            let next = self
+                .objectives(fault, &good, &bad)
+                .into_iter()
+                .find_map(|(node, v)| self.backtrace(node, v, &assign, &good));
+
+            match next {
+                Some((input, value)) => {
+                    assign.set(input, Some(value));
+                    stack.push((input, value, false));
+                }
+                None => {
+                    // Conflict or dead end: backtrack. An empty stack is a
+                    // completed search — Untestable — independent of the
+                    // budget, which only caps *work*, not verdicts that
+                    // are already proven.
+                    loop {
+                        match stack.pop() {
+                            Some((input, value, false)) => {
+                                backtracks += 1;
+                                if backtracks > self.max_backtracks {
+                                    return Err(PodemFailure::Aborted);
+                                }
+                                // Try the complement.
+                                assign.set(input, Some(!value));
+                                stack.push((input, !value, true));
+                                break;
+                            }
+                            Some((input, _, true)) => {
+                                assign.set(input, None);
+                                // Keep popping.
+                            }
+                            None => return Err(PodemFailure::Untestable),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn simulate(
+        &self,
+        assign: &Assignment,
+        fault: Fault,
+        good: &mut Simulator<'_>,
+        bad: &mut Simulator<'_>,
+    ) {
+        let inputs = assign.pi_trits();
+        let cells = assign.cell_trits();
+        let load = |sim: &mut Simulator<'_>| {
+            sim.reset();
+            for (cell_idx, &v) in cells.iter().enumerate() {
+                let flop = self
+                    .harness
+                    .flop_of(self.harness.config().cell_at(cell_idx));
+                sim.set_flop_state(flop, v);
+            }
+        };
+        load(good);
+        load(bad);
+        good.eval(&inputs);
+        bad.eval_forced(&inputs, &[(fault.node, fault.forced_value())]);
+    }
+
+    fn detected(&self, good: &Simulator<'_>, bad: &Simulator<'_>) -> bool {
+        let g = good.flop_next();
+        let b = bad.flop_next();
+        (0..self.harness.config().total_cells()).any(|cell_idx| {
+            let flop = self
+                .harness
+                .flop_of(self.harness.config().cell_at(cell_idx));
+            let (gv, bv) = (g[flop], b[flop]);
+            gv.is_known() && bv.is_known() && gv != bv
+        })
+    }
+
+    /// Candidate objectives `(node, value)` in the good machine, best
+    /// first; empty when the current partial assignment cannot be
+    /// extended usefully. The caller tries each in turn — a single
+    /// unreachable objective must not force a decision backtrack.
+    fn objectives(
+        &self,
+        fault: Fault,
+        good: &Simulator<'_>,
+        bad: &Simulator<'_>,
+    ) -> Vec<(NodeId, bool)> {
+        // X-path pruning (sound): the error can only ever reach a captured
+        // flop through nodes that currently carry the error or are still
+        // X — known, agreeing nodes are frozen by Kleene monotonicity. No
+        // such path means no extension of this assignment detects. Runs
+        // before the activation objective so structurally dead faults are
+        // refuted without enumerating assignments.
+        if !self.error_can_reach_observation(fault, good, bad) {
+            return Vec::new();
+        }
+        let g_at_fault = good.value(fault.node);
+        match g_at_fault.to_bool() {
+            None => {
+                // Not yet activated: drive the fault site to the
+                // activation value.
+                return vec![(fault.node, !fault.stuck_at_one)];
+            }
+            Some(v) if v == fault.stuck_at_one => {
+                // Good machine already equals the stuck value; Kleene
+                // monotonicity says no extension can activate the fault.
+                return Vec::new();
+            }
+            Some(_) => {}
+        }
+        // Activated: find a D-frontier gate and push the error through,
+        // preferring the most observable frontier gate (lowest SCOAP CO).
+        let netlist = self.harness.netlist();
+        let has_error = |id: NodeId| {
+            let (g, b) = (good.value(id), bad.value(id));
+            g.is_known() && b.is_known() && g != b
+        };
+        let mut frontier: Vec<(u32, NodeId)> = netlist
+            .iter_nodes()
+            .filter(|(id, node)| {
+                let inputs: Vec<NodeId> = match node {
+                    Node::Gate { inputs, .. } => inputs.clone(),
+                    Node::TriBuf { enable, data } => vec![*enable, *data],
+                    Node::Bus { drivers } => drivers.clone(),
+                    _ => return false,
+                };
+                let out_open = good.value(*id).is_x() || bad.value(*id).is_x();
+                out_open && inputs.iter().any(|&i| has_error(i))
+            })
+            .map(|(id, _)| (self.testability.co(id), id))
+            .collect();
+        frontier.sort_unstable();
+        let mut candidates: Vec<(NodeId, bool)> = Vec::new();
+        for (_, id) in frontier {
+            let node = netlist.node(id);
+            {
+                let inputs: Vec<NodeId> = match node {
+                    Node::Gate { inputs, .. } => inputs.clone(),
+                    Node::TriBuf { enable, data } => vec![*enable, *data],
+                    Node::Bus { drivers } => drivers.clone(),
+                    _ => continue,
+                };
+                // Set some X side-input to the gate's non-controlling value.
+                let noncontrolling = match node {
+                    Node::Gate { kind, .. } => match kind {
+                        GateKind::And | GateKind::Nand => true,
+                        GateKind::Or | GateKind::Nor => false,
+                        GateKind::Xor | GateKind::Xnor => false,
+                        GateKind::Not | GateKind::Buf => continue, // no side input
+                        GateKind::Mux => {
+                            // Route the erroring data input by steering the
+                            // select; an erroring select needs data to differ,
+                            // handled by the generic X-input rule below.
+                            false
+                        }
+                    },
+                    Node::TriBuf { .. } => true, // enable the driver
+                    Node::Bus { drivers } => {
+                        // Propagating an error onto a bus requires *disabling*
+                        // every competing driver whose value is still X.
+                        for &d in drivers {
+                            if good.value(d).is_x() && !has_error(d) {
+                                if let Node::TriBuf { enable, .. } = netlist.node(d) {
+                                    if good.value(*enable).is_x() {
+                                        candidates.push((*enable, false));
+                                    }
+                                }
+                            }
+                        }
+                        continue;
+                    }
+                    _ => continue, // sources were skipped above
+                };
+                if let Node::Gate {
+                    kind: GateKind::Mux,
+                    inputs: mux_inputs,
+                } = node
+                {
+                    let (sel, a, b2) = (mux_inputs[0], mux_inputs[1], mux_inputs[2]);
+                    if good.value(sel).is_x() {
+                        // Steer toward whichever data input carries the error.
+                        let want_b = has_error(b2);
+                        candidates.push((sel, want_b));
+                    }
+                    for d in [a, b2] {
+                        if good.value(d).is_x() {
+                            candidates.push((d, false));
+                        }
+                    }
+                    continue;
+                }
+                // Prefer the side input that is cheapest to drive to the
+                // non-controlling value; skip uncontrollable ones (an INF
+                // side input, e.g. a shadow flop, can never be satisfied).
+                let mut sides: Vec<NodeId> = inputs
+                    .iter()
+                    .copied()
+                    .filter(|&i| good.value(i).is_x() && !has_error(i))
+                    .filter(|&i| self.testability.cc(i, noncontrolling) < crate::scoap::INF)
+                    .collect();
+                sides.sort_by_key(|&i| self.testability.cc(i, noncontrolling));
+                for side in sides {
+                    candidates.push((side, noncontrolling));
+                }
+            }
+        }
+        candidates
+    }
+
+    /// Whether a path of error-carrying or still-X nodes connects the
+    /// fault site to some captured flop (through its D input). Absence of
+    /// such a path proves the fault undetectable under every extension of
+    /// the current assignment.
+    fn error_can_reach_observation(
+        &self,
+        fault: Fault,
+        good: &Simulator<'_>,
+        bad: &Simulator<'_>,
+    ) -> bool {
+        let netlist = self.harness.netlist();
+        let candidate = |id: NodeId| {
+            let (g, b) = (good.value(id), bad.value(id));
+            (g.is_known() && b.is_known() && g != b) || g.is_x() || b.is_x()
+        };
+        let mut visited = vec![false; netlist.num_nodes()];
+        let mut queue = vec![fault.node];
+        visited[fault.node.index()] = true;
+        while let Some(n) = queue.pop() {
+            for &f in &self.fanout[n.index()] {
+                if visited[f.index()] {
+                    continue;
+                }
+                if self.observed_flops[f.index()] {
+                    // Reached a captured flop through a live D path.
+                    return true;
+                }
+                if matches!(netlist.node(f), Node::Flop { .. }) {
+                    // Unobserved (shadow) flop: a sink for this cycle.
+                    continue;
+                }
+                if candidate(f) {
+                    visited[f.index()] = true;
+                    queue.push(f);
+                }
+            }
+        }
+        false
+    }
+
+    /// Walks an objective back to an unassigned primary input or scan
+    /// cell, flipping the target value through inverting gates. When a
+    /// path dead-ends on an uncontrollable node (a shadow flop, a
+    /// constant, an already-assigned input), sibling fan-ins are tried —
+    /// the netlist is a DAG, so the recursion terminates.
+    fn backtrace(
+        &self,
+        node: NodeId,
+        value: bool,
+        assign: &Assignment,
+        good: &Simulator<'_>,
+    ) -> Option<(InputRef, bool)> {
+        let netlist = self.harness.netlist();
+        // A node with a known value cannot be changed by more assignments.
+        if good.value(node).is_known() {
+            return None;
+        }
+        match netlist.node(node) {
+            Node::Input(idx) => match assign.pis[*idx] {
+                None => Some((InputRef::Pi(*idx), value)),
+                Some(_) => None,
+            },
+            Node::Flop { .. } => {
+                // Scan cell if mapped; shadow flops are uncontrollable.
+                let cfg = self.harness.config();
+                let flop = netlist.flop_index(node).expect("flop is registered");
+                let cell = (0..cfg.total_cells())
+                    .find(|&ci| self.harness.flop_of(cfg.cell_at(ci)) == flop);
+                match cell {
+                    Some(ci) if assign.cells[ci].is_none() => Some((InputRef::Cell(ci), value)),
+                    _ => None,
+                }
+            }
+            Node::Const(_) => None,
+            Node::Gate { kind, inputs } => {
+                let next_value = match kind {
+                    GateKind::And | GateKind::Or | GateKind::Buf => value,
+                    GateKind::Nand | GateKind::Nor | GateKind::Not => !value,
+                    GateKind::Xor | GateKind::Xnor | GateKind::Mux => value,
+                };
+                if *kind == GateKind::Mux {
+                    let (sel, a, b) = (inputs[0], inputs[1], inputs[2]);
+                    return match good.value(sel).to_bool() {
+                        Some(false) => self.backtrace(a, value, assign, good),
+                        Some(true) => self.backtrace(b, value, assign, good),
+                        None => self
+                            .backtrace(sel, false, assign, good)
+                            .or_else(|| self.backtrace(a, value, assign, good))
+                            .or_else(|| self.backtrace(b, value, assign, good)),
+                    };
+                }
+                // SCOAP-ordered: try the input that is cheapest to drive
+                // to the needed value first (guidance only; fallback
+                // iteration keeps completeness).
+                let mut candidates: Vec<NodeId> = inputs
+                    .iter()
+                    .copied()
+                    .filter(|&i| good.value(i).is_x())
+                    .collect();
+                candidates.sort_by_key(|&i| self.testability.cc(i, next_value));
+                candidates
+                    .into_iter()
+                    .find_map(|i| self.backtrace(i, next_value, assign, good))
+            }
+            Node::TriBuf { enable, data } => match good.value(*enable).to_bool() {
+                // An X enable means the output is X regardless of data;
+                // controllability goes through the enable first.
+                None => self.backtrace(*enable, true, assign, good),
+                Some(true) => self.backtrace(*data, value, assign, good),
+                Some(false) => None, // not driving; cannot produce a value
+            },
+            Node::Bus { drivers } => drivers
+                .iter()
+                .filter(|&&d| good.value(d).is_x())
+                .find_map(|&d| self.backtrace(d, value, assign, good)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xhc_fault::{all_output_faults, fault_coverage, FullObservability};
+    use xhc_logic::{samples, FlopInit, NetlistBuilder};
+    use xhc_scan::ScanConfig;
+
+    /// c17 wrapped with two capture flops, as in xhc-fault's tests.
+    fn c17_harness_parts() -> (xhc_logic::Netlist, Vec<usize>) {
+        use xhc_logic::GateKind;
+        let mut b = NetlistBuilder::new();
+        let ins: Vec<_> = (0..5).map(|_| b.input()).collect();
+        let n10 = b.gate(GateKind::Nand, vec![ins[0], ins[2]]);
+        let n11 = b.gate(GateKind::Nand, vec![ins[2], ins[3]]);
+        let n16 = b.gate(GateKind::Nand, vec![ins[1], n11]);
+        let n19 = b.gate(GateKind::Nand, vec![n11, ins[4]]);
+        let n22 = b.gate(GateKind::Nand, vec![n10, n16]);
+        let n23 = b.gate(GateKind::Nand, vec![n16, n19]);
+        let f0 = b.flop(FlopInit::Zero);
+        let f1 = b.flop(FlopInit::Zero);
+        b.connect_flop_d(f0, n22);
+        b.connect_flop_d(f1, n23);
+        b.output(n22);
+        b.output(n23);
+        let nl = b.finish().unwrap();
+        let flops = vec![nl.flop_index(f0).unwrap(), nl.flop_index(f1).unwrap()];
+        (nl, flops)
+    }
+
+    #[test]
+    fn podem_covers_all_c17_faults() {
+        let (nl, flops) = c17_harness_parts();
+        let harness = ScanHarness::new(&nl, ScanConfig::uniform(2, 1), flops).unwrap();
+        let podem = Podem::new(&harness);
+        let faults = all_output_faults(&nl);
+        // Capture flops are fault sites too (skipped by all_output_faults);
+        // every enumerated fault of c17 is testable.
+        for fault in faults {
+            let pattern = podem
+                .generate(fault)
+                .unwrap_or_else(|e| panic!("{fault} should be testable, got {e:?}"));
+            // Verify by fault simulation.
+            let report = fault_coverage(&harness, &[pattern], &[fault], &FullObservability);
+            assert_eq!(report.detected, 1, "pattern must really detect {fault}");
+        }
+    }
+
+    #[test]
+    fn untestable_fault_is_proven() {
+        // out = OR(a, NOT a) is constant 1 -> sa1 at the OR is untestable.
+        let mut b = NetlistBuilder::new();
+        let a = b.input();
+        let na = b.not(a);
+        let or = b.or2(a, na);
+        let f = b.flop(FlopInit::Zero);
+        b.connect_flop_d(f, or);
+        b.output(or);
+        let nl = b.finish().unwrap();
+        let flops = vec![nl.flop_index(f).unwrap()];
+        let harness = ScanHarness::new(&nl, ScanConfig::uniform(1, 1), flops).unwrap();
+        let podem = Podem::new(&harness);
+        assert_eq!(
+            podem.generate(Fault::sa1(or)),
+            Err(PodemFailure::Untestable)
+        );
+        // sa0 at the OR *is* testable (output flips to 0).
+        assert!(podem.generate(Fault::sa0(or)).is_ok());
+    }
+
+    #[test]
+    fn x_prone_circuit_faults_mostly_testable() {
+        let (nl, scan_flops) = samples::x_prone_sequential();
+        let harness = ScanHarness::new(&nl, ScanConfig::uniform(2, 2), scan_flops).unwrap();
+        let podem = Podem::new(&harness);
+        let faults = all_output_faults(&nl);
+        let mut tested = 0;
+        for fault in &faults {
+            if let Ok(pattern) = podem.generate(*fault) {
+                let report = fault_coverage(&harness, &[pattern], &[*fault], &FullObservability);
+                assert_eq!(report.detected, 1, "PODEM pattern must detect {fault}");
+                tested += 1;
+            }
+        }
+        // The shadow flop and floating bus make some faults hard, but a
+        // clear majority must be covered.
+        assert!(
+            tested * 2 > faults.len(),
+            "only {tested}/{} testable",
+            faults.len()
+        );
+    }
+
+    #[test]
+    fn structurally_unobservable_fault_is_pruned_fast() {
+        // A fault whose only fanout feeds a primary output (no captured
+        // flop): the X-path prune proves untestability without any
+        // decision enumeration, so even a zero backtrack budget suffices
+        // to return Untestable rather than Aborted.
+        let mut b = NetlistBuilder::new();
+        let a = b.input();
+        let c = b.input();
+        let dead_end = b.and2(a, c); // feeds only the PO below
+        let captured = b.or2(a, c);
+        let f = b.flop(FlopInit::Zero);
+        b.connect_flop_d(f, captured);
+        b.output(dead_end);
+        let nl = b.finish().unwrap();
+        let flops = vec![nl.flop_index(f).unwrap()];
+        let harness = ScanHarness::new(&nl, ScanConfig::uniform(1, 1), flops).unwrap();
+        let podem = Podem::new(&harness).with_max_backtracks(0);
+        assert_eq!(
+            podem.generate(Fault::sa0(dead_end)),
+            Err(PodemFailure::Untestable)
+        );
+        // Faults on the captured cone remain testable.
+        assert!(podem.generate(Fault::sa0(captured)).is_ok());
+    }
+
+    #[test]
+    fn x_path_prune_preserves_verdicts() {
+        // Same verdicts as the unpruned search on the X-prone circuit:
+        // 19 testable, 7 untestable (established analytically).
+        let (nl, scan_flops) = samples::x_prone_sequential();
+        let harness = ScanHarness::new(&nl, ScanConfig::uniform(2, 2), scan_flops).unwrap();
+        let podem = Podem::new(&harness);
+        let faults = xhc_fault::all_output_faults(&nl);
+        let testable = faults
+            .iter()
+            .filter(|&&f| podem.generate(f).is_ok())
+            .count();
+        assert_eq!(testable, 19);
+    }
+
+    #[test]
+    fn backtrack_budget_aborts() {
+        let (nl, flops) = c17_harness_parts();
+        let harness = ScanHarness::new(&nl, ScanConfig::uniform(2, 1), flops).unwrap();
+        let podem = Podem::new(&harness).with_max_backtracks(0);
+        // With a zero budget anything needing a single backtrack aborts;
+        // faults solvable greedily still succeed. Just ensure no panic and
+        // a sane result either way.
+        let faults = all_output_faults(&nl);
+        for fault in faults {
+            match podem.generate(fault) {
+                Ok(p) => {
+                    let r = fault_coverage(&harness, &[p], &[fault], &FullObservability);
+                    assert_eq!(r.detected, 1);
+                }
+                Err(PodemFailure::Aborted) | Err(PodemFailure::Untestable) => {}
+            }
+        }
+    }
+}

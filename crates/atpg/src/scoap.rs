@@ -1,0 +1,417 @@
+//! SCOAP-style testability measures (Goldstein's controllability /
+//! observability analysis, adapted to the scan-test combinational view).
+//!
+//! * `CC0(n)` / `CC1(n)` — how hard it is to drive node `n` to 0 / 1 from
+//!   the assignable inputs (primary inputs and scan cells); uncontrollable
+//!   sources (uninitialized shadow flops) are infinite.
+//! * `CO(n)` — how hard it is to propagate a value at `n` to a captured
+//!   scan cell.
+//!
+//! These are heuristics, not bounds: PODEM uses them to *order* its
+//! choices (easiest input first, most observable D-frontier gate first),
+//! never to decide testability — correctness stays with the simulator.
+
+use xhc_logic::{GateKind, Netlist, Node, NodeId, Trit};
+use xhc_scan::ScanHarness;
+
+/// "Effectively infinite" effort: uncontrollable / unobservable.
+pub const INF: u32 = u32::MAX / 4;
+
+/// Per-node testability measures for a scan-wrapped netlist.
+#[derive(Debug, Clone)]
+pub struct Testability {
+    cc0: Vec<u32>,
+    cc1: Vec<u32>,
+    co: Vec<u32>,
+}
+
+impl Testability {
+    /// Controllability to 0 of a node.
+    pub fn cc0(&self, node: NodeId) -> u32 {
+        self.cc0[node.index()]
+    }
+
+    /// Controllability to 1 of a node.
+    pub fn cc1(&self, node: NodeId) -> u32 {
+        self.cc1[node.index()]
+    }
+
+    /// Controllability to a given value.
+    pub fn cc(&self, node: NodeId, value: bool) -> u32 {
+        if value {
+            self.cc1(node)
+        } else {
+            self.cc0(node)
+        }
+    }
+
+    /// Observability of a node at the captured scan cells.
+    pub fn co(&self, node: NodeId) -> u32 {
+        self.co[node.index()]
+    }
+
+    /// Computes the measures for a harness (its mapping defines which
+    /// flops are observable and controllable).
+    pub fn compute(harness: &ScanHarness<'_>) -> Self {
+        let netlist = harness.netlist();
+        let n = netlist.num_nodes();
+        let mut cc0 = vec![INF; n];
+        let mut cc1 = vec![INF; n];
+
+        // Which flops are scan cells (controllable + observable).
+        let mut scan_flop_nodes = vec![false; n];
+        let cfg = harness.config();
+        for ci in 0..cfg.total_cells() {
+            let flop = harness.flop_of(cfg.cell_at(ci));
+            scan_flop_nodes[netlist.flops()[flop].index()] = true;
+        }
+
+        // Sources.
+        for (id, node) in netlist.iter_nodes() {
+            match node {
+                Node::Input(_) => {
+                    cc0[id.index()] = 1;
+                    cc1[id.index()] = 1;
+                }
+                Node::Const(v) => match v {
+                    Trit::Zero => cc0[id.index()] = 0,
+                    Trit::One => cc1[id.index()] = 0,
+                    Trit::X => {}
+                },
+                Node::Flop { .. } if scan_flop_nodes[id.index()] => {
+                    cc0[id.index()] = 1;
+                    cc1[id.index()] = 1;
+                }
+                // Shadow flops stay INF: their power-up X cannot be set.
+                _ => {}
+            }
+        }
+
+        // Forward pass in evaluation (topological) order.
+        let order: Vec<NodeId> = eval_order(netlist);
+        for &id in &order {
+            let (c0, c1) = controllability(netlist, id, &cc0, &cc1);
+            cc0[id.index()] = c0;
+            cc1[id.index()] = c1;
+        }
+
+        // Backward pass for observability.
+        let mut co = vec![INF; n];
+        for (id, node) in netlist.iter_nodes() {
+            if let Node::Flop { d: Some(d), .. } = node {
+                if scan_flop_nodes[id.index()] {
+                    co[d.index()] = 0;
+                }
+            }
+        }
+        for &id in order.iter().rev() {
+            propagate_observability(netlist, id, &cc0, &cc1, &mut co);
+        }
+
+        Testability { cc0, cc1, co }
+    }
+}
+
+fn eval_order(netlist: &Netlist) -> Vec<NodeId> {
+    // The netlist's own evaluation order is private to xhc-logic; a local
+    // Kahn pass over the combinational edges reproduces one. `ids[i]` is
+    // the NodeId with raw index `i` (iter_nodes yields in index order).
+    let n = netlist.num_nodes();
+    let ids: Vec<NodeId> = netlist.iter_nodes().map(|(id, _)| id).collect();
+    let mut indegree = vec![0usize; n];
+    let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (id, node) in netlist.iter_nodes() {
+        for src in comb_inputs(node) {
+            indegree[id.index()] += 1;
+            fanout[src.index()].push(id.index());
+        }
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::new();
+    while let Some(i) = ready.pop() {
+        let id = ids[i];
+        if matches!(
+            netlist.node(id),
+            Node::Gate { .. } | Node::TriBuf { .. } | Node::Bus { .. }
+        ) {
+            order.push(id);
+        }
+        for &f in &fanout[i] {
+            indegree[f] -= 1;
+            if indegree[f] == 0 {
+                ready.push(f);
+            }
+        }
+    }
+    order
+}
+
+fn comb_inputs(node: &Node) -> Vec<NodeId> {
+    match node {
+        Node::Gate { inputs, .. } => inputs.clone(),
+        Node::TriBuf { enable, data } => vec![*enable, *data],
+        Node::Bus { drivers } => drivers.clone(),
+        _ => Vec::new(),
+    }
+}
+
+fn sat(a: u32, b: u32) -> u32 {
+    a.saturating_add(b).min(INF)
+}
+
+fn controllability(netlist: &Netlist, id: NodeId, cc0: &[u32], cc1: &[u32]) -> (u32, u32) {
+    let c0 = |n: NodeId| cc0[n.index()];
+    let c1 = |n: NodeId| cc1[n.index()];
+    match netlist.node(id) {
+        Node::Gate { kind, inputs } => {
+            let fold_and = || {
+                let set1 = inputs.iter().fold(0u32, |acc, &i| sat(acc, c1(i)));
+                let set0 = inputs.iter().map(|&i| c0(i)).min().unwrap_or(INF);
+                (sat(set0, 1), sat(set1, 1))
+            };
+            let fold_or = || {
+                let set0 = inputs.iter().fold(0u32, |acc, &i| sat(acc, c0(i)));
+                let set1 = inputs.iter().map(|&i| c1(i)).min().unwrap_or(INF);
+                (sat(set0, 1), sat(set1, 1))
+            };
+            let fold_xor = || {
+                // Pairwise fold of the 2-input XOR rule.
+                let (mut z, mut o) = (c0(inputs[0]), c1(inputs[0]));
+                for &i in &inputs[1..] {
+                    let nz = sat(z, c0(i)).min(sat(o, c1(i)));
+                    let no = sat(z, c1(i)).min(sat(o, c0(i)));
+                    z = nz;
+                    o = no;
+                }
+                (sat(z, 1), sat(o, 1))
+            };
+            match kind {
+                GateKind::And => fold_and(),
+                GateKind::Nand => {
+                    let (z, o) = fold_and();
+                    (o, z)
+                }
+                GateKind::Or => fold_or(),
+                GateKind::Nor => {
+                    let (z, o) = fold_or();
+                    (o, z)
+                }
+                GateKind::Xor => fold_xor(),
+                GateKind::Xnor => {
+                    let (z, o) = fold_xor();
+                    (o, z)
+                }
+                GateKind::Not => (sat(c1(inputs[0]), 1), sat(c0(inputs[0]), 1)),
+                GateKind::Buf => (sat(c0(inputs[0]), 1), sat(c1(inputs[0]), 1)),
+                GateKind::Mux => {
+                    let (s, a, b) = (inputs[0], inputs[1], inputs[2]);
+                    let z = sat(c0(s), c0(a)).min(sat(c1(s), c0(b)));
+                    let o = sat(c0(s), c1(a)).min(sat(c1(s), c1(b)));
+                    (sat(z, 1), sat(o, 1))
+                }
+            }
+        }
+        Node::TriBuf { enable, data } => (
+            sat(sat(c1(*enable), c0(*data)), 1),
+            sat(sat(c1(*enable), c1(*data)), 1),
+        ),
+        Node::Bus { drivers } => {
+            // Cheapest single driver (ignoring the cost of silencing the
+            // others — a deliberate optimistic approximation).
+            let z = drivers.iter().map(|&d| cc0[d.index()]).min().unwrap_or(INF);
+            let o = drivers.iter().map(|&d| cc1[d.index()]).min().unwrap_or(INF);
+            (sat(z, 1), sat(o, 1))
+        }
+        // Sources keep their seeded values.
+        _ => (cc0[id.index()], cc1[id.index()]),
+    }
+}
+
+fn propagate_observability(
+    netlist: &Netlist,
+    id: NodeId,
+    cc0: &[u32],
+    cc1: &[u32],
+    co: &mut [u32],
+) {
+    let out_co = co[id.index()];
+    if out_co >= INF {
+        return;
+    }
+    let update = |co: &mut [u32], n: NodeId, v: u32| {
+        let slot = &mut co[n.index()];
+        *slot = (*slot).min(v.min(INF));
+    };
+    match netlist.node(id) {
+        Node::Gate { kind, inputs } => {
+            for (pos, &i) in inputs.iter().enumerate() {
+                let side_cost: u32 = match kind {
+                    GateKind::And | GateKind::Nand => inputs
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != pos)
+                        .fold(0u32, |acc, (_, &o)| sat(acc, cc1[o.index()])),
+                    GateKind::Or | GateKind::Nor => inputs
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != pos)
+                        .fold(0u32, |acc, (_, &o)| sat(acc, cc0[o.index()])),
+                    GateKind::Xor | GateKind::Xnor => inputs
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != pos)
+                        .fold(0u32, |acc, (_, &o)| {
+                            sat(acc, cc0[o.index()].min(cc1[o.index()]))
+                        }),
+                    GateKind::Not | GateKind::Buf => 0,
+                    GateKind::Mux => {
+                        if pos == 0 {
+                            // Observing the select needs the data inputs
+                            // to differ; approximate with their cheapest
+                            // opposite settings.
+                            sat(
+                                cc0[inputs[1].index()].min(cc1[inputs[1].index()]),
+                                cc0[inputs[2].index()].min(cc1[inputs[2].index()]),
+                            )
+                        } else if pos == 1 {
+                            cc0[inputs[0].index()]
+                        } else {
+                            cc1[inputs[0].index()]
+                        }
+                    }
+                };
+                update(co, i, sat(sat(out_co, side_cost), 1));
+            }
+        }
+        Node::TriBuf { enable, data } => {
+            update(co, *data, sat(sat(out_co, cc1[enable.index()]), 1));
+            update(
+                co,
+                *enable,
+                sat(sat(out_co, cc0[data.index()].min(cc1[data.index()])), 1),
+            );
+        }
+        Node::Bus { drivers } => {
+            for &d in drivers {
+                update(co, d, sat(out_co, 1));
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xhc_logic::{FlopInit, NetlistBuilder};
+    use xhc_scan::ScanConfig;
+
+    fn harness_for(build: impl Fn(&mut NetlistBuilder) -> Vec<NodeId>) -> (Netlist, Vec<usize>) {
+        let mut b = NetlistBuilder::new();
+        let outs = build(&mut b);
+        let mut flops = Vec::new();
+        for &o in &outs {
+            let f = b.flop(FlopInit::Zero);
+            b.connect_flop_d(f, o);
+            b.output(o);
+            flops.push(f);
+        }
+        let nl = b.finish().unwrap();
+        let idx = flops.iter().map(|&f| nl.flop_index(f).unwrap()).collect();
+        (nl, idx)
+    }
+
+    #[test]
+    fn and_controllability_asymmetry() {
+        // AND: setting 1 needs all inputs, setting 0 needs one.
+        let (nl, flops) = harness_for(|b| {
+            let a = b.input();
+            let c = b.input();
+            let d = b.input();
+            vec![b.gate(GateKind::And, vec![a, c, d])]
+        });
+        let harness = ScanHarness::new(&nl, ScanConfig::uniform(1, 1), flops).unwrap();
+        let t = Testability::compute(&harness);
+        let g = nl.outputs()[0];
+        assert_eq!(t.cc1(g), 4); // 1+1+1 inputs + 1 level
+        assert_eq!(t.cc0(g), 2); // one input + 1 level
+    }
+
+    #[test]
+    fn depth_increases_controllability() {
+        let (nl, flops) = harness_for(|b| {
+            let a = b.input();
+            let c = b.input();
+            let mut g = b.and2(a, c);
+            for _ in 0..5 {
+                g = b.and2(g, c);
+            }
+            vec![g]
+        });
+        let harness = ScanHarness::new(&nl, ScanConfig::uniform(1, 1), flops).unwrap();
+        let t = Testability::compute(&harness);
+        let deep = nl.outputs()[0];
+        assert!(t.cc1(deep) > 6);
+    }
+
+    #[test]
+    fn shadow_flops_are_uncontrollable() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input();
+        let shadow = b.flop(FlopInit::Unknown);
+        b.connect_flop_d(shadow, a);
+        let g = b.and2(shadow, a);
+        let f = b.flop(FlopInit::Zero);
+        b.connect_flop_d(f, g);
+        b.output(g);
+        let nl = b.finish().unwrap();
+        let flops = vec![nl.flop_index(f).unwrap()];
+        let harness = ScanHarness::new(&nl, ScanConfig::uniform(1, 1), flops).unwrap();
+        let t = Testability::compute(&harness);
+        // g = shadow & a: cc1 requires the shadow -> INF.
+        assert!(t.cc1(g) >= INF);
+        // cc0 via a = 0 stays cheap.
+        assert!(t.cc0(g) < 10);
+    }
+
+    #[test]
+    fn observability_decreases_toward_capture() {
+        let (nl, flops) = harness_for(|b| {
+            let a = b.input();
+            let c = b.input();
+            let g1 = b.and2(a, c);
+            let g2 = b.or2(g1, a);
+            vec![g2]
+        });
+        let harness = ScanHarness::new(&nl, ScanConfig::uniform(1, 1), flops).unwrap();
+        let t = Testability::compute(&harness);
+        // The captured node has CO 0; its fan-ins more.
+        let g2 = nl.outputs()[0];
+        assert_eq!(t.co(g2), 0);
+        for (id, node) in nl.iter_nodes() {
+            if matches!(node, Node::Input(_)) {
+                assert!(t.co(id) > 0);
+                assert!(t.co(id) < INF, "inputs observable through the cone");
+            }
+        }
+    }
+
+    #[test]
+    fn unobserved_cone_is_unobservable() {
+        // A gate feeding only a primary output (no captured flop).
+        let mut b = NetlistBuilder::new();
+        let a = b.input();
+        let c = b.input();
+        let dead = b.and2(a, c);
+        let live = b.or2(a, c);
+        let f = b.flop(FlopInit::Zero);
+        b.connect_flop_d(f, live);
+        b.output(dead);
+        let nl = b.finish().unwrap();
+        let flops = vec![nl.flop_index(f).unwrap()];
+        let harness = ScanHarness::new(&nl, ScanConfig::uniform(1, 1), flops).unwrap();
+        let t = Testability::compute(&harness);
+        assert!(t.co(dead) >= INF);
+        assert_eq!(t.co(live), 0);
+    }
+}

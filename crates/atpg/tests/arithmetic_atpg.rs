@@ -1,0 +1,138 @@
+//! ATPG stress tests on structured arithmetic circuits: every stuck-at
+//! fault of a ripple-carry adder and an array multiplier must be covered
+//! by the two-phase flow, and PODEM's untestable verdicts must be empty
+//! (arithmetic circuits have no redundant logic in these constructions).
+
+use xhc_atpg::{generate_tests, AtpgConfig};
+use xhc_fault::{all_output_faults, fault_coverage, FullObservability};
+use xhc_logic::{samples, FlopInit, GateKind, Netlist, NetlistBuilder, NodeId};
+use xhc_scan::{ScanConfig, ScanHarness};
+
+/// Rebuilds a combinational netlist with its outputs captured into scan
+/// flops (the standard scan-test wrapper the fault simulator observes).
+fn wrap_with_capture_flops(
+    build: impl Fn(&mut NetlistBuilder) -> Vec<NodeId>,
+) -> (Netlist, Vec<usize>) {
+    let mut b = NetlistBuilder::new();
+    let outputs = build(&mut b);
+    let mut flops = Vec::new();
+    for &o in &outputs {
+        let f = b.flop(FlopInit::Zero);
+        b.connect_flop_d(f, o);
+        flops.push(f);
+    }
+    let nl = b.finish().expect("wrapper is valid");
+    let indices = flops
+        .iter()
+        .map(|&f| nl.flop_index(f).expect("flop registered"))
+        .collect();
+    (nl, indices)
+}
+
+fn build_adder(b: &mut NetlistBuilder, n: usize) -> Vec<NodeId> {
+    let a: Vec<_> = (0..n).map(|_| b.input()).collect();
+    let bb: Vec<_> = (0..n).map(|_| b.input()).collect();
+    let mut carry = b.input();
+    let mut outs = Vec::new();
+    for i in 0..n {
+        let axb = b.gate(GateKind::Xor, vec![a[i], bb[i]]);
+        let sum = b.gate(GateKind::Xor, vec![axb, carry]);
+        let t1 = b.gate(GateKind::And, vec![a[i], bb[i]]);
+        let t2 = b.gate(GateKind::And, vec![axb, carry]);
+        carry = b.gate(GateKind::Or, vec![t1, t2]);
+        outs.push(sum);
+    }
+    outs.push(carry);
+    outs
+}
+
+#[test]
+fn adder_full_coverage() {
+    let (nl, flops) = wrap_with_capture_flops(|b| build_adder(b, 4));
+    let harness = ScanHarness::new(&nl, ScanConfig::uniform(5, 1), flops).unwrap();
+    let faults = all_output_faults(&nl);
+    let result = generate_tests(&harness, &faults, AtpgConfig::default());
+    assert!(result.untestable.is_empty(), "adder has no redundancy");
+    assert!(result.aborted.is_empty());
+    assert_eq!(
+        result.detected, result.total_faults,
+        "full coverage expected"
+    );
+
+    // And the pattern set really does it (independent re-simulation).
+    let report = fault_coverage(&harness, &result.patterns, &faults, &FullObservability);
+    assert_eq!(report.detected, faults.len());
+}
+
+#[test]
+fn adder_patterns_are_compact() {
+    // Sanity on the flow's economics: covering an n-bit adder's ~O(n)
+    // fault sites must not need anywhere near one pattern per fault.
+    let (nl, flops) = wrap_with_capture_flops(|b| build_adder(b, 6));
+    let harness = ScanHarness::new(&nl, ScanConfig::uniform(7, 1), flops).unwrap();
+    let faults = all_output_faults(&nl);
+    let result = generate_tests(&harness, &faults, AtpgConfig::default());
+    assert_eq!(result.detected, result.total_faults);
+    assert!(
+        result.patterns.len() * 3 < faults.len(),
+        "{} patterns for {} faults",
+        result.patterns.len(),
+        faults.len()
+    );
+}
+
+#[test]
+fn multiplier_coverage_via_library_sample() {
+    // The library's array multiplier exercised through its own netlist:
+    // wrap samples::array_multiplier(2) by re-driving its outputs into
+    // flops is impossible post-hoc, so rebuild inline like the adder.
+    let (nl, flops) = wrap_with_capture_flops(|b| {
+        let n = 2;
+        let a: Vec<_> = (0..n).map(|_| b.input()).collect();
+        let bb: Vec<_> = (0..n).map(|_| b.input()).collect();
+        let zero = b.constant(xhc_logic::Trit::Zero);
+        let acc: Vec<_> = (0..n)
+            .map(|j| b.gate(GateKind::And, vec![a[j], bb[0]]))
+            .collect();
+        let mut product = vec![acc[0]];
+        let mut carry_word = vec![acc[1], zero];
+        for b_i in bb.iter().skip(1) {
+            let pp: Vec<_> = (0..n)
+                .map(|j| b.gate(GateKind::And, vec![a[j], *b_i]))
+                .collect();
+            let mut next = Vec::new();
+            let mut carry = zero;
+            for j in 0..n {
+                let x = b.gate(GateKind::Xor, vec![pp[j], carry_word[j]]);
+                let s = b.gate(GateKind::Xor, vec![x, carry]);
+                let t1 = b.gate(GateKind::And, vec![pp[j], carry_word[j]]);
+                let t2 = b.gate(GateKind::And, vec![x, carry]);
+                carry = b.gate(GateKind::Or, vec![t1, t2]);
+                next.push(s);
+            }
+            next.push(carry);
+            product.push(next[0]);
+            carry_word = next[1..].to_vec();
+        }
+        product.extend(carry_word);
+        product
+    });
+    let cells = nl.num_flops();
+    let harness = ScanHarness::new(&nl, ScanConfig::uniform(cells, 1), flops).unwrap();
+    let faults = all_output_faults(&nl);
+    let result = generate_tests(&harness, &faults, AtpgConfig::default());
+    assert!(result.aborted.is_empty());
+    // The 2x2 array multiplier contains redundant sites (the top carry
+    // chain with a constant-0 operand); PODEM must *prove* those
+    // untestable rather than abort, and cover everything else.
+    assert_eq!(
+        result.detected + result.untestable.len(),
+        result.total_faults,
+        "every fault either covered or proven untestable"
+    );
+    assert!((result.testable_coverage() - 1.0).abs() < 1e-9);
+
+    // The library constructor agrees with the inline build.
+    let lib = samples::array_multiplier(2);
+    assert_eq!(lib.num_outputs(), 4);
+}

@@ -1,0 +1,92 @@
+//! Criterion bench: the ATPG substrate — fault simulation with dropping
+//! and the full two-phase generation flow on generated circuits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xhc_atpg::{generate_tests, AtpgConfig};
+use xhc_fault::{all_output_faults, fault_coverage, FullObservability};
+use xhc_logic::generate::CircuitSpec;
+use xhc_logic::Trit;
+use xhc_scan::{ScanConfig, ScanHarness, TestPattern};
+
+fn spec(gates: usize) -> CircuitSpec {
+    CircuitSpec {
+        num_inputs: 8,
+        num_gates: gates,
+        num_scan_flops: 16,
+        num_shadow_flops: 2,
+        num_buses: 1,
+        seed: 5,
+        ..CircuitSpec::default()
+    }
+}
+
+fn bench_fault_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atpg/fault_simulation");
+    group.sample_size(10);
+    for gates in [60usize, 150, 300] {
+        let circuit = spec(gates).generate();
+        let harness = ScanHarness::new(
+            &circuit.netlist,
+            ScanConfig::uniform(4, 4),
+            circuit.scan_flops.clone(),
+        )
+        .expect("valid mapping");
+        let faults = all_output_faults(&circuit.netlist);
+        let patterns: Vec<TestPattern> = (0..16)
+            .map(|i| TestPattern {
+                scan_load: (0..16).map(|j| Trit::from_bool((i + j) % 3 == 0)).collect(),
+                inputs: (0..8)
+                    .map(|j| Trit::from_bool((i * 7 + j) % 2 == 0))
+                    .collect(),
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{gates}gates")),
+            &(harness, patterns, faults),
+            |b, (harness, patterns, faults)| {
+                b.iter(|| {
+                    black_box(fault_coverage(
+                        black_box(harness),
+                        black_box(patterns),
+                        black_box(faults),
+                        &FullObservability,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atpg/generate_tests");
+    group.sample_size(10);
+    for gates in [60usize, 150] {
+        let circuit = spec(gates).generate();
+        let harness = ScanHarness::new(
+            &circuit.netlist,
+            ScanConfig::uniform(4, 4),
+            circuit.scan_flops.clone(),
+        )
+        .expect("valid mapping");
+        let faults = all_output_faults(&circuit.netlist);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{gates}gates")),
+            &(harness, faults),
+            |b, (harness, faults)| {
+                b.iter(|| {
+                    black_box(generate_tests(
+                        black_box(harness),
+                        black_box(faults),
+                        AtpgConfig::default(),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_simulation, bench_full_flow);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench: the time-multiplexed X-canceling session, with and
+//! without the hybrid's masking front end. Note this measures *simulator*
+//! CPU, not tester time: masking reduces halts (the hardware win recorded
+//! in each `SessionReport`), while the simulator's symbolic blocks grow
+//! when fewer halts split them — the two costs move independently.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xhc_core::{apply_partition_masks, PartitionEngine};
+use xhc_misr::{CancelSession, Taps, XCancelConfig};
+use xhc_workload::{materialize_responses, WorkloadSpec};
+
+fn bench_session(c: &mut Criterion) {
+    let spec = WorkloadSpec {
+        total_cells: 256,
+        num_chains: 8,
+        num_patterns: 60,
+        x_density: 0.03,
+        ..WorkloadSpec::default()
+    };
+    let xmap = spec.generate();
+    let responses = materialize_responses(&xmap, 11);
+    let cancel = XCancelConfig::new(32, 7);
+    let outcome = PartitionEngine::new(cancel).run(&xmap);
+    let masked = apply_partition_masks(&responses, &outcome);
+    let session = CancelSession::new(responses.config().clone(), cancel, Taps::default_for(32));
+
+    let mut group = c.benchmark_group("cancel_session");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::from_parameter("raw_responses"),
+        &responses,
+        |b, r| b.iter(|| black_box(session.run(black_box(r)))),
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("hybrid_masked"),
+        &masked,
+        |b, r| b.iter(|| black_box(session.run(black_box(r)))),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_session);
+criterion_main!(benches);

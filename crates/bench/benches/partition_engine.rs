@@ -1,0 +1,89 @@
+//! Criterion bench: partitioning-engine runtime scaling with workload
+//! size and X-density (the algorithmic cost of the paper's Algorithm 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xhc_core::{PartitionEngine, SplitStrategy};
+use xhc_misr::XCancelConfig;
+use xhc_workload::WorkloadSpec;
+
+fn bench_partition_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_engine/cells");
+    for cells in [500usize, 2_000, 8_000] {
+        let spec = WorkloadSpec {
+            total_cells: cells,
+            num_chains: 8,
+            num_patterns: 300,
+            x_density: 0.02,
+            ..WorkloadSpec::default()
+        };
+        let xmap = spec.generate();
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &xmap, |b, xmap| {
+            b.iter(|| {
+                black_box(PartitionEngine::new(XCancelConfig::paper_default()).run(black_box(xmap)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_engine/x_density");
+    for density_pct in [1usize, 3, 6] {
+        let spec = WorkloadSpec {
+            total_cells: 2_000,
+            num_chains: 8,
+            num_patterns: 300,
+            x_density: density_pct as f64 / 100.0,
+            ..WorkloadSpec::default()
+        };
+        let xmap = spec.generate();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{density_pct}pct")),
+            &xmap,
+            |b, xmap| {
+                b.iter(|| {
+                    black_box(
+                        PartitionEngine::new(XCancelConfig::paper_default()).run(black_box(xmap)),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_split_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_engine/strategy");
+    let spec = WorkloadSpec {
+        total_cells: 2_000,
+        num_chains: 8,
+        num_patterns: 300,
+        x_density: 0.02,
+        ..WorkloadSpec::default()
+    };
+    let xmap = spec.generate();
+    for (name, strategy) in [
+        ("largest_class", SplitStrategy::LargestClass),
+        ("best_cost", SplitStrategy::BestCost),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &xmap, |b, xmap| {
+            b.iter(|| {
+                black_box(
+                    PartitionEngine::new(XCancelConfig::paper_default())
+                        .with_strategy(strategy)
+                        .run(black_box(xmap)),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_partition_scaling,
+    bench_partition_density,
+    bench_split_strategy
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench: the full Table-1 evaluation pipeline (workload
+//! generation + partitioning + accounting) on 1/15-scale CKT profiles.
+//! The `table1` binary prints the actual table; this measures its cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xhc_core::{evaluate_hybrid, CellSelection};
+use xhc_misr::XCancelConfig;
+use xhc_workload::WorkloadSpec;
+
+fn scaled(mut spec: WorkloadSpec) -> WorkloadSpec {
+    spec.total_cells /= 15;
+    spec.num_chains = (spec.num_chains / 15).max(4);
+    spec.num_patterns /= 15;
+    spec
+}
+
+fn bench_table1_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/evaluate_hybrid");
+    group.sample_size(10);
+    for spec in [
+        scaled(WorkloadSpec::ckt_a()),
+        scaled(WorkloadSpec::ckt_b()),
+        scaled(WorkloadSpec::ckt_c()),
+    ] {
+        let xmap = spec.generate();
+        group.bench_with_input(BenchmarkId::from_parameter(spec.name), &xmap, |b, xmap| {
+            b.iter(|| {
+                black_box(evaluate_hybrid(
+                    black_box(xmap),
+                    XCancelConfig::paper_default(),
+                    CellSelection::First,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/workload_generation");
+    group.sample_size(10);
+    {
+        let spec = scaled(WorkloadSpec::ckt_b());
+        group.bench_with_input(BenchmarkId::from_parameter(spec.name), &spec, |b, spec| {
+            b.iter(|| black_box(spec.generate()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_rows, bench_workload_generation);
+criterion_main!(benches);

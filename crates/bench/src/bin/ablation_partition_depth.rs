@@ -1,0 +1,60 @@
+//! **Ablation: partitioning depth.** Sweeps the number of partitioning
+//! rounds (overriding the paper's cost-function stop) and prints the
+//! mask/cancel/total control-bit trade-off — the U-shaped curve the §4
+//! cost function is designed to find the bottom of.
+//!
+//! Run with: `cargo run --release -p xhc-bench --bin ablation_partition_depth`
+
+use xhc_core::PartitionEngine;
+use xhc_misr::XCancelConfig;
+use xhc_workload::WorkloadSpec;
+
+fn main() {
+    let spec = WorkloadSpec {
+        name: "CKT-B (1/15 scale)",
+        total_cells: 2405,
+        num_chains: 5,
+        num_patterns: 600,
+        ..WorkloadSpec::ckt_b()
+    };
+    let xmap = spec.generate();
+    let cancel = XCancelConfig::paper_default();
+
+    // Full run without the cost stop to learn the maximum depth.
+    let exhaustive = PartitionEngine::new(cancel).without_cost_stop().run(&xmap);
+    let max_rounds = exhaustive.rounds.len();
+    let stopped = PartitionEngine::new(cancel).run(&xmap);
+
+    println!(
+        "workload {}: {} X's, exhaustive depth {} rounds, cost stop chooses {}",
+        spec.name,
+        xmap.total_x(),
+        max_rounds,
+        stopped.rounds.len()
+    );
+    println!(
+        "{:>6} {:>11} {:>12} {:>13} {:>13} {:>9}",
+        "rounds", "partitions", "mask bits", "cancel bits", "total bits", "masked-X"
+    );
+    for rounds in 0..=max_rounds {
+        let outcome = PartitionEngine::new(cancel)
+            .without_cost_stop()
+            .with_max_rounds(rounds)
+            .run(&xmap);
+        let marker = if rounds == stopped.rounds.len() {
+            "  <- cost-function stop"
+        } else {
+            ""
+        };
+        println!(
+            "{:>6} {:>11} {:>12} {:>13.0} {:>13.0} {:>9}{}",
+            rounds,
+            outcome.partitions.len(),
+            outcome.cost.masking_bits,
+            outcome.cost.canceling_bits,
+            outcome.cost.total(),
+            outcome.masked_x(),
+            marker,
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! **Ablation: split-selection strategy.** The paper splits on the
+//! largest equal-count class (a pure correlation heuristic); the
+//! `BestCost` extension evaluates every class representative and takes
+//! the cheapest successor. On strongly inter-correlated profiles they
+//! coincide; on weakly correlated ones BestCost can keep improving after
+//! the greedy rule stalls.
+//!
+//! Run with: `cargo run --release -p xhc-bench --bin ablation_split_strategy`
+
+use xhc_core::{PartitionEngine, SplitStrategy};
+use xhc_misr::XCancelConfig;
+use xhc_workload::WorkloadSpec;
+
+fn main() {
+    let cancel = XCancelConfig::paper_default();
+    println!(
+        "{:<28} {:<13} {:>11} {:>7} {:>13} {:>10}",
+        "workload", "strategy", "partitions", "rounds", "total bits", "masked-X"
+    );
+    for (label, corr) in [
+        ("strong correlation (0.9)", 0.9),
+        ("moderate correlation (0.5)", 0.5),
+        ("weak correlation (0.1)", 0.1),
+    ] {
+        let spec = WorkloadSpec {
+            total_cells: 2405,
+            num_chains: 5,
+            num_patterns: 600,
+            x_density: 0.0275,
+            correlated_fraction: corr,
+            num_groups: 3,
+            group_pattern_fraction: 0.5,
+            x_cell_fraction: 0.108,
+            ..WorkloadSpec::default()
+        };
+        let xmap = spec.generate();
+        for (name, strategy) in [
+            ("LargestClass", SplitStrategy::LargestClass),
+            ("BestCost", SplitStrategy::BestCost),
+        ] {
+            let outcome = PartitionEngine::new(cancel)
+                .with_strategy(strategy)
+                .run(&xmap);
+            println!(
+                "{:<28} {:<13} {:>11} {:>7} {:>13.0} {:>10}",
+                label,
+                name,
+                outcome.partitions.len(),
+                outcome.rounds.len(),
+                outcome.cost.total(),
+                outcome.masked_x(),
+            );
+        }
+    }
+    println!("\nBestCost trades one cost evaluation per class per round for robustness to weak correlation.");
+}

@@ -1,0 +1,93 @@
+//! **MISR aliasing study.** X-canceling extracts `q` X-free combinations
+//! per halt instead of observing the full m-bit signature, so multi-bit
+//! errors can alias (cancel out in every extracted combination). This
+//! study measures the empirical escape probability as a function of the
+//! number of X's and the error multiplicity — the quantitative face of
+//! the compaction-vs-observability trade-off every scheme in the paper
+//! accepts.
+//!
+//! Run with: `cargo run --release -p xhc-bench --bin aliasing_study`
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use xhc_bits::BitVec;
+use xhc_misr::{Taps, XCancelingMisr};
+use xhc_scan::ScanConfig;
+
+fn main() {
+    let scan = ScanConfig::uniform(8, 16); // 128 cells
+    let m = 16;
+    let trials = 20_000;
+    let mut rng = StdRng::seed_from_u64(2016);
+
+    println!(
+        "{:>5} {:>7} {:>10} | {:>10} {:>10} {:>10} {:>10}",
+        "#X", "combos", "obs cells", "1-bit esc", "2-bit esc", "4-bit esc", "theory 2^-c"
+    );
+    for num_x in [0usize, 4, 8, 12] {
+        let xc = XCancelingMisr::new(scan.clone(), m, Taps::default_for(m));
+        let cells = scan.total_cells();
+        let x_cells: Vec<usize> = (0..num_x).map(|i| i * cells / num_x.max(1)).collect();
+        let obs = xc.observable_cells(&x_cells);
+        let observable: Vec<usize> = (0..cells).filter(|&c| obs.get(c)).collect();
+
+        // Combined symbol rows of the X-free combinations.
+        let dep_rows = xc.rows();
+        let combos = {
+            let dep = xhc_misr::x_dependency_matrix(dep_rows, &x_cells);
+            xhc_bits::gauss::x_free_combinations(&dep)
+        };
+        let combined: Vec<BitVec> = combos
+            .iter()
+            .map(|combo| {
+                let mut acc = BitVec::zeros(cells);
+                for bit in combo.iter_ones() {
+                    acc.xor_with(&dep_rows[bit]);
+                }
+                acc
+            })
+            .collect();
+
+        let escapes = |k: usize, rng: &mut StdRng| -> f64 {
+            if observable.len() < k {
+                return f64::NAN;
+            }
+            let mut missed = 0usize;
+            for _ in 0..trials {
+                // A k-bit error among observable (non-X-dependent) cells.
+                let mut picks = observable.clone();
+                picks.shuffle(rng);
+                let error: Vec<usize> = picks[..k].to_vec();
+                let detected = combined
+                    .iter()
+                    .any(|row| error.iter().filter(|&&c| row.get(c)).count() % 2 == 1);
+                if !detected {
+                    missed += 1;
+                }
+            }
+            missed as f64 / trials as f64
+        };
+
+        let e1 = escapes(1, &mut rng);
+        let e2 = escapes(2, &mut rng);
+        let e4 = escapes(4, &mut rng);
+        println!(
+            "{:>5} {:>7} {:>10} | {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+            num_x,
+            combined.len(),
+            observable.len(),
+            e1,
+            e2,
+            e4,
+            0.5f64.powi(combined.len() as i32),
+        );
+        let _ = rng.gen::<u8>(); // decorrelate rows
+    }
+    println!("\nsingle-bit errors at observable cells never escape (escape = 0 by");
+    println!("construction). Multi-bit escapes exceed the 2^-combos random-code bound");
+    println!("because the code is structured (cell pairs feeding the same MISR stage");
+    println!("at aliasing distances cancel), but the trend is the point: fewer X's ->");
+    println!("more combinations -> less aliasing. The hybrid's masking front end also");
+    println!("*hardens* the signature, not just the control-bit budget.");
+}

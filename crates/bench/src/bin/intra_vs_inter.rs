@@ -1,0 +1,64 @@
+//! **Intra- vs. inter-correlation regimes** (the paper's §3 argument).
+//!
+//! The paper chooses inter-correlation (same cells across patterns) over
+//! intra-correlation (adjacent cells along a chain) because "the
+//! inter-correlation is found across multiple test patterns and thus it
+//! has a potential to remove a higher number of X's". This experiment
+//! makes the argument quantitative: sweep the workload's spatial
+//! clustering, and compare the intra-exploiting toggle-masking baseline
+//! against the inter-exploiting pattern-partitioning hybrid on the *same*
+//! X maps.
+//!
+//! Run with: `cargo run --release -p xhc-bench --bin intra_vs_inter`
+
+use xhc_core::{
+    evaluate_hybrid, intra_correlation_stats, toggle_masking, CellSelection, TogglePolicy,
+};
+use xhc_misr::XCancelConfig;
+use xhc_workload::WorkloadSpec;
+
+fn main() {
+    let cancel = XCancelConfig::paper_default();
+    println!(
+        "{:<22} {:>10} {:>12} | {:>15} {:>15} {:>15}",
+        "spatial clustering",
+        "X-runs>=2",
+        "adj-Jaccard",
+        "toggle (safe)",
+        "toggle (greedy)",
+        "hybrid (paper)"
+    );
+    for clustering in [0.0, 0.5, 0.9] {
+        let spec = WorkloadSpec {
+            total_cells: 2405,
+            num_chains: 5,
+            num_patterns: 600,
+            x_density: 0.0275,
+            correlated_fraction: 0.55,
+            num_groups: 3,
+            group_pattern_fraction: 0.77,
+            x_cell_fraction: 0.108,
+            spatial_clustering: clustering,
+            ..WorkloadSpec::default()
+        };
+        let xmap = spec.generate();
+        let intra = intra_correlation_stats(&xmap);
+        let safe = toggle_masking(&xmap, cancel, TogglePolicy::Conservative);
+        let greedy = toggle_masking(&xmap, cancel, TogglePolicy::Aggressive);
+        let hybrid = evaluate_hybrid(&xmap, cancel, CellSelection::First);
+        println!(
+            "{:<22.1} {:>10} {:>12} | {:>14.0}b {:>12.0}b* {:>14.0}b",
+            clustering,
+            intra.runs,
+            intra
+                .mean_adjacent_jaccard
+                .map_or("-".to_string(), |j| format!("{j:.2}")),
+            safe.total(),
+            greedy.total(),
+            hybrid.proposed_bits,
+        );
+    }
+    println!("\n(* greedy toggle masks non-X values and would need fault-simulation loops)");
+    println!("the hybrid's advantage is insensitive to spatial clustering: it keys on");
+    println!("pattern-axis correlation, which the workload keeps in every row above.");
+}

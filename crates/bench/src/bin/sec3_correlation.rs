@@ -1,0 +1,51 @@
+//! Regenerates the paper's **§3 inter-correlation analysis** on the CKT-B
+//! synthetic profile: 36,075 scan cells, 3,903 X-capturing, 90% of X's in
+//! a few percent of cells, and large groups of cells with *identical* X
+//! pattern sets across 3000 patterns.
+//!
+//! Run with: `cargo run --release -p xhc-bench --bin sec3_correlation`
+//! (add `--scale N` for a quick pass)
+
+use xhc_core::inter_correlation_stats;
+use xhc_workload::WorkloadSpec;
+
+fn main() {
+    let scale = xhc_bench::arg_flag("--scale", 1);
+    let mut spec = WorkloadSpec::ckt_b();
+    if scale > 1 {
+        spec.total_cells /= scale;
+        spec.num_chains = (spec.num_chains / scale).max(4);
+        spec.num_patterns = (spec.num_patterns / scale).max(50);
+    }
+    let xmap = spec.generate();
+    let stats = inter_correlation_stats(&xmap);
+
+    println!(
+        "§3 inter-correlation analysis on the {} profile{}:",
+        spec.name,
+        if scale > 1 {
+            format!(" (scaled 1/{scale})")
+        } else {
+            String::new()
+        }
+    );
+    println!("  scan cells              : {}", stats.total_cells);
+    println!(
+        "  X-capturing cells       : {} ({:.1}%)  [paper: 3,903 = 10.8%]",
+        stats.x_cells,
+        100.0 * stats.x_cells as f64 / stats.total_cells as f64
+    );
+    println!("  total X's               : {}", stats.total_x);
+    println!(
+        "  90% of X's held by      : {:.1}% of cells  [paper: 4.9%]",
+        100.0 * stats.cells_for_90pct
+    );
+    println!(
+        "  largest identical group : {} cells share one X pattern set  [paper: 172 of 177]",
+        stats.largest_identical_group
+    );
+    println!(
+        "  largest count class     : {} cells with {} X's each  [paper: 177 cells with 406 X's]",
+        stats.largest_count_class, stats.largest_count_class_count
+    );
+}

@@ -1,0 +1,607 @@
+//! The pattern-partitioning algorithm (the paper's §4, Algorithm 1).
+
+use crate::correlation::CorrelationAnalysis;
+use crate::cost::{hybrid_cost_with_masks, HybridCost};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use xhc_bits::PatternSet;
+use xhc_misr::{MaskWord, XCancelConfig};
+use xhc_scan::XMap;
+
+/// How the engine picks the pivot scan cell within the chosen count class.
+///
+/// The paper "randomly select\[s\] one of 3 scan cells"; thanks to
+/// inter-correlation the class members usually share the same X pattern
+/// set, so the choice rarely matters — the ablation bench quantifies this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellSelection {
+    /// The class member with the lowest linear index (deterministic).
+    First,
+    /// A seeded random class member (deterministic per seed).
+    Seeded(u64),
+    /// The class member with the most X's over the *whole* pattern set
+    /// (a globally-informed tie-break).
+    GlobalMaxX,
+}
+
+/// How the engine chooses *which* split to attempt each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitStrategy {
+    /// The paper's rule: the pivot class with the most cells, over all
+    /// partitions (ties: higher X count, lower partition index).
+    #[default]
+    LargestClass,
+    /// An extension beyond the paper: evaluate the cost of splitting on a
+    /// representative of *every* count class (including singletons) in
+    /// every partition and take the cheapest. One extra analysis pass per
+    /// candidate; can beat the greedy rule on weakly-correlated profiles.
+    BestCost,
+}
+
+/// One accepted partitioning round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// 1-based round number.
+    pub round: usize,
+    /// Index (at the time of the split) of the partition that was split.
+    pub split_partition: usize,
+    /// Linear index of the pivot scan cell.
+    pub pivot_cell: usize,
+    /// The pivot class's X count.
+    pub class_count: usize,
+    /// The pivot class's size (number of cells).
+    pub class_size: usize,
+    /// Total cost after the split.
+    pub cost_after: HybridCost,
+}
+
+/// The result of running the partitioning engine.
+#[derive(Debug, Clone)]
+pub struct PartitionOutcome {
+    /// Final partitions (each a set of pattern indices; disjoint, covering
+    /// all patterns).
+    pub partitions: Vec<PatternSet>,
+    /// The fault-coverage-safe mask word of each partition.
+    pub masks: Vec<MaskWord>,
+    /// Final cost.
+    pub cost: HybridCost,
+    /// Cost before any split (a single partition over all patterns).
+    pub initial_cost: HybridCost,
+    /// Accepted rounds, in order.
+    pub rounds: Vec<RoundRecord>,
+}
+
+impl PartitionOutcome {
+    /// X's removed by masking.
+    pub fn masked_x(&self) -> usize {
+        self.cost.masked_x
+    }
+
+    /// X's shifted into the X-canceling MISR.
+    pub fn leaked_x(&self) -> usize {
+        self.cost.leaked_x
+    }
+}
+
+/// Per-partition incremental state: everything a round needs without
+/// re-analyzing unchanged partitions.
+#[derive(Debug, Clone)]
+struct PartitionInfo {
+    patterns: PatternSet,
+    masked_x: usize,
+    /// `(class_size, class_count, pivot cells)` of the pivot class, if any.
+    candidate: Option<(usize, usize, Vec<usize>)>,
+    /// One representative per count class with `0 < count < |patterns|`:
+    /// `(count, representative cell, class size)`. Used by
+    /// [`SplitStrategy::BestCost`].
+    class_reps: Vec<(usize, usize, usize)>,
+}
+
+impl PartitionInfo {
+    fn compute(xmap: &XMap, patterns: PatternSet) -> Self {
+        let analysis = CorrelationAnalysis::analyze(xmap, &patterns);
+        let masked_x = analysis.fully_x_cells().len() * patterns.card();
+        let candidate = analysis
+            .pivot_class()
+            .map(|(count, cells)| (cells.len(), count, cells.to_vec()));
+        let card = patterns.card();
+        let class_reps = analysis
+            .classes()
+            .filter(|&(count, _)| count > 0 && count < card)
+            .map(|(count, cells)| (count, cells[0], cells.len()))
+            .collect();
+        PartitionInfo {
+            patterns,
+            masked_x,
+            candidate,
+            class_reps,
+        }
+    }
+}
+
+/// The paper's partitioning engine: iterative binary splits on
+/// inter-correlated scan cells, gated by the control-bit cost function.
+///
+/// # Examples
+///
+/// Reproducing the paper's Fig. 5/6 worked example (m = 10, q = 2):
+///
+/// ```
+/// use xhc_core::{CellSelection, PartitionEngine};
+/// use xhc_misr::XCancelConfig;
+/// use xhc_scan::{CellId, ScanConfig, XMapBuilder};
+///
+/// let cfg = ScanConfig::uniform(5, 3);
+/// let mut b = XMapBuilder::new(cfg, 8);
+/// for p in [0, 3, 4, 5] {
+///     b.add_x(CellId::new(0, 0), p);
+///     b.add_x(CellId::new(1, 0), p);
+///     b.add_x(CellId::new(2, 0), p);
+/// }
+/// for p in [0, 4] { b.add_x(CellId::new(1, 2), p); }
+/// for p in [0, 1, 2, 3, 4, 6, 7] { b.add_x(CellId::new(3, 2), p); }
+/// for p in [0, 1, 3, 4, 6, 7] { b.add_x(CellId::new(4, 1), p); }
+/// b.add_x(CellId::new(4, 2), 5);
+/// let xmap = b.finish();
+///
+/// let outcome = PartitionEngine::new(XCancelConfig::new(10, 2)).run(&xmap);
+/// assert_eq!(outcome.partitions.len(), 3);
+/// assert_eq!(outcome.masked_x(), 23);
+/// assert_eq!(outcome.leaked_x(), 5);
+/// assert_eq!(outcome.cost.total_ceil(), 58);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PartitionEngine {
+    cancel: XCancelConfig,
+    policy: CellSelection,
+    strategy: SplitStrategy,
+    cost_stop: bool,
+    max_rounds: Option<usize>,
+}
+
+impl PartitionEngine {
+    /// An engine with the paper's defaults: deterministic first-cell
+    /// selection, largest-class splits and the cost-function stop rule.
+    pub fn new(cancel: XCancelConfig) -> Self {
+        PartitionEngine {
+            cancel,
+            policy: CellSelection::First,
+            strategy: SplitStrategy::LargestClass,
+            cost_stop: true,
+            max_rounds: None,
+        }
+    }
+
+    /// Sets the pivot-cell selection policy.
+    pub fn with_policy(mut self, policy: CellSelection) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the split-selection strategy (see [`SplitStrategy`]).
+    pub fn with_strategy(mut self, strategy: SplitStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Disables the cost-function stop: partitioning runs until no
+    /// partition is splittable (used by the depth-sweep ablation).
+    pub fn without_cost_stop(mut self) -> Self {
+        self.cost_stop = false;
+        self
+    }
+
+    /// Caps the number of accepted rounds.
+    pub fn with_max_rounds(mut self, rounds: usize) -> Self {
+        self.max_rounds = Some(rounds);
+        self
+    }
+
+    /// The X-canceling configuration the cost function uses.
+    pub fn cancel_config(&self) -> XCancelConfig {
+        self.cancel
+    }
+
+    /// Runs the partitioning on an X map.
+    ///
+    /// Starts from the single all-pattern partition; each round picks,
+    /// over all current partitions, the pivot class with the most cells
+    /// (ties: higher X count, then lower partition index), splits that
+    /// partition by the selected cell's X pattern set, and — when the cost
+    /// stop is active — accepts the split only if the total control-bit
+    /// cost strictly decreases.
+    pub fn run(&self, xmap: &XMap) -> PartitionOutcome {
+        let num_patterns = xmap.num_patterns();
+        let total_x = xmap.total_x();
+        let word_bits = xmap.config().mask_word_bits() as u128;
+        let mut rng = match self.policy {
+            CellSelection::Seeded(seed) => Some(StdRng::seed_from_u64(seed)),
+            _ => None,
+        };
+
+        let mut infos = vec![PartitionInfo::compute(xmap, PatternSet::all(num_patterns))];
+        let cost_of = |infos: &[PartitionInfo]| -> HybridCost {
+            let masked_x: usize = infos.iter().map(|i| i.masked_x).sum();
+            let leaked_x = total_x - masked_x;
+            HybridCost {
+                masking_bits: word_bits * infos.len() as u128,
+                canceling_bits: self.cancel.control_bits(leaked_x),
+                masked_x,
+                leaked_x,
+                num_partitions: infos.len(),
+            }
+        };
+
+        let initial_cost = cost_of(&infos);
+        let mut cost = initial_cost.clone();
+        let mut rounds = Vec::new();
+
+        loop {
+            if let Some(max) = self.max_rounds {
+                if rounds.len() >= max {
+                    break;
+                }
+            }
+            // Evaluate one split candidate: returns the successor infos
+            // and cost for splitting partition `pi` on `pivot_cell`.
+            let try_split = |infos: &[PartitionInfo], pi: usize, pivot_cell: usize| {
+                let cell = xmap.config().cell_at(pivot_cell);
+                let xset = xmap.xset(cell).expect("pivot cell captures X");
+                let (with_x, without_x) = infos[pi].patterns.split_by(xset);
+                debug_assert!(!with_x.is_empty() && !without_x.is_empty());
+                let info_x = PartitionInfo::compute(xmap, with_x);
+                let info_nx = PartitionInfo::compute(xmap, without_x);
+                let mut next_infos = infos.to_vec();
+                next_infos[pi] = info_x;
+                next_infos.insert(pi + 1, info_nx);
+                let next_cost = cost_of(&next_infos);
+                (next_infos, next_cost)
+            };
+
+            let chosen = match self.strategy {
+                SplitStrategy::LargestClass => {
+                    // The paper's rule: largest pivot class wins.
+                    let Some((pi, class_size, class_count)) = infos
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, info)| {
+                            info.candidate
+                                .as_ref()
+                                .map(|(size, count, _)| (i, *size, *count))
+                        })
+                        .max_by(|a, b| {
+                            (a.1, a.2, std::cmp::Reverse(a.0)).cmp(&(
+                                b.1,
+                                b.2,
+                                std::cmp::Reverse(b.0),
+                            ))
+                        })
+                    else {
+                        break;
+                    };
+                    let cells = infos[pi]
+                        .candidate
+                        .as_ref()
+                        .map(|(_, _, cells)| cells.clone())
+                        .expect("candidate present");
+                    let pivot_cell = match self.policy {
+                        CellSelection::First => cells[0],
+                        CellSelection::Seeded(_) => *cells
+                            .choose(rng.as_mut().expect("seeded rng"))
+                            .expect("class is non-empty"),
+                        CellSelection::GlobalMaxX => cells
+                            .iter()
+                            .copied()
+                            .max_by_key(|&c| {
+                                let cell = xmap.config().cell_at(c);
+                                xmap.x_count(cell)
+                            })
+                            .expect("class is non-empty"),
+                    };
+                    let (next_infos, next_cost) = try_split(&infos, pi, pivot_cell);
+                    Some((
+                        pi,
+                        pivot_cell,
+                        class_count,
+                        class_size,
+                        next_infos,
+                        next_cost,
+                    ))
+                }
+                SplitStrategy::BestCost => {
+                    // Extension: evaluate every class representative and
+                    // keep the cheapest successor.
+                    let mut best: Option<(
+                        usize,
+                        usize,
+                        usize,
+                        usize,
+                        Vec<PartitionInfo>,
+                        HybridCost,
+                    )> = None;
+                    for (pi, info) in infos.iter().enumerate() {
+                        for &(count, rep, size) in &info.class_reps {
+                            let (next_infos, next_cost) = try_split(&infos, pi, rep);
+                            let better = best
+                                .as_ref()
+                                .is_none_or(|(_, _, _, _, _, c)| next_cost.total() < c.total());
+                            if better {
+                                best = Some((pi, rep, count, size, next_infos, next_cost));
+                            }
+                        }
+                    }
+                    best
+                }
+            };
+            let Some((pi, pivot_cell, class_count, class_size, next_infos, next_cost)) = chosen
+            else {
+                break;
+            };
+
+            if self.cost_stop && next_cost.total() >= cost.total() {
+                break;
+            }
+            rounds.push(RoundRecord {
+                round: rounds.len() + 1,
+                split_partition: pi,
+                pivot_cell,
+                class_count,
+                class_size,
+                cost_after: next_cost.clone(),
+            });
+            infos = next_infos;
+            cost = next_cost;
+        }
+
+        let partitions: Vec<PatternSet> = infos.into_iter().map(|i| i.patterns).collect();
+        let (final_cost, masks) = hybrid_cost_with_masks(xmap, &partitions, self.cancel);
+        debug_assert!((final_cost.total() - cost.total()).abs() < 1e-6);
+        PartitionOutcome {
+            partitions,
+            masks,
+            cost: final_cost,
+            initial_cost,
+            rounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xhc_scan::{CellId, ScanConfig, XMapBuilder};
+
+    fn fig4_xmap() -> XMap {
+        let cfg = ScanConfig::uniform(5, 3);
+        let mut b = XMapBuilder::new(cfg, 8);
+        for p in [0, 3, 4, 5] {
+            b.add_x(CellId::new(0, 0), p);
+            b.add_x(CellId::new(1, 0), p);
+            b.add_x(CellId::new(2, 0), p);
+        }
+        for p in [0, 4] {
+            b.add_x(CellId::new(1, 2), p);
+        }
+        for p in [0, 1, 2, 3, 4, 6, 7] {
+            b.add_x(CellId::new(3, 2), p);
+        }
+        for p in [0, 1, 3, 4, 6, 7] {
+            b.add_x(CellId::new(4, 1), p);
+        }
+        b.add_x(CellId::new(4, 2), 5);
+        b.finish()
+    }
+
+    #[test]
+    fn fig5_full_run_m10_q2() {
+        // The paper's main worked example: two rounds, final partitions
+        // {P2,P3,P7,P8}, {P1,P4,P5}, {P6}; 23 masked, 5 leaked, 58 bits.
+        let xmap = fig4_xmap();
+        let outcome = PartitionEngine::new(XCancelConfig::new(10, 2)).run(&xmap);
+        assert_eq!(outcome.rounds.len(), 2);
+        assert_eq!(outcome.partitions.len(), 3);
+        let got: std::collections::BTreeSet<Vec<usize>> = outcome
+            .partitions
+            .iter()
+            .map(|p| p.iter().collect())
+            .collect();
+        let want: std::collections::BTreeSet<Vec<usize>> =
+            [vec![1usize, 2, 6, 7], vec![0, 3, 4], vec![5]]
+                .into_iter()
+                .collect();
+        assert_eq!(got, want);
+        assert_eq!(outcome.masked_x(), 23);
+        assert_eq!(outcome.leaked_x(), 5);
+        assert_eq!(outcome.cost.total_ceil(), 58);
+        assert_eq!(outcome.cost.masking_bits, 45);
+        // Round 1 split the whole set on SC1[0] (linear 0); round 2 split
+        // partition with X's on SC4[2] (linear 11).
+        assert_eq!(outcome.rounds[0].pivot_cell, 0);
+        assert_eq!(outcome.rounds[0].class_size, 3);
+        assert_eq!(outcome.rounds[0].class_count, 4);
+        assert_eq!(outcome.rounds[1].pivot_cell, 11);
+        assert_eq!(outcome.rounds[1].class_size, 2);
+        assert_eq!(outcome.rounds[1].class_count, 3);
+    }
+
+    #[test]
+    fn fig5_stops_after_round1_with_m10_q1() {
+        // With m=10, q=1 the cost function stops after round 1 (44 < 51).
+        let xmap = fig4_xmap();
+        let outcome = PartitionEngine::new(XCancelConfig::new(10, 1)).run(&xmap);
+        assert_eq!(outcome.rounds.len(), 1);
+        assert_eq!(outcome.partitions.len(), 2);
+        assert_eq!(outcome.cost.total_ceil(), 44);
+        let got: std::collections::BTreeSet<Vec<usize>> = outcome
+            .partitions
+            .iter()
+            .map(|p| p.iter().collect())
+            .collect();
+        let want: std::collections::BTreeSet<Vec<usize>> =
+            [vec![0usize, 3, 4, 5], vec![1, 2, 6, 7]]
+                .into_iter()
+                .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn partitions_always_partition_the_pattern_set() {
+        let xmap = fig4_xmap();
+        for cancel in [
+            XCancelConfig::new(10, 2),
+            XCancelConfig::new(10, 1),
+            XCancelConfig::new(32, 7),
+        ] {
+            let outcome = PartitionEngine::new(cancel).run(&xmap);
+            let mut union = PatternSet::empty(8);
+            let mut card_sum = 0;
+            for p in &outcome.partitions {
+                assert!(union.is_disjoint_from(p), "partitions overlap");
+                union = union.union(p);
+                card_sum += p.card();
+            }
+            assert_eq!(card_sum, 8);
+            assert_eq!(union, PatternSet::all(8));
+        }
+    }
+
+    #[test]
+    fn masks_never_cover_non_x_values() {
+        // The paper's no-coverage-loss guarantee, checked exhaustively.
+        let xmap = fig4_xmap();
+        let outcome = PartitionEngine::new(XCancelConfig::new(10, 2)).run(&xmap);
+        for (mask, part) in outcome.masks.iter().zip(&outcome.partitions) {
+            for idx in 0..xmap.config().total_cells() {
+                if mask.masks(idx) {
+                    let cell = xmap.config().cell_at(idx);
+                    for p in part.iter() {
+                        assert!(
+                            xmap.is_x(p, cell),
+                            "mask covers non-X value of {cell} at pattern {p}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn without_cost_stop_runs_until_unsplittable() {
+        let xmap = fig4_xmap();
+        let outcome = PartitionEngine::new(XCancelConfig::new(10, 1))
+            .without_cost_stop()
+            .run(&xmap);
+        // q=1 cost stop would stop at round 1; without it we reach the
+        // fully-split state (3 partitions, like the q=2 run).
+        assert_eq!(outcome.partitions.len(), 3);
+    }
+
+    #[test]
+    fn max_rounds_caps_splits() {
+        let xmap = fig4_xmap();
+        let outcome = PartitionEngine::new(XCancelConfig::new(10, 2))
+            .with_max_rounds(1)
+            .run(&xmap);
+        assert_eq!(outcome.rounds.len(), 1);
+        assert_eq!(outcome.partitions.len(), 2);
+    }
+
+    #[test]
+    fn selection_policies_agree_on_fig4() {
+        // The three count-4 cells share an identical X pattern set, so any
+        // selection policy yields the same partitions.
+        let xmap = fig4_xmap();
+        let base = PartitionEngine::new(XCancelConfig::new(10, 2)).run(&xmap);
+        for policy in [CellSelection::Seeded(99), CellSelection::GlobalMaxX] {
+            let other = PartitionEngine::new(XCancelConfig::new(10, 2))
+                .with_policy(policy)
+                .run(&xmap);
+            let a: std::collections::BTreeSet<Vec<usize>> =
+                base.partitions.iter().map(|p| p.iter().collect()).collect();
+            let b: std::collections::BTreeSet<Vec<usize>> = other
+                .partitions
+                .iter()
+                .map(|p| p.iter().collect())
+                .collect();
+            assert_eq!(a, b, "{policy:?} diverged");
+        }
+    }
+
+    #[test]
+    fn x_free_map_yields_single_partition() {
+        let cfg = ScanConfig::uniform(2, 2);
+        let xmap = XMapBuilder::new(cfg, 5).finish();
+        let outcome = PartitionEngine::new(XCancelConfig::new(8, 2)).run(&xmap);
+        assert_eq!(outcome.partitions.len(), 1);
+        assert_eq!(outcome.masked_x(), 0);
+        assert_eq!(outcome.leaked_x(), 0);
+        assert!(outcome.rounds.is_empty());
+    }
+
+    #[test]
+    fn best_cost_strategy_never_worse_on_fig4() {
+        let xmap = fig4_xmap();
+        for cancel in [XCancelConfig::new(10, 2), XCancelConfig::new(10, 1)] {
+            let greedy = PartitionEngine::new(cancel).run(&xmap);
+            let best = PartitionEngine::new(cancel)
+                .with_strategy(SplitStrategy::BestCost)
+                .run(&xmap);
+            assert!(
+                best.cost.total() <= greedy.cost.total() + 1e-9,
+                "BestCost {} must be <= greedy {}",
+                best.cost.total(),
+                greedy.cost.total()
+            );
+            // Invariants still hold.
+            let card: usize = best.partitions.iter().map(PatternSet::card).sum();
+            assert_eq!(card, 8);
+            assert_eq!(best.masked_x() + best.leaked_x(), xmap.total_x());
+        }
+    }
+
+    #[test]
+    fn best_cost_can_pivot_on_singleton_classes() {
+        // A map where the only worthwhile pivot is a singleton class: one
+        // dominant cell with X's in half the patterns, all other cells
+        // unique counts. The paper's rule cannot split (no class >= 2);
+        // BestCost can.
+        let cfg = ScanConfig::uniform(1, 4);
+        let mut b = XMapBuilder::new(cfg, 40);
+        // Dominant cell: X under patterns 0..20.
+        for p in 0..20 {
+            b.add_x(CellId::new(0, 0), p);
+        }
+        // Unique-count companions fully inside the dominant set.
+        for p in 0..5 {
+            b.add_x(CellId::new(0, 1), p);
+        }
+        for p in 0..9 {
+            b.add_x(CellId::new(0, 2), p);
+        }
+        let xmap = b.finish();
+        let cancel = XCancelConfig::new(4, 2);
+        let greedy = PartitionEngine::new(cancel).run(&xmap);
+        assert_eq!(greedy.partitions.len(), 1, "paper's rule cannot split");
+        let best = PartitionEngine::new(cancel)
+            .with_strategy(SplitStrategy::BestCost)
+            .run(&xmap);
+        assert!(
+            best.partitions.len() > 1,
+            "BestCost splits on the singleton"
+        );
+        assert!(best.cost.total() < greedy.cost.total());
+        assert!(best.masked_x() >= 20);
+    }
+
+    #[test]
+    fn cost_trace_is_strictly_decreasing_with_cost_stop() {
+        let xmap = fig4_xmap();
+        let outcome = PartitionEngine::new(XCancelConfig::new(10, 2)).run(&xmap);
+        let mut prev = outcome.initial_cost.total();
+        for r in &outcome.rounds {
+            assert!(r.cost_after.total() < prev);
+            prev = r.cost_after.total();
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Toggle-based masking baseline (the paper's related work \[15, 16\]).
+//!
+//! Toggle masking encodes, per scan chain per pattern, one contiguous
+//! masked interval: the mask signal toggles on and off once during the
+//! unload, so only `2·⌈log₂(L+1)⌉` control bits per chain per pattern are
+//! needed instead of `L`. It exploits *intra*-correlation (clustered X's
+//! along a chain) where the paper's method exploits *inter*-correlation
+//! (the same cells across patterns) — implementing it makes the two
+//! regimes directly comparable.
+
+use xhc_misr::XCancelConfig;
+use xhc_scan::XMap;
+
+/// Which X's a toggle interval may cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TogglePolicy {
+    /// The interval must be all-X (no observable value lost); it covers
+    /// the longest all-X run of the chain slice.
+    Conservative,
+    /// The interval spans from the first to the last X of the chain slice,
+    /// masking any non-X values in between (observability loss, as in
+    /// \[15, 16\] — which is why those schemes need fault-simulation
+    /// feedback).
+    Aggressive,
+}
+
+/// The accounting of a toggle-masking front end combined with an
+/// X-canceling MISR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToggleMaskReport {
+    /// Toggle control bits: `P · C · 2⌈log₂(L+1)⌉`.
+    pub masking_bits: u128,
+    /// Selective-XOR bits for the X's the intervals do not cover.
+    pub canceling_bits: f64,
+    /// X's removed by the intervals.
+    pub masked_x: usize,
+    /// X's left for the MISR.
+    pub leaked_x: usize,
+    /// Non-X response bits covered by aggressive intervals (0 for
+    /// [`TogglePolicy::Conservative`]).
+    pub lost_observability: usize,
+}
+
+impl ToggleMaskReport {
+    /// Total control bits.
+    pub fn total(&self) -> f64 {
+        self.masking_bits as f64 + self.canceling_bits
+    }
+}
+
+/// Evaluates toggle masking + X-canceling on an X map.
+///
+/// Builds, for every (pattern, chain), the X position list; the interval
+/// chosen per the policy removes its X's, the rest leak into the MISR.
+///
+/// # Examples
+///
+/// ```
+/// use xhc_core::{toggle_masking, TogglePolicy};
+/// use xhc_misr::XCancelConfig;
+/// use xhc_scan::{CellId, ScanConfig, XMapBuilder};
+///
+/// // A chain with X's at adjacent positions 1,2: one interval covers both.
+/// let cfg = ScanConfig::uniform(1, 4);
+/// let mut b = XMapBuilder::new(cfg, 1);
+/// b.add_x(CellId::new(0, 1), 0);
+/// b.add_x(CellId::new(0, 2), 0);
+/// let xmap = b.finish();
+/// let report = toggle_masking(&xmap, XCancelConfig::new(8, 2), TogglePolicy::Conservative);
+/// assert_eq!(report.masked_x, 2);
+/// assert_eq!(report.leaked_x, 0);
+/// assert_eq!(report.lost_observability, 0);
+/// ```
+pub fn toggle_masking(
+    xmap: &XMap,
+    cancel: XCancelConfig,
+    policy: TogglePolicy,
+) -> ToggleMaskReport {
+    let config = xmap.config();
+    let patterns = xmap.num_patterns();
+    let chains = config.num_chains();
+    let l = config.max_chain_len();
+    let addr_bits = usize::BITS as usize - (l + 1).leading_zeros() as usize; // ceil(log2(L+1))
+    let masking_bits = (patterns as u128) * (chains as u128) * 2 * addr_bits as u128;
+
+    // Per (pattern, chain): sorted X positions.
+    let mut positions: std::collections::HashMap<(usize, usize), Vec<usize>> =
+        std::collections::HashMap::new();
+    for (cell, xs) in xmap.iter() {
+        for p in xs.iter() {
+            positions
+                .entry((p, cell.chain as usize))
+                .or_default()
+                .push(cell.position as usize);
+        }
+    }
+
+    let mut masked_x = 0usize;
+    let mut lost = 0usize;
+    for list in positions.values_mut() {
+        list.sort_unstable();
+        match policy {
+            TogglePolicy::Conservative => {
+                // Longest run of consecutive positions.
+                let mut best = 0usize;
+                let mut run = 1usize;
+                for w in list.windows(2) {
+                    if w[1] == w[0] + 1 {
+                        run += 1;
+                    } else {
+                        best = best.max(run);
+                        run = 1;
+                    }
+                }
+                masked_x += best.max(run);
+            }
+            TogglePolicy::Aggressive => {
+                let span = list.last().expect("non-empty") - list.first().expect("non-empty") + 1;
+                masked_x += list.len();
+                lost += span - list.len();
+            }
+        }
+    }
+
+    let leaked_x = xmap.total_x() - masked_x;
+    ToggleMaskReport {
+        masking_bits,
+        canceling_bits: cancel.control_bits(leaked_x),
+        masked_x,
+        leaked_x,
+        lost_observability: lost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xhc_scan::{CellId, ScanConfig, XMapBuilder};
+
+    fn map_with(chain_positions: &[(usize, usize, usize)], patterns: usize) -> XMap {
+        // (chain, position, pattern)
+        let max_chain = chain_positions
+            .iter()
+            .map(|&(c, _, _)| c)
+            .max()
+            .unwrap_or(0);
+        let max_pos = chain_positions
+            .iter()
+            .map(|&(_, p, _)| p)
+            .max()
+            .unwrap_or(0);
+        let cfg = ScanConfig::uniform(max_chain + 1, max_pos + 1);
+        let mut b = XMapBuilder::new(cfg, patterns);
+        for &(c, pos, pat) in chain_positions {
+            b.add_x(CellId::new(c, pos), pat);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn conservative_takes_longest_run() {
+        // Positions 0,1 and 3,4,5 in one chain: longest run = 3.
+        let xmap = map_with(&[(0, 0, 0), (0, 1, 0), (0, 3, 0), (0, 4, 0), (0, 5, 0)], 1);
+        let r = toggle_masking(&xmap, XCancelConfig::new(8, 2), TogglePolicy::Conservative);
+        assert_eq!(r.masked_x, 3);
+        assert_eq!(r.leaked_x, 2);
+        assert_eq!(r.lost_observability, 0);
+    }
+
+    #[test]
+    fn aggressive_masks_all_but_loses_gaps() {
+        let xmap = map_with(&[(0, 0, 0), (0, 1, 0), (0, 3, 0), (0, 4, 0), (0, 5, 0)], 1);
+        let r = toggle_masking(&xmap, XCancelConfig::new(8, 2), TogglePolicy::Aggressive);
+        assert_eq!(r.masked_x, 5);
+        assert_eq!(r.leaked_x, 0);
+        // Span 0..=5 covers 6 slots for 5 X's -> one non-X lost.
+        assert_eq!(r.lost_observability, 1);
+    }
+
+    #[test]
+    fn control_bits_formula() {
+        // L = 6 -> ceil(log2(7)) = 3 address bits; 2 chains, 4 patterns:
+        // 4 * 2 * 2 * 3 = 48 bits.
+        let cfg = ScanConfig::uniform(2, 6);
+        let xmap = XMapBuilder::new(cfg, 4).finish();
+        let r = toggle_masking(&xmap, XCancelConfig::new(8, 2), TogglePolicy::Conservative);
+        assert_eq!(r.masking_bits, 48);
+        assert_eq!(r.masked_x, 0);
+        assert_eq!(r.leaked_x, 0);
+    }
+
+    #[test]
+    fn intra_correlated_map_suits_toggle_masking() {
+        // Clustered X's (one contiguous block per pattern) are fully
+        // removed by toggle masking with zero loss.
+        let mut entries = Vec::new();
+        for pat in 0..4 {
+            for pos in 2..7 {
+                entries.push((0usize, pos, pat));
+            }
+        }
+        let xmap = map_with(&entries, 4);
+        let r = toggle_masking(&xmap, XCancelConfig::new(8, 2), TogglePolicy::Conservative);
+        assert_eq!(r.masked_x, 20);
+        assert_eq!(r.leaked_x, 0);
+    }
+
+    #[test]
+    fn scattered_map_defeats_conservative_toggle() {
+        // Alternating X / non-X positions: runs of length 1 only.
+        let entries: Vec<(usize, usize, usize)> = (0..5).map(|i| (0usize, 2 * i, 0usize)).collect();
+        let xmap = map_with(&entries, 1);
+        let r = toggle_masking(&xmap, XCancelConfig::new(8, 2), TogglePolicy::Conservative);
+        assert_eq!(r.masked_x, 1);
+        assert_eq!(r.leaked_x, 4);
+    }
+}

@@ -1,0 +1,92 @@
+//! The single stuck-at fault model.
+
+use std::fmt;
+use xhc_logic::{Netlist, Node, NodeId, Trit};
+
+/// A single stuck-at fault on a node's output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fault {
+    /// The faulty node (its output stem).
+    pub node: NodeId,
+    /// The stuck value: `true` = stuck-at-1, `false` = stuck-at-0.
+    pub stuck_at_one: bool,
+}
+
+impl Fault {
+    /// Stuck-at-0 at `node`.
+    pub fn sa0(node: NodeId) -> Self {
+        Fault {
+            node,
+            stuck_at_one: false,
+        }
+    }
+
+    /// Stuck-at-1 at `node`.
+    pub fn sa1(node: NodeId) -> Self {
+        Fault {
+            node,
+            stuck_at_one: true,
+        }
+    }
+
+    /// The value the fault forces.
+    pub fn forced_value(&self) -> Trit {
+        Trit::from_bool(self.stuck_at_one)
+    }
+
+    /// The value that activates the fault (the fault-free circuit must
+    /// drive the node to this for the fault to matter).
+    pub fn activation_value(&self) -> Trit {
+        Trit::from_bool(!self.stuck_at_one)
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/sa{}", self.node, u8::from(self.stuck_at_one))
+    }
+}
+
+/// Enumerates the full uncollapsed stuck-at universe: sa0 and sa1 on every
+/// input, gate, tri-state and bus output (constants and flop outputs are
+/// excluded — flop faults are equivalent to faults on their D fan-in for
+/// scan test, and a stuck constant is meaningless).
+pub fn all_output_faults(netlist: &Netlist) -> Vec<Fault> {
+    let mut faults = Vec::new();
+    for (id, node) in netlist.iter_nodes() {
+        let fault_site = matches!(
+            node,
+            Node::Input(_) | Node::Gate { .. } | Node::TriBuf { .. } | Node::Bus { .. }
+        );
+        if fault_site {
+            faults.push(Fault::sa0(id));
+            faults.push(Fault::sa1(id));
+        }
+    }
+    faults
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xhc_logic::samples;
+
+    #[test]
+    fn c17_fault_universe() {
+        // C17: 5 inputs + 6 gates = 11 sites, 22 faults.
+        let nl = samples::c17();
+        let faults = all_output_faults(&nl);
+        assert_eq!(faults.len(), 22);
+        // Half sa0, half sa1.
+        assert_eq!(faults.iter().filter(|f| f.stuck_at_one).count(), 11);
+    }
+
+    #[test]
+    fn activation_is_opposite_of_forced() {
+        let nl = samples::c17();
+        let f = Fault::sa0(nl.inputs()[3]);
+        assert_eq!(f.forced_value(), Trit::Zero);
+        assert_eq!(f.activation_value(), Trit::One);
+        assert_eq!(f.to_string(), "n3/sa0");
+    }
+}

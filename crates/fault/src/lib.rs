@@ -1,0 +1,36 @@
+//! Stuck-at fault modeling and three-valued fault simulation.
+//!
+//! Fault coverage is the quantity every X-handling scheme must preserve:
+//! an X that reaches the compactor, or a non-X value that gets masked,
+//! both cost detections. This crate provides:
+//!
+//! * [`Fault`] / [`all_output_faults`] — the single stuck-at universe;
+//! * [`fault_coverage`] — serial three-valued fault simulation with fault
+//!   dropping over an `xhc-scan` harness, parameterized by an
+//!   [`Observability`] filter so the same campaign can be scored under
+//!   plain scan-out, X-masking (masked cells unobservable) or an
+//!   X-canceling MISR (only X-free combinations observable).
+//!
+//! The coverage-preservation experiment (`tests/` at the workspace root)
+//! uses this to *demonstrate* the paper's §4 claim — masking only all-X
+//! cells loses no coverage — rather than just asserting it.
+//!
+//! # Examples
+//!
+//! ```
+//! use xhc_fault::{all_output_faults, Fault};
+//! use xhc_logic::samples;
+//!
+//! let c17 = samples::c17();
+//! let faults = all_output_faults(&c17);
+//! assert_eq!(faults.len(), 22); // 11 sites x {sa0, sa1}
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fault;
+mod sim;
+
+pub use fault::{all_output_faults, Fault};
+pub use sim::{fault_coverage, CoverageReport, FullObservability, Observability};

@@ -1,0 +1,242 @@
+//! Serial three-valued fault simulation with fault dropping.
+
+use crate::fault::Fault;
+use xhc_logic::Simulator;
+use xhc_scan::{ScanHarness, TestPattern};
+
+/// Which captured scan cells a compaction scheme lets the tester actually
+/// observe for a given pattern.
+///
+/// * Raw scan-out (no compactor): everything is observable.
+/// * X-masking: masked cells are not observable.
+/// * X-canceling MISR: only cells covered by some X-free combination are
+///   observable.
+pub trait Observability {
+    /// Whether `cell_index` (linear) of pattern `pattern` reaches the
+    /// tester.
+    fn observable(&self, pattern: usize, cell_index: usize) -> bool;
+}
+
+/// Full observability (plain scan-out).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullObservability;
+
+impl Observability for FullObservability {
+    fn observable(&self, _pattern: usize, _cell_index: usize) -> bool {
+        true
+    }
+}
+
+impl<F: Fn(usize, usize) -> bool> Observability for F {
+    fn observable(&self, pattern: usize, cell_index: usize) -> bool {
+        self(pattern, cell_index)
+    }
+}
+
+/// The result of a fault-simulation campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageReport {
+    /// Faults simulated.
+    pub total_faults: usize,
+    /// Faults detected by at least one pattern.
+    pub detected: usize,
+    /// For each fault (input order), the index of the first detecting
+    /// pattern, if any.
+    pub detected_by: Vec<Option<usize>>,
+}
+
+impl CoverageReport {
+    /// Detected / total, in `\[0, 1\]`.
+    pub fn coverage(&self) -> f64 {
+        if self.total_faults == 0 {
+            return 1.0;
+        }
+        self.detected as f64 / self.total_faults as f64
+    }
+}
+
+/// Serial fault simulation with fault dropping.
+///
+/// For every pattern the fault-free circuit is simulated once; every
+/// still-undetected fault is then simulated with the fault forced. A fault
+/// is *detected* by a pattern when some scan cell is observable under the
+/// supplied [`Observability`], captures a known value in both machines,
+/// and the values differ. A captured X never detects anything — that is
+/// precisely how X's cost fault coverage and why X-handling schemes that
+/// drop non-X values must re-run this analysis, while the paper's hybrid
+/// does not.
+///
+/// # Examples
+///
+/// ```
+/// use xhc_fault::{all_output_faults, fault_coverage, FullObservability};
+/// use xhc_logic::{samples, Trit};
+/// use xhc_scan::{ScanConfig, ScanHarness, TestPattern};
+///
+/// let (netlist, scan_flops) = samples::x_prone_sequential();
+/// let harness = ScanHarness::new(&netlist, ScanConfig::uniform(2, 2), scan_flops)?;
+/// let faults = all_output_faults(&netlist);
+/// let patterns = vec![TestPattern::zeros(4, 3)];
+/// let report = fault_coverage(&harness, &patterns, &faults, &FullObservability);
+/// assert!(report.coverage() <= 1.0);
+/// # Ok::<(), xhc_scan::HarnessError>(())
+/// ```
+pub fn fault_coverage<O: Observability>(
+    harness: &ScanHarness<'_>,
+    patterns: &[TestPattern],
+    faults: &[Fault],
+    obs: &O,
+) -> CoverageReport {
+    let mut detected_by: Vec<Option<usize>> = vec![None; faults.len()];
+    let mut undetected: Vec<usize> = (0..faults.len()).collect();
+    let mut good_sim = Simulator::new(harness.netlist());
+    let mut bad_sim = Simulator::new(harness.netlist());
+
+    for (p, pattern) in patterns.iter().enumerate() {
+        if undetected.is_empty() {
+            break;
+        }
+        let good = harness.apply(&mut good_sim, pattern);
+        undetected.retain(|&fi| {
+            let fault = faults[fi];
+            let forced = [(fault.node, fault.forced_value())];
+            let bad = harness.apply_forced(&mut bad_sim, pattern, &forced);
+            let hit = good.iter().zip(&bad).enumerate().any(|(cell, (&g, &b))| {
+                g.is_known() && b.is_known() && g != b && obs.observable(p, cell)
+            });
+            if hit {
+                detected_by[fi] = Some(p);
+            }
+            !hit
+        });
+    }
+
+    let detected = detected_by.iter().filter(|d| d.is_some()).count();
+    CoverageReport {
+        total_faults: faults.len(),
+        detected,
+        detected_by,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::all_output_faults;
+    use xhc_logic::Trit;
+    use xhc_scan::ScanConfig;
+
+    /// A pure-combinational harness for c17: wrap it with 0 scan cells is
+    /// impossible (ScanConfig needs >= 1 cell), so build a tiny sequential
+    /// wrapper capturing the two outputs into two scan flops.
+    fn c17_like_harness() -> (xhc_logic::Netlist, Vec<usize>) {
+        use xhc_logic::{FlopInit, GateKind, NetlistBuilder};
+        let mut b = NetlistBuilder::new();
+        let n1 = b.input();
+        let n2 = b.input();
+        let n3 = b.input();
+        let n6 = b.input();
+        let n7 = b.input();
+        let n10 = b.gate(GateKind::Nand, vec![n1, n3]);
+        let n11 = b.gate(GateKind::Nand, vec![n3, n6]);
+        let n16 = b.gate(GateKind::Nand, vec![n2, n11]);
+        let n19 = b.gate(GateKind::Nand, vec![n11, n7]);
+        let n22 = b.gate(GateKind::Nand, vec![n10, n16]);
+        let n23 = b.gate(GateKind::Nand, vec![n16, n19]);
+        let f0 = b.flop(FlopInit::Zero);
+        let f1 = b.flop(FlopInit::Zero);
+        b.connect_flop_d(f0, n22);
+        b.connect_flop_d(f1, n23);
+        b.output(n22);
+        b.output(n23);
+        let nl = b.finish().unwrap();
+        let flops = vec![nl.flop_index(f0).unwrap(), nl.flop_index(f1).unwrap()];
+        (nl, flops)
+    }
+
+    fn exhaustive_patterns() -> Vec<TestPattern> {
+        (0..32u8)
+            .map(|bits| TestPattern {
+                scan_load: vec![Trit::Zero; 2],
+                inputs: (0..5)
+                    .map(|i| Trit::from_bool(bits >> i & 1 == 1))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn c17_exhaustive_coverage_is_full() {
+        // C17 is fully testable: 32 exhaustive vectors detect all 22
+        // faults observable at the two captured outputs.
+        let (nl, flops) = c17_like_harness();
+        let harness = ScanHarness::new(&nl, ScanConfig::uniform(2, 1), flops).unwrap();
+        let faults: Vec<Fault> = all_output_faults(&nl);
+        let report = fault_coverage(
+            &harness,
+            &exhaustive_patterns(),
+            &faults,
+            &FullObservability,
+        );
+        assert_eq!(
+            report.coverage(),
+            1.0,
+            "undetected: {:?}",
+            report
+                .detected_by
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.is_none())
+                .map(|(i, _)| faults[i])
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn zero_observability_detects_nothing() {
+        let (nl, flops) = c17_like_harness();
+        let harness = ScanHarness::new(&nl, ScanConfig::uniform(2, 1), flops).unwrap();
+        let faults = all_output_faults(&nl);
+        let blind = |_: usize, _: usize| false;
+        let report = fault_coverage(&harness, &exhaustive_patterns(), &faults, &blind);
+        assert_eq!(report.detected, 0);
+        assert_eq!(report.coverage(), 0.0);
+    }
+
+    #[test]
+    fn masking_one_cell_loses_its_faults_only() {
+        let (nl, flops) = c17_like_harness();
+        let harness = ScanHarness::new(&nl, ScanConfig::uniform(2, 1), flops).unwrap();
+        let faults = all_output_faults(&nl);
+        // Observe only cell 1 (n23's capture).
+        let only_cell1 = |_: usize, cell: usize| cell == 1;
+        let report = fault_coverage(&harness, &exhaustive_patterns(), &faults, &only_cell1);
+        // Strictly between zero and full: n22-only faults are lost.
+        assert!(report.detected > 0);
+        assert!(report.detected < report.total_faults);
+    }
+
+    #[test]
+    fn fault_dropping_records_first_detection() {
+        let (nl, flops) = c17_like_harness();
+        let harness = ScanHarness::new(&nl, ScanConfig::uniform(2, 1), flops).unwrap();
+        let faults = all_output_faults(&nl);
+        let report = fault_coverage(
+            &harness,
+            &exhaustive_patterns(),
+            &faults,
+            &FullObservability,
+        );
+        for d in report.detected_by.iter().flatten() {
+            assert!(*d < 32);
+        }
+    }
+
+    #[test]
+    fn empty_fault_list_is_vacuously_covered() {
+        let (nl, flops) = c17_like_harness();
+        let harness = ScanHarness::new(&nl, ScanConfig::uniform(2, 1), flops).unwrap();
+        let report = fault_coverage(&harness, &exhaustive_patterns(), &[], &FullObservability);
+        assert_eq!(report.coverage(), 1.0);
+    }
+}

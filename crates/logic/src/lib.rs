@@ -1,0 +1,52 @@
+//! Gate-level netlists and three-valued (0/1/X) logic simulation.
+//!
+//! This crate is the circuit substrate of the `xhybrid` workspace. Test
+//! responses with unknown (X) values do not fall from the sky: they are
+//! produced by real logic with uninitialized state, floating tri-states and
+//! bus contention. This crate models all three X sources the paper lists
+//! and simulates them faithfully with Kleene three-valued logic.
+//!
+//! * [`Trit`] — the 0/1/X value type, plus tri-state [`Drive`]s and bus
+//!   resolution ([`resolve_bus`]).
+//! * [`NetlistBuilder`] / [`Netlist`] — gate-level circuit construction and
+//!   validation (arity checks, connected flops, combinational acyclicity).
+//! * [`Simulator`] — levelized three-valued simulation with direct flop
+//!   state access for scan.
+//! * [`samples`] — small reference circuits (ISCAS-85 C17, a full adder,
+//!   an X-prone sequential design).
+//! * [`generate`] — seeded random circuit generation with controllable
+//!   X-source density.
+//!
+//! # Examples
+//!
+//! ```
+//! use xhc_logic::{NetlistBuilder, Simulator, Trit};
+//!
+//! // A floating tri-state bus produces an X.
+//! let mut b = NetlistBuilder::new();
+//! let en = b.input();
+//! let data = b.input();
+//! let t = b.tribuf(en, data);
+//! let bus = b.bus(vec![t]);
+//! b.output(bus);
+//! let nl = b.finish()?;
+//!
+//! let mut sim = Simulator::new(&nl);
+//! sim.eval(&[Trit::Zero, Trit::One]); // driver disabled
+//! assert_eq!(sim.outputs(), vec![Trit::X]);
+//! # Ok::<(), xhc_logic::BuildError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod netlist;
+mod sim;
+mod trit;
+
+pub mod generate;
+pub mod samples;
+
+pub use netlist::{BuildError, FlopInit, GateKind, Netlist, NetlistBuilder, Node, NodeId};
+pub use sim::Simulator;
+pub use trit::{resolve_bus, tristate, Drive, Trit};

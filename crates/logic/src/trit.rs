@@ -1,0 +1,317 @@
+//! Three-valued (0 / 1 / X) logic values.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A three-valued logic value: `0`, `1`, or unknown (`X`).
+///
+/// `X` models the unknown values that corrupt test-response compaction:
+/// uninitialized memory elements, bus contention and floating tri-states
+/// all evaluate to `X`. Gate semantics follow Kleene's strong three-valued
+/// logic, which is what commercial logic/fault simulators use for scan
+/// test: a controlling value dominates an `X` (`0 AND X = 0`), a
+/// non-controlling value does not (`1 AND X = X`).
+///
+/// # Examples
+///
+/// ```
+/// use xhc_logic::Trit;
+///
+/// assert_eq!(Trit::Zero & Trit::X, Trit::Zero);
+/// assert_eq!(Trit::One & Trit::X, Trit::X);
+/// assert_eq!(Trit::One | Trit::X, Trit::One);
+/// assert_eq!(Trit::One ^ Trit::X, Trit::X);
+/// assert_eq!(!Trit::X, Trit::X);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Trit {
+    /// Logic 0.
+    #[default]
+    Zero,
+    /// Logic 1.
+    One,
+    /// Unknown.
+    X,
+}
+
+impl Trit {
+    /// Converts a `bool` to a known trit.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Trit::One
+        } else {
+            Trit::Zero
+        }
+    }
+
+    /// Returns `Some(bool)` for a known value, `None` for `X`.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Trit::Zero => Some(false),
+            Trit::One => Some(true),
+            Trit::X => None,
+        }
+    }
+
+    /// Whether the value is unknown.
+    pub fn is_x(self) -> bool {
+        self == Trit::X
+    }
+
+    /// Whether the value is `0` or `1`.
+    pub fn is_known(self) -> bool {
+        self != Trit::X
+    }
+
+    /// The single-character display form: `'0'`, `'1'` or `'X'`.
+    pub fn to_char(self) -> char {
+        match self {
+            Trit::Zero => '0',
+            Trit::One => '1',
+            Trit::X => 'X',
+        }
+    }
+
+    /// Parses `'0'`, `'1'`, `'x'` or `'X'`.
+    pub fn from_char(c: char) -> Option<Self> {
+        match c {
+            '0' => Some(Trit::Zero),
+            '1' => Some(Trit::One),
+            'x' | 'X' => Some(Trit::X),
+            _ => None,
+        }
+    }
+}
+
+impl From<bool> for Trit {
+    fn from(b: bool) -> Self {
+        Trit::from_bool(b)
+    }
+}
+
+impl fmt::Display for Trit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl BitAnd for Trit {
+    type Output = Trit;
+    fn bitand(self, rhs: Trit) -> Trit {
+        use Trit::*;
+        match (self, rhs) {
+            (Zero, _) | (_, Zero) => Zero,
+            (One, One) => One,
+            _ => X,
+        }
+    }
+}
+
+impl BitOr for Trit {
+    type Output = Trit;
+    fn bitor(self, rhs: Trit) -> Trit {
+        use Trit::*;
+        match (self, rhs) {
+            (One, _) | (_, One) => One,
+            (Zero, Zero) => Zero,
+            _ => X,
+        }
+    }
+}
+
+impl BitXor for Trit {
+    type Output = Trit;
+    fn bitxor(self, rhs: Trit) -> Trit {
+        use Trit::*;
+        match (self, rhs) {
+            (X, _) | (_, X) => X,
+            (a, b) => Trit::from_bool(a != b),
+        }
+    }
+}
+
+impl Not for Trit {
+    type Output = Trit;
+    fn not(self) -> Trit {
+        use Trit::*;
+        match self {
+            Zero => One,
+            One => Zero,
+            X => X,
+        }
+    }
+}
+
+/// A tri-state driver value: a logic level or high impedance (`Z`).
+///
+/// Only tri-state buffers produce `Drive`s; ordinary nets carry [`Trit`]s.
+/// A bus net resolves the `Drive`s of its drivers with [`resolve_bus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Drive {
+    /// Actively driven to a logic value.
+    Val(Trit),
+    /// High impedance (not driving).
+    Z,
+}
+
+/// Resolves the drivers of a bus net into a [`Trit`].
+///
+/// Resolution rules (matching the X-source taxonomy of the paper's §1):
+///
+/// * no active driver → *floating tri-state* → `X`;
+/// * exactly one active driver → its value;
+/// * several active drivers agreeing on a known value → that value;
+/// * several active drivers that disagree or include `X`/possible drivers
+///   (`Z` from an `X` enable is modelled conservatively by the tri-state
+///   buffer itself) → *bus contention* → `X`.
+///
+/// # Examples
+///
+/// ```
+/// use xhc_logic::{resolve_bus, Drive, Trit};
+///
+/// assert_eq!(resolve_bus([Drive::Z, Drive::Z]), Trit::X); // floating
+/// assert_eq!(resolve_bus([Drive::Val(Trit::One), Drive::Z]), Trit::One);
+/// assert_eq!(
+///     resolve_bus([Drive::Val(Trit::One), Drive::Val(Trit::Zero)]),
+///     Trit::X // contention
+/// );
+/// ```
+pub fn resolve_bus<I: IntoIterator<Item = Drive>>(drivers: I) -> Trit {
+    let mut resolved: Option<Trit> = None;
+    for d in drivers {
+        let Drive::Val(v) = d else { continue };
+        resolved = Some(match resolved {
+            None => v,
+            Some(prev) if prev == v && v.is_known() => v,
+            // Disagreement, or an X driver meeting anything: contention.
+            Some(_) => return Trit::X,
+        });
+    }
+    resolved.unwrap_or(Trit::X)
+}
+
+/// Evaluates a tri-state buffer: output `data` when `enable` is 1, `Z` when
+/// `enable` is 0.
+///
+/// An unknown enable could mean driving or not; the only safe model is an
+/// unknown *driven* value, so `enable = X` yields `Drive::Val(X)`.
+pub fn tristate(enable: Trit, data: Trit) -> Drive {
+    match enable {
+        Trit::One => Drive::Val(data),
+        Trit::Zero => Drive::Z,
+        Trit::X => Drive::Val(Trit::X),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Trit::*;
+
+    const ALL: [Trit; 3] = [Zero, One, X];
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(Zero & Zero, Zero);
+        assert_eq!(Zero & One, Zero);
+        assert_eq!(One & One, One);
+        assert_eq!(Zero & X, Zero);
+        assert_eq!(X & Zero, Zero);
+        assert_eq!(One & X, X);
+        assert_eq!(X & X, X);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(Zero | Zero, Zero);
+        assert_eq!(One | Zero, One);
+        assert_eq!(One | X, One);
+        assert_eq!(Zero | X, X);
+        assert_eq!(X | X, X);
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        assert_eq!(Zero ^ One, One);
+        assert_eq!(One ^ One, Zero);
+        assert_eq!(One ^ X, X);
+        assert_eq!(X ^ X, X, "X ^ X is X, not 0: the X's may differ");
+    }
+
+    #[test]
+    fn not_truth_table() {
+        assert_eq!(!Zero, One);
+        assert_eq!(!One, Zero);
+        assert_eq!(!X, X);
+    }
+
+    #[test]
+    fn ops_are_commutative() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a & b, b & a);
+                assert_eq!(a | b, b | a);
+                assert_eq!(a ^ b, b ^ a);
+            }
+        }
+    }
+
+    #[test]
+    fn de_morgan_holds_in_kleene_logic() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(!(a & b), !a | !b);
+                assert_eq!(!(a | b), !a & !b);
+            }
+        }
+    }
+
+    #[test]
+    fn bool_conversions() {
+        assert_eq!(Trit::from(true), One);
+        assert_eq!(Trit::from(false), Zero);
+        assert_eq!(One.to_bool(), Some(true));
+        assert_eq!(X.to_bool(), None);
+        assert!(X.is_x() && !X.is_known());
+    }
+
+    #[test]
+    fn char_roundtrip() {
+        for t in ALL {
+            assert_eq!(Trit::from_char(t.to_char()), Some(t));
+        }
+        assert_eq!(Trit::from_char('x'), Some(X));
+        assert_eq!(Trit::from_char('?'), None);
+    }
+
+    #[test]
+    fn floating_bus_is_x() {
+        assert_eq!(resolve_bus([]), X);
+        assert_eq!(resolve_bus([Drive::Z, Drive::Z, Drive::Z]), X);
+    }
+
+    #[test]
+    fn single_driver_wins() {
+        assert_eq!(resolve_bus([Drive::Z, Drive::Val(One)]), One);
+        assert_eq!(resolve_bus([Drive::Val(Zero)]), Zero);
+        assert_eq!(resolve_bus([Drive::Val(X)]), X);
+    }
+
+    #[test]
+    fn contention_is_x() {
+        assert_eq!(resolve_bus([Drive::Val(One), Drive::Val(Zero)]), X);
+        assert_eq!(resolve_bus([Drive::Val(One), Drive::Val(X)]), X);
+        // Two agreeing known drivers are fine.
+        assert_eq!(resolve_bus([Drive::Val(One), Drive::Val(One)]), One);
+        // Two agreeing X drivers are still unknown (they may differ).
+        assert_eq!(resolve_bus([Drive::Val(X), Drive::Val(X)]), X);
+    }
+
+    #[test]
+    fn tristate_semantics() {
+        assert_eq!(tristate(One, Zero), Drive::Val(Zero));
+        assert_eq!(tristate(Zero, One), Drive::Z);
+        assert_eq!(tristate(X, One), Drive::Val(X));
+    }
+}

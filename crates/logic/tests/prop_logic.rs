@@ -1,0 +1,158 @@
+//! Property tests for the three-valued simulator.
+
+use proptest::prelude::*;
+use xhc_logic::generate::CircuitSpec;
+use xhc_logic::{Simulator, Trit};
+
+fn arb_spec() -> impl Strategy<Value = CircuitSpec> {
+    (
+        1u64..1000,
+        2usize..8,
+        10usize..80,
+        0usize..12,
+        0usize..3,
+        0usize..3,
+    )
+        .prop_map(|(seed, inputs, gates, scan, shadow, buses)| CircuitSpec {
+            num_inputs: inputs,
+            num_outputs: 3,
+            num_gates: gates,
+            num_scan_flops: scan,
+            num_shadow_flops: shadow,
+            num_buses: buses,
+            max_fanin: 4,
+            seed,
+        })
+}
+
+fn arb_trits(len: usize) -> impl Strategy<Value = Vec<Trit>> {
+    prop::collection::vec(
+        prop_oneof![Just(Trit::Zero), Just(Trit::One), Just(Trit::X)],
+        len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Kleene monotonicity: refining an X input to a concrete value never
+    /// *changes* an already-known output — it can only turn X outputs into
+    /// known ones. This is the property PODEM's pruning relies on.
+    #[test]
+    fn refinement_is_monotonic(seed in 1u64..500, refine_bits in any::<u64>()) {
+        let spec = CircuitSpec { seed, ..CircuitSpec::default() };
+        let circuit = spec.generate();
+        let n = circuit.netlist.num_inputs();
+        let mut sim = Simulator::new(&circuit.netlist);
+
+        let coarse: Vec<Trit> = (0..n)
+            .map(|i| if refine_bits >> (2 * (i % 32)) & 1 == 1 { Trit::X } else { Trit::Zero })
+            .collect();
+        let refined: Vec<Trit> = coarse
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                if t.is_x() {
+                    Trit::from_bool(refine_bits >> (2 * (i % 32) + 1) & 1 == 1)
+                } else {
+                    t
+                }
+            })
+            .collect();
+
+        sim.eval(&coarse);
+        let out_coarse = sim.outputs();
+        let next_coarse = sim.flop_next();
+        sim.eval(&refined);
+        let out_refined = sim.outputs();
+        let next_refined = sim.flop_next();
+
+        for (c, r) in out_coarse.iter().zip(&out_refined) {
+            if c.is_known() {
+                prop_assert_eq!(c, r, "known output changed under refinement");
+            }
+        }
+        for (c, r) in next_coarse.iter().zip(&next_refined) {
+            if c.is_known() {
+                prop_assert_eq!(c, r, "known next-state changed under refinement");
+            }
+        }
+    }
+
+    /// A fully X-free circuit state with known inputs produces known
+    /// outputs for combinational circuits without X sources.
+    #[test]
+    fn no_x_sources_no_x_outputs(spec in arb_spec(), input_bits in any::<u64>()) {
+        let spec = CircuitSpec { num_shadow_flops: 0, num_buses: 0, ..spec };
+        let circuit = spec.generate();
+        let mut sim = Simulator::new(&circuit.netlist);
+        for f in 0..circuit.netlist.num_flops() {
+            sim.set_flop_state(f, Trit::from_bool(input_bits >> (f % 60) & 1 == 1));
+        }
+        let inputs: Vec<Trit> = (0..circuit.netlist.num_inputs())
+            .map(|i| Trit::from_bool(input_bits >> (i % 64) & 1 == 1))
+            .collect();
+        sim.eval(&inputs);
+        for (i, o) in sim.outputs().iter().enumerate() {
+            prop_assert!(o.is_known(), "output {i} is X without any X source");
+        }
+        for (i, d) in sim.flop_next().iter().enumerate() {
+            prop_assert!(d.is_known(), "flop {i} D is X without any X source");
+        }
+    }
+
+    /// Forcing a node to the value it already has changes nothing
+    /// anywhere (stuck-at fault with no activation is invisible).
+    #[test]
+    fn forcing_same_value_is_identity(spec in arb_spec(), input_bits in any::<u64>()) {
+        let circuit = spec.generate();
+        let mut sim = Simulator::new(&circuit.netlist);
+        let inputs: Vec<Trit> = (0..circuit.netlist.num_inputs())
+            .map(|i| Trit::from_bool(input_bits >> (i % 64) & 1 == 1))
+            .collect();
+        sim.eval(&inputs);
+        let outputs = sim.outputs();
+        // Pick the first output-driving node and force its current value.
+        let target = circuit.netlist.outputs()[0];
+        let v = sim.value(target);
+        if v.is_known() {
+            sim.eval_forced(&inputs, &[(target, v)]);
+            prop_assert_eq!(sim.outputs(), outputs);
+        }
+    }
+
+    /// Repeated evaluation with the same inputs is idempotent.
+    #[test]
+    fn eval_is_idempotent(spec in arb_spec(), inputs_seed in any::<u64>()) {
+        let circuit = spec.generate();
+        let mut sim = Simulator::new(&circuit.netlist);
+        let n = circuit.netlist.num_inputs();
+        let inputs: Vec<Trit> = (0..n)
+            .map(|i| match inputs_seed >> (2 * (i % 30)) & 3 {
+                0 => Trit::Zero,
+                1 => Trit::One,
+                _ => Trit::X,
+            })
+            .collect();
+        sim.eval(&inputs);
+        let first = (sim.outputs(), sim.flop_next());
+        sim.eval(&inputs);
+        prop_assert_eq!((sim.outputs(), sim.flop_next()), first);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A clocked step stores exactly the D values computed by eval.
+    #[test]
+    fn clock_latches_flop_next(spec in arb_spec(), inputs in arb_trits(8)) {
+        let spec = CircuitSpec { num_inputs: 8, ..spec };
+        let circuit = spec.generate();
+        let mut sim = Simulator::new(&circuit.netlist);
+        sim.eval(&inputs);
+        let expected = sim.flop_next();
+        sim.clock();
+        prop_assert_eq!(sim.state(), &expected[..]);
+    }
+}

@@ -1,0 +1,337 @@
+//! The X-canceling MISR architecture (Touba, ITC'07; Yang & Touba,
+//! TCAD'12 — the paper's baseline \[12\]).
+
+use crate::misr::Taps;
+use crate::symbolic::{known_part_values, pattern_signature_rows, x_dependency_matrix};
+use xhc_bits::{gauss, BitVec};
+use xhc_logic::Trit;
+use xhc_scan::ScanConfig;
+
+/// The (m, q) configuration of an X-canceling MISR and its control-bit /
+/// halt accounting, straight from the paper's formulas.
+///
+/// * `m` — MISR size (the paper's experiments use 32);
+/// * `q` — number of X-free combinations extracted per halt (paper: 7).
+///
+/// Control bits: `m · q · totalX / (m − q)`.
+/// Halts: `totalX / (m − q)`.
+///
+/// # Examples
+///
+/// ```
+/// use xhc_misr::XCancelConfig;
+///
+/// let cfg = XCancelConfig::new(32, 7);
+/// // The paper's CKT-B: ~2.97M X's -> ~26.6M control bits.
+/// let bits = cfg.control_bits(2_965_402);
+/// assert!((bits / 1e6 - 26.57).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XCancelConfig {
+    m: usize,
+    q: usize,
+}
+
+impl XCancelConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < q < m`.
+    pub fn new(m: usize, q: usize) -> Self {
+        assert!(q > 0, "q must be positive");
+        assert!(q < m, "q must be smaller than the MISR size");
+        XCancelConfig { m, q }
+    }
+
+    /// The paper's experimental configuration: m = 32, q = 7.
+    pub fn paper_default() -> Self {
+        XCancelConfig::new(32, 7)
+    }
+
+    /// MISR size.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// X-free combinations extracted per halt.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Control-bit volume for canceling `total_x` unknowns (fractional, as
+    /// the paper computes it).
+    pub fn control_bits(&self, total_x: usize) -> f64 {
+        self.m as f64 * self.q as f64 * total_x as f64 / (self.m - self.q) as f64
+    }
+
+    /// Control-bit volume rounded up to whole bits.
+    pub fn control_bits_ceil(&self, total_x: usize) -> u128 {
+        self.control_bits(total_x).ceil() as u128
+    }
+
+    /// Number of times the time-multiplexed MISR halts scan shifting.
+    pub fn halts(&self, total_x: usize) -> f64 {
+        total_x as f64 / (self.m - self.q) as f64
+    }
+
+    /// Normalized test time per the paper's §5 formula (from \[11\]):
+    /// `1 + n · x · q / (m − q)` with `n` scan chains and X-density `x`
+    /// (as a fraction) entering the MISR.
+    pub fn normalized_test_time(&self, num_chains: usize, x_density: f64) -> f64 {
+        1.0 + num_chains as f64 * x_density * self.q as f64 / (self.m - self.q) as f64
+    }
+}
+
+/// The outcome of X-canceling one captured pattern.
+#[derive(Debug, Clone)]
+pub struct PatternCancelOutcome {
+    /// How many response bits were X.
+    pub num_x: usize,
+    /// The X-free combinations found (one [`BitVec`] over MISR bits each).
+    pub combinations: Vec<BitVec>,
+    /// The observed value of each combination (computable from known
+    /// response bits only — that is the whole point).
+    pub canceled_values: BitVec,
+    /// Control bits consumed: `m` select bits per combination.
+    pub control_bits: usize,
+}
+
+/// An operational X-canceling MISR bound to a scan topology.
+///
+/// Symbolically simulates the unload of each pattern, Gaussian-eliminates
+/// the X-dependency matrix and extracts X-free signature combinations —
+/// the paper's Figs. 2–3 flow, end to end.
+///
+/// # Examples
+///
+/// ```
+/// use xhc_logic::Trit;
+/// use xhc_misr::{Taps, XCancelingMisr};
+/// use xhc_scan::ScanConfig;
+///
+/// let cfg = ScanConfig::uniform(3, 2);
+/// let xc = XCancelingMisr::new(cfg, 6, Taps::default_for(6));
+/// let row = vec![Trit::One, Trit::X, Trit::Zero, Trit::Zero, Trit::One, Trit::X];
+/// let out = xc.cancel_pattern(&row);
+/// assert_eq!(out.num_x, 2);
+/// assert!(out.combinations.len() >= 6 - 2); // nullity >= m - #X
+/// ```
+#[derive(Debug, Clone)]
+pub struct XCancelingMisr {
+    config: ScanConfig,
+    m: usize,
+    rows: Vec<BitVec>,
+}
+
+impl XCancelingMisr {
+    /// Builds the symbolic signature for `config` unloaded into an `m`-bit
+    /// MISR with the given feedback taps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m < 2` or a tap is out of range.
+    pub fn new(config: ScanConfig, m: usize, taps: Taps) -> Self {
+        let rows = pattern_signature_rows(&config, m, taps);
+        XCancelingMisr { config, m, rows }
+    }
+
+    /// The scan topology.
+    pub fn config(&self) -> &ScanConfig {
+        &self.config
+    }
+
+    /// MISR size.
+    pub fn size(&self) -> usize {
+        self.m
+    }
+
+    /// The symbolic signature rows (one symbol set per MISR bit).
+    pub fn rows(&self) -> &[BitVec] {
+        &self.rows
+    }
+
+    /// Cancels the X's of one captured response row (linear cell order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != config.total_cells()`.
+    pub fn cancel_pattern(&self, row: &[Trit]) -> PatternCancelOutcome {
+        assert_eq!(
+            row.len(),
+            self.config.total_cells(),
+            "response row length mismatch"
+        );
+        let x_cells: Vec<usize> = (0..row.len()).filter(|&i| row[i].is_x()).collect();
+        let dep = x_dependency_matrix(&self.rows, &x_cells);
+        let combinations = gauss::x_free_combinations(&dep);
+
+        // Known part of every MISR bit, then XOR per combination.
+        let known = known_part_values(&self.rows, |s| row[s].to_bool());
+        let mut canceled_values = BitVec::zeros(combinations.len());
+        for (ci, combo) in combinations.iter().enumerate() {
+            let mut acc = false;
+            for bit in combo.iter_ones() {
+                acc ^= known.get(bit);
+            }
+            canceled_values.set(ci, acc);
+        }
+        let control_bits = self.m * combinations.len();
+        PatternCancelOutcome {
+            num_x: x_cells.len(),
+            combinations,
+            canceled_values,
+            control_bits,
+        }
+    }
+
+    /// Which scan cells remain observable through the X-free combinations
+    /// of a pattern whose X cells are `x_cells` (linear indices).
+    ///
+    /// A single-bit error in cell `c` is detected iff some X-free
+    /// combination's combined symbol set contains `c`. Returns one bit per
+    /// cell.
+    pub fn observable_cells(&self, x_cells: &[usize]) -> BitVec {
+        let dep = x_dependency_matrix(&self.rows, x_cells);
+        let combos = gauss::x_free_combinations(&dep);
+        let mut observable = BitVec::zeros(self.config.total_cells());
+        for combo in &combos {
+            let mut combined = BitVec::zeros(self.config.total_cells());
+            for bit in combo.iter_ones() {
+                combined.xor_with(&self.rows[bit]);
+            }
+            observable.union_with(&combined);
+        }
+        observable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (ScanConfig, XCancelingMisr) {
+        let cfg = ScanConfig::uniform(3, 3); // 9 cells
+        let xc = XCancelingMisr::new(cfg.clone(), 6, Taps::default_for(6));
+        (cfg, xc)
+    }
+
+    #[test]
+    fn paper_accounting_formulas() {
+        let c = XCancelConfig::paper_default();
+        assert_eq!(c.m(), 32);
+        assert_eq!(c.q(), 7);
+        // m*q/(m-q) = 224/25 = 8.96 bits per X.
+        assert!((c.control_bits(100) - 896.0).abs() < 1e-9);
+        assert_eq!(c.control_bits_ceil(1), 9);
+        assert!((c.halts(50) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_test_time_formula() {
+        let c = XCancelConfig::paper_default();
+        // CKT-B: n = 75 chains, x = 2.75% -> 1.58 (paper Table 1).
+        let t = c.normalized_test_time(75, 0.0275);
+        assert!((t - 1.5775).abs() < 1e-9);
+        // CKT-A: n = 1000, x = 0.05% -> 1.14.
+        let t = c.normalized_test_time(1000, 0.0005);
+        assert!((t - 1.14).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be smaller")]
+    fn q_must_be_less_than_m() {
+        XCancelConfig::new(8, 8);
+    }
+
+    #[test]
+    fn x_free_values_do_not_depend_on_x() {
+        // Replace the X's by every combination of concrete values: the
+        // canceled signature values must never change.
+        let (cfg, xc) = toy();
+        let mut row = vec![Trit::Zero; 9];
+        row[1] = Trit::X;
+        row[4] = Trit::One;
+        row[7] = Trit::X;
+        let base = xc.cancel_pattern(&row);
+        assert_eq!(base.num_x, 2);
+        assert!(!base.combinations.is_empty());
+
+        for xa in [false, true] {
+            for xb in [false, true] {
+                let mut concrete = row.clone();
+                concrete[1] = Trit::from_bool(xa);
+                concrete[7] = Trit::from_bool(xb);
+                // Evaluate each combination on the fully known row.
+                let known = known_part_values(xc.rows(), |s| concrete[s].to_bool());
+                for (ci, combo) in base.combinations.iter().enumerate() {
+                    let mut acc = false;
+                    for bit in combo.iter_ones() {
+                        acc ^= known.get(bit);
+                    }
+                    assert_eq!(
+                        acc,
+                        base.canceled_values.get(ci),
+                        "canceled value changed with X assignment ({xa},{xb})"
+                    );
+                }
+            }
+        }
+        let _ = cfg;
+    }
+
+    #[test]
+    fn no_x_keeps_full_rank_of_combinations() {
+        let (_, xc) = toy();
+        let row = vec![Trit::Zero; 9];
+        let out = xc.cancel_pattern(&row);
+        assert_eq!(out.num_x, 0);
+        // Zero X's: all m rows are X-free.
+        assert_eq!(out.combinations.len(), 6);
+        assert_eq!(out.control_bits, 36);
+    }
+
+    #[test]
+    fn too_many_x_can_wipe_out_combinations() {
+        let (_, xc) = toy();
+        let row = vec![Trit::X; 9];
+        let out = xc.cancel_pattern(&row);
+        assert_eq!(out.num_x, 9);
+        // With more X's than MISR bits combinations may or may not exist;
+        // they can only come from X columns that alias. Whatever is found
+        // must be genuinely X-free.
+        for combo in &out.combinations {
+            let mut combined = BitVec::zeros(9);
+            for bit in combo.iter_ones() {
+                combined.xor_with(&xc.rows()[bit]);
+            }
+            assert!(
+                combined.none(),
+                "an all-X row only yields combos whose symbols fully cancel"
+            );
+        }
+    }
+
+    #[test]
+    fn observable_cells_excludes_x_dependents() {
+        let (_, xc) = toy();
+        let x_cells = vec![2usize, 5];
+        let obs = xc.observable_cells(&x_cells);
+        // No observable combination may depend on an X cell.
+        assert!(!obs.get(2));
+        assert!(!obs.get(5));
+        // Most other cells should remain observable with only 2 X's in a
+        // 6-bit MISR.
+        let observable_known = (0..9).filter(|&c| c != 2 && c != 5 && obs.get(c)).count();
+        assert!(observable_known >= 4, "got {observable_known}");
+    }
+
+    #[test]
+    fn control_bits_scale_with_combinations() {
+        let (_, xc) = toy();
+        let mut row = vec![Trit::Zero; 9];
+        row[0] = Trit::X;
+        let out = xc.cancel_pattern(&row);
+        assert_eq!(out.control_bits, 6 * out.combinations.len());
+    }
+}

@@ -1,0 +1,51 @@
+//! MISR-based output-response compaction: concrete and symbolic MISRs, the
+//! X-masking front end and the X-canceling MISR.
+//!
+//! This crate implements both X-handling baselines the paper builds on:
+//!
+//! * **X-masking** ([`MaskWord`], [`safe_mask`],
+//!   [`conventional_masking_bits`]) — AND gates in front of the compactor
+//!   driven by per-cycle control bits (baseline \[5\], Fig. 1);
+//! * **X-canceling MISR** ([`XCancelingMisr`], [`XCancelConfig`],
+//!   [`CancelSession`]) — symbolic simulation of the MISR ([`SymbolicMisr`],
+//!   Fig. 2), Gaussian elimination of the X-dependency matrix and selective
+//!   XOR of X-free signature combinations (Fig. 3), plus the
+//!   time-multiplexed halting schedule of \[11\] that drives the paper's
+//!   test-time model.
+//!
+//! The hybrid architecture and the pattern-partitioning algorithm that tie
+//! these together live in `xhc-core`.
+//!
+//! # Examples
+//!
+//! ```
+//! use xhc_logic::Trit;
+//! use xhc_misr::{Taps, XCancelingMisr};
+//! use xhc_scan::ScanConfig;
+//!
+//! // Cancel the X's of one captured pattern on a 6-cell design.
+//! let scan = ScanConfig::uniform(3, 2);
+//! let xc = XCancelingMisr::new(scan, 6, Taps::default_for(6));
+//! let row = vec![Trit::One, Trit::X, Trit::Zero, Trit::One, Trit::X, Trit::Zero];
+//! let outcome = xc.cancel_pattern(&row);
+//! assert_eq!(outcome.num_x, 2);
+//! // Every extracted combination is X-free and usable as a signature.
+//! assert_eq!(outcome.control_bits, 6 * outcome.combinations.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod canceling;
+mod masking;
+mod misr;
+mod session;
+mod shadow;
+mod symbolic;
+
+pub use canceling::{PatternCancelOutcome, XCancelConfig, XCancelingMisr};
+pub use masking::{conventional_masking_bits, safe_mask, MaskWord};
+pub use misr::{Misr, Taps};
+pub use session::{BlockOutcome, CancelSession, SessionReport};
+pub use shadow::{shadow_cancel_report, ShadowCancelReport};
+pub use symbolic::{known_part_values, pattern_signature_rows, x_dependency_matrix, SymbolicMisr};

@@ -1,0 +1,241 @@
+//! Concrete MISR (multiple-input signature register) simulation.
+
+use xhc_bits::BitVec;
+
+/// Feedback taps of a MISR: the state-bit indices XORed into bit 0 on each
+/// shift.
+///
+/// Corresponds to the characteristic polynomial of the register; the
+/// highest state bit (`m - 1`) is always fed back (it is the `x^m` term).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Taps(Vec<usize>);
+
+impl Taps {
+    /// Taps from explicit state-bit indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty, if any tap is `>= m` when used, or duplicated.
+    pub fn new(mut taps: Vec<usize>) -> Self {
+        assert!(!taps.is_empty(), "need at least one feedback tap");
+        taps.sort_unstable();
+        taps.dedup();
+        Taps(taps)
+    }
+
+    /// A reasonable default for any size: taps resembling widely used
+    /// CRC/LFSR polynomials (always includes `m - 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m < 2`.
+    pub fn default_for(m: usize) -> Self {
+        assert!(m >= 2, "MISR size must be at least 2");
+        let mut taps = vec![m - 1];
+        // Sprinkle a couple of interior taps for mixing; exact primitivity
+        // is irrelevant to X-canceling correctness (any feedback works —
+        // the symbolic simulation tracks whatever the hardware does).
+        if m > 3 {
+            taps.push(m / 2);
+        }
+        if m > 5 {
+            taps.push(1);
+        }
+        Taps::new(taps)
+    }
+
+    /// The tap indices, ascending.
+    pub fn indices(&self) -> &[usize] {
+        &self.0
+    }
+
+    fn check(&self, m: usize) {
+        assert!(
+            self.0.iter().all(|&t| t < m),
+            "tap index out of range for a {m}-bit MISR"
+        );
+    }
+}
+
+/// A concrete (two-valued) MISR.
+///
+/// Per shift cycle, every input bit is XORed into its stage and the
+/// register shifts with polynomial feedback into bit 0:
+///
+/// ```text
+/// s'[0] = (⊕_{t ∈ taps} s[t]) ⊕ in[0]
+/// s'[i] = s[i-1] ⊕ in[i]        (i > 0)
+/// ```
+///
+/// Used to validate the symbolic simulation: for any X-free input stream,
+/// the concrete signature must equal the symbolic prediction.
+///
+/// # Examples
+///
+/// ```
+/// use xhc_bits::BitVec;
+/// use xhc_misr::{Misr, Taps};
+///
+/// let mut misr = Misr::new(6, Taps::default_for(6));
+/// misr.shift(&BitVec::from_indices(6, [0, 2]));
+/// misr.shift(&BitVec::from_indices(6, [1]));
+/// assert_eq!(misr.state().len(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Misr {
+    state: BitVec,
+    taps: Taps,
+}
+
+impl Misr {
+    /// A zero-seeded `m`-bit MISR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m < 2` or a tap is out of range.
+    pub fn new(m: usize, taps: Taps) -> Self {
+        assert!(m >= 2, "MISR size must be at least 2");
+        taps.check(m);
+        Misr {
+            state: BitVec::zeros(m),
+            taps,
+        }
+    }
+
+    /// Register width.
+    pub fn size(&self) -> usize {
+        self.state.len()
+    }
+
+    /// The feedback taps.
+    pub fn taps(&self) -> &Taps {
+        &self.taps
+    }
+
+    /// Current signature.
+    pub fn state(&self) -> &BitVec {
+        &self.state
+    }
+
+    /// Resets the signature to zero.
+    pub fn reset(&mut self) {
+        self.state.clear();
+    }
+
+    /// One shift cycle with the given parallel inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != size()`.
+    pub fn shift(&mut self, inputs: &BitVec) {
+        assert_eq!(inputs.len(), self.size(), "MISR input width mismatch");
+        let m = self.size();
+        let fb = self
+            .taps
+            .indices()
+            .iter()
+            .fold(false, |acc, &t| acc ^ self.state.get(t));
+        let mut next = BitVec::zeros(m);
+        next.set(0, fb ^ inputs.get(0));
+        for i in 1..m {
+            next.set(i, self.state.get(i - 1) ^ inputs.get(i));
+        }
+        self.state = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_inputs_zero_state_stays_zero() {
+        let mut misr = Misr::new(8, Taps::default_for(8));
+        for _ in 0..10 {
+            misr.shift(&BitVec::zeros(8));
+        }
+        assert!(misr.state().none());
+    }
+
+    #[test]
+    fn shift_is_linear() {
+        // MISR(a ^ b) == MISR(a) ^ MISR(b) from a zero seed — the linearity
+        // that makes symbolic X-canceling possible.
+        let taps = Taps::default_for(6);
+        let streams_a = [
+            BitVec::from_indices(6, [0, 3]),
+            BitVec::from_indices(6, [2]),
+            BitVec::from_indices(6, [5, 1]),
+        ];
+        let streams_b = [
+            BitVec::from_indices(6, [4]),
+            BitVec::from_indices(6, [2, 0]),
+            BitVec::from_indices(6, [1]),
+        ];
+        let run = |streams: &[BitVec]| {
+            let mut m = Misr::new(6, taps.clone());
+            for s in streams {
+                m.shift(s);
+            }
+            m.state().clone()
+        };
+        let sum: Vec<BitVec> = streams_a
+            .iter()
+            .zip(&streams_b)
+            .map(|(a, b)| {
+                let mut s = a.clone();
+                s.xor_with(b);
+                s
+            })
+            .collect();
+        let mut expect = run(&streams_a);
+        expect.xor_with(&run(&streams_b));
+        assert_eq!(run(&sum), expect);
+    }
+
+    #[test]
+    fn single_bit_propagates_down_the_register() {
+        // Inject a 1 at stage 0 with no further input: it marches to
+        // higher stages each cycle until feedback kicks in.
+        let mut misr = Misr::new(5, Taps::new(vec![4]));
+        let mut inj = BitVec::zeros(5);
+        inj.set(0, true);
+        misr.shift(&inj);
+        assert!(misr.state().get(0));
+        misr.shift(&BitVec::zeros(5));
+        assert!(misr.state().get(1) && !misr.state().get(0));
+        for _ in 0..3 {
+            misr.shift(&BitVec::zeros(5));
+        }
+        // After 4 more shifts the bit reached stage 4 and feeds back to 0.
+        misr.shift(&BitVec::zeros(5));
+        assert!(misr.state().get(0));
+    }
+
+    #[test]
+    fn taps_sorted_and_deduped() {
+        let t = Taps::new(vec![3, 1, 3]);
+        assert_eq!(t.indices(), &[1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tap index out of range")]
+    fn oversized_tap_panics() {
+        Misr::new(4, Taps::new(vec![4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn wrong_input_width_panics() {
+        Misr::new(4, Taps::default_for(4)).shift(&BitVec::zeros(5));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut misr = Misr::new(4, Taps::default_for(4));
+        misr.shift(&BitVec::from_indices(4, [1]));
+        assert!(misr.state().any());
+        misr.reset();
+        assert!(misr.state().none());
+    }
+}

@@ -1,0 +1,120 @@
+//! Error-injection tests: the X-free signatures must actually *detect*
+//! errors — the whole reason the compactor exists — and must be blind
+//! exactly where the theory says (X-dependent cells).
+
+use xhc_logic::Trit;
+use xhc_misr::{known_part_values, Taps, XCancelingMisr};
+use xhc_scan::ScanConfig;
+
+fn eval_combos(xc: &XCancelingMisr, combos: &[xhc_bits::BitVec], row: &[Trit]) -> Vec<bool> {
+    let known = known_part_values(xc.rows(), |s| row[s].to_bool());
+    combos
+        .iter()
+        .map(|combo| {
+            let mut acc = false;
+            for bit in combo.iter_ones() {
+                acc ^= known.get(bit);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[test]
+fn single_bit_error_at_observable_cell_is_detected() {
+    let scan = ScanConfig::uniform(4, 4); // 16 cells
+    let xc = XCancelingMisr::new(scan, 8, Taps::default_for(8));
+    let mut row = vec![Trit::Zero; 16];
+    row[3] = Trit::X;
+    row[9] = Trit::X;
+    let outcome = xc.cancel_pattern(&row);
+    let x_cells = vec![3usize, 9];
+    let observable = xc.observable_cells(&x_cells);
+    let baseline = eval_combos(&xc, &outcome.combinations, &row);
+
+    let mut checked = 0;
+    for cell in 0..16 {
+        if !observable.get(cell) || row[cell].is_x() {
+            continue;
+        }
+        let mut faulty = row.clone();
+        faulty[cell] = !faulty[cell];
+        let got = eval_combos(&xc, &outcome.combinations, &faulty);
+        assert_ne!(
+            got, baseline,
+            "flip at observable cell {cell} must change some signature"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 8, "only {checked} observable cells exercised");
+}
+
+#[test]
+fn error_at_x_cell_is_invisible() {
+    // An error on an X cell is, by definition, indistinguishable: the
+    // canceled signatures do not depend on X symbols at all.
+    let scan = ScanConfig::uniform(4, 4);
+    let xc = XCancelingMisr::new(scan, 8, Taps::default_for(8));
+    let mut row = vec![Trit::One; 16];
+    row[5] = Trit::X;
+    let outcome = xc.cancel_pattern(&row);
+    let baseline = eval_combos(&xc, &outcome.combinations, &row);
+
+    for forced in [Trit::Zero, Trit::One] {
+        let mut variant = row.clone();
+        variant[5] = forced;
+        let got = eval_combos(&xc, &outcome.combinations, &variant);
+        assert_eq!(got, baseline, "X cell value must not matter");
+    }
+}
+
+#[test]
+fn unobservable_known_cell_errors_escape() {
+    // With many X's, some known cells become unobservable (every
+    // combination containing them was sacrificed). Errors there escape —
+    // exactly the coverage cost the fault simulator charges the
+    // X-canceling MISR for.
+    let scan = ScanConfig::uniform(4, 4);
+    let xc = XCancelingMisr::new(scan.clone(), 8, Taps::default_for(8));
+    let mut row = vec![Trit::Zero; 16];
+    let x_cells: Vec<usize> = vec![0, 2, 4, 6, 8, 10];
+    for &c in &x_cells {
+        row[c] = Trit::X;
+    }
+    let outcome = xc.cancel_pattern(&row);
+    let observable = xc.observable_cells(&x_cells);
+    let baseline = eval_combos(&xc, &outcome.combinations, &row);
+
+    let blind: Vec<usize> = (0..16)
+        .filter(|&c| !observable.get(c) && row[c].is_known())
+        .collect();
+    for &cell in &blind {
+        let mut faulty = row.clone();
+        faulty[cell] = !faulty[cell];
+        let got = eval_combos(&xc, &outcome.combinations, &faulty);
+        assert_eq!(
+            got, baseline,
+            "cell {cell} is unobservable; its error must escape"
+        );
+    }
+}
+
+#[test]
+fn masking_front_end_restores_observability() {
+    // The hybrid's point, at signature level: masking the X cells (they
+    // were all-X here) leaves zero X's for the MISR, so *every* cell that
+    // reaches the signature is observable again.
+    let scan = ScanConfig::uniform(4, 4);
+    let xc = XCancelingMisr::new(scan.clone(), 8, Taps::default_for(8));
+    let x_cells: Vec<usize> = vec![0, 2, 4, 6, 8, 10];
+
+    let blind_before = {
+        let obs = xc.observable_cells(&x_cells);
+        (0..16).filter(|&c| !obs.get(c)).count()
+    };
+    // After masking: the masked cells shift in as constant 0 -> no X's.
+    let obs_after = xc.observable_cells(&[]);
+    let blind_after = (0..16).filter(|&c| !obs_after.get(c)).count();
+    assert!(blind_before > blind_after);
+    assert_eq!(blind_after, 0, "no X's -> full signature observability");
+}

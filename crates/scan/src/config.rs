@@ -1,0 +1,244 @@
+//! Scan-chain topology.
+
+use std::fmt;
+
+/// Identifier of a scan cell: which chain it is on and its position within
+/// that chain.
+///
+/// Position 0 is the cell closest to scan-in; the cell at position
+/// `length - 1` reaches the compactor first during unload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId {
+    /// Chain index.
+    pub chain: u32,
+    /// Position within the chain (0 = closest to scan-in).
+    pub position: u32,
+}
+
+impl CellId {
+    /// Creates a cell id.
+    pub fn new(chain: usize, position: usize) -> Self {
+        CellId {
+            chain: chain as u32,
+            position: position as u32,
+        }
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SC{}[{}]", self.chain + 1, self.position)
+    }
+}
+
+/// The scan topology of a design: how many chains and how long each is.
+///
+/// Chains may be ragged (different lengths); control-bit accounting for
+/// X-masking uses the *longest* chain length, exactly as the paper's
+/// formula does.
+///
+/// # Examples
+///
+/// ```
+/// use xhc_scan::ScanConfig;
+///
+/// // The paper's Fig. 4 configuration: 5 chains of 3 cells.
+/// let cfg = ScanConfig::uniform(5, 3);
+/// assert_eq!(cfg.total_cells(), 15);
+/// assert_eq!(cfg.max_chain_len(), 3);
+/// assert_eq!(cfg.num_chains(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanConfig {
+    lengths: Vec<usize>,
+    offsets: Vec<usize>,
+    total: usize,
+}
+
+impl ScanConfig {
+    /// A configuration with per-chain lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lengths` is empty or any chain has length 0.
+    pub fn new(lengths: Vec<usize>) -> Self {
+        assert!(!lengths.is_empty(), "need at least one scan chain");
+        assert!(
+            lengths.iter().all(|&l| l > 0),
+            "every chain needs at least one cell"
+        );
+        let mut offsets = Vec::with_capacity(lengths.len());
+        let mut total = 0;
+        for &l in &lengths {
+            offsets.push(total);
+            total += l;
+        }
+        ScanConfig {
+            lengths,
+            offsets,
+            total,
+        }
+    }
+
+    /// `chains` chains of `length` cells each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chains == 0` or `length == 0`.
+    pub fn uniform(chains: usize, length: usize) -> Self {
+        ScanConfig::new(vec![length; chains])
+    }
+
+    /// A configuration for `total_cells` cells balanced over `chains`
+    /// chains (the first `total_cells % chains` chains get one extra cell).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chains == 0` or `total_cells < chains`.
+    pub fn balanced(total_cells: usize, chains: usize) -> Self {
+        assert!(chains > 0, "need at least one scan chain");
+        assert!(
+            total_cells >= chains,
+            "need at least one cell per chain ({total_cells} cells, {chains} chains)"
+        );
+        let base = total_cells / chains;
+        let extra = total_cells % chains;
+        ScanConfig::new((0..chains).map(|i| base + usize::from(i < extra)).collect())
+    }
+
+    /// Number of scan chains.
+    pub fn num_chains(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Length of chain `chain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn chain_len(&self, chain: usize) -> usize {
+        self.lengths[chain]
+    }
+
+    /// The longest chain length (the per-pattern shift cycle count and the
+    /// `L` of the paper's control-bit formula).
+    pub fn max_chain_len(&self) -> usize {
+        self.lengths.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total number of scan cells.
+    pub fn total_cells(&self) -> usize {
+        self.total
+    }
+
+    /// Flattened (linear) index of a cell, chain-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is out of range.
+    pub fn linear_index(&self, cell: CellId) -> usize {
+        let chain = cell.chain as usize;
+        let pos = cell.position as usize;
+        assert!(chain < self.lengths.len(), "chain {chain} out of range");
+        assert!(
+            pos < self.lengths[chain],
+            "position {pos} out of range for chain {chain}"
+        );
+        self.offsets[chain] + pos
+    }
+
+    /// Inverse of [`linear_index`](Self::linear_index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= total_cells`.
+    pub fn cell_at(&self, index: usize) -> CellId {
+        assert!(index < self.total, "cell index {index} out of range");
+        // offsets is sorted; find the chain containing index.
+        let chain = match self.offsets.binary_search(&index) {
+            Ok(c) => c,
+            Err(c) => c - 1,
+        };
+        CellId::new(chain, index - self.offsets[chain])
+    }
+
+    /// Iterator over all cells, chain-major.
+    pub fn iter_cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        (0..self.lengths.len())
+            .flat_map(move |c| (0..self.lengths[c]).map(move |p| CellId::new(c, p)))
+    }
+
+    /// The per-pattern mask-word size for X-masking: one bit per cell slot,
+    /// `max_chain_len * num_chains` (unused slots of short chains included,
+    /// as the ATE streams a full word per shift cycle).
+    pub fn mask_word_bits(&self) -> usize {
+        self.max_chain_len() * self.num_chains()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_shape() {
+        let cfg = ScanConfig::uniform(5, 3);
+        assert_eq!(cfg.num_chains(), 5);
+        assert_eq!(cfg.chain_len(4), 3);
+        assert_eq!(cfg.total_cells(), 15);
+        assert_eq!(cfg.mask_word_bits(), 15);
+    }
+
+    #[test]
+    fn balanced_distributes_remainder() {
+        let cfg = ScanConfig::balanced(10, 3);
+        assert_eq!(
+            (0..3).map(|c| cfg.chain_len(c)).collect::<Vec<_>>(),
+            vec![4, 3, 3]
+        );
+        assert_eq!(cfg.total_cells(), 10);
+        assert_eq!(cfg.max_chain_len(), 4);
+    }
+
+    #[test]
+    fn ckt_profiles_shapes() {
+        // The Table-1-derived configurations.
+        let a = ScanConfig::balanced(505_050, 1000);
+        assert_eq!(a.total_cells(), 505_050);
+        assert_eq!(a.max_chain_len(), 506);
+        let b = ScanConfig::balanced(36_075, 75);
+        assert_eq!(b.max_chain_len(), 481);
+        // 97,643 = 203 * 481 exactly.
+        let c = ScanConfig::balanced(97_643, 203);
+        assert_eq!(c.max_chain_len(), 481);
+    }
+
+    #[test]
+    fn linear_index_roundtrip() {
+        let cfg = ScanConfig::new(vec![3, 1, 4]);
+        for (i, cell) in cfg.iter_cells().enumerate() {
+            assert_eq!(cfg.linear_index(cell), i);
+            assert_eq!(cfg.cell_at(i), cell);
+        }
+        assert_eq!(cfg.iter_cells().count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn linear_index_checks_position() {
+        ScanConfig::new(vec![3, 1]).linear_index(CellId::new(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one scan chain")]
+    fn empty_config_panics() {
+        ScanConfig::new(vec![]);
+    }
+
+    #[test]
+    fn display_matches_paper_naming() {
+        // The paper writes "the first scan cell in SC1".
+        assert_eq!(CellId::new(0, 0).to_string(), "SC1[0]");
+        assert_eq!(CellId::new(4, 2).to_string(), "SC5[2]");
+    }
+}

@@ -1,0 +1,283 @@
+//! Scan test application over a gate-level netlist.
+
+use crate::config::{CellId, ScanConfig};
+use crate::response::ResponseMatrix;
+use xhc_logic::{Netlist, Simulator, Trit};
+
+/// A test pattern: the values scanned into the chains plus the primary
+/// input vector applied during the capture cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestPattern {
+    /// Scan-load values, one per scan cell in linear (chain-major) order.
+    pub scan_load: Vec<Trit>,
+    /// Primary input values for the capture cycle.
+    pub inputs: Vec<Trit>,
+}
+
+impl TestPattern {
+    /// An all-zero pattern for the given shape.
+    pub fn zeros(num_cells: usize, num_inputs: usize) -> Self {
+        TestPattern {
+            scan_load: vec![Trit::Zero; num_cells],
+            inputs: vec![Trit::Zero; num_inputs],
+        }
+    }
+}
+
+/// Errors from constructing a [`ScanHarness`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HarnessError {
+    /// The scan topology has a different cell count than the mapping.
+    CellCountMismatch {
+        /// Cells in the `ScanConfig`.
+        config_cells: usize,
+        /// Flop indices supplied.
+        mapped_flops: usize,
+    },
+    /// A mapped flop index is out of range for the netlist.
+    FlopOutOfRange(usize),
+    /// The same flop appears twice in the mapping.
+    DuplicateFlop(usize),
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::CellCountMismatch {
+                config_cells,
+                mapped_flops,
+            } => write!(
+                f,
+                "scan config has {config_cells} cells but {mapped_flops} flops were mapped"
+            ),
+            HarnessError::FlopOutOfRange(i) => write!(f, "flop index {i} out of range"),
+            HarnessError::DuplicateFlop(i) => write!(f, "flop index {i} mapped twice"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+/// Applies scan test patterns to a netlist and collects captured responses.
+///
+/// The harness binds a [`ScanConfig`] to a netlist by mapping every scan
+/// cell (chain-major) to a flop index. Pattern application is the standard
+/// load–capture flow:
+///
+/// 1. the scan-load values are written into the mapped flops (equivalent to
+///    shifting them in),
+/// 2. every *unmapped* flop is reset to its power-up value — uninitialized
+///    shadow registers therefore re-enter each pattern as `X`, which is the
+///    paper's first X source,
+/// 3. the primary inputs are applied, the combinational logic evaluated and
+///    one capture clock pulsed,
+/// 4. the mapped flops' new states are the captured response.
+///
+/// # Examples
+///
+/// ```
+/// use xhc_logic::samples;
+/// use xhc_scan::{ScanConfig, ScanHarness, TestPattern};
+/// use xhc_logic::Trit;
+///
+/// let (netlist, scan_flops) = samples::x_prone_sequential();
+/// let cfg = ScanConfig::uniform(2, 2); // 4 scan cells
+/// let harness = ScanHarness::new(&netlist, cfg, scan_flops)?;
+/// let pattern = TestPattern {
+///     scan_load: vec![Trit::Zero; 4],
+///     inputs: vec![Trit::One, Trit::One, Trit::Zero],
+/// };
+/// let responses = harness.run(&[pattern]);
+/// assert_eq!(responses.num_patterns(), 1);
+/// # Ok::<(), xhc_scan::HarnessError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScanHarness<'a> {
+    netlist: &'a Netlist,
+    config: ScanConfig,
+    /// cell linear index -> flop index
+    mapping: Vec<usize>,
+}
+
+impl<'a> ScanHarness<'a> {
+    /// Binds `config`'s cells (chain-major order) to the given flop
+    /// indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError`] if the counts disagree, an index is out of
+    /// range, or a flop is mapped twice.
+    pub fn new(
+        netlist: &'a Netlist,
+        config: ScanConfig,
+        flop_indices: Vec<usize>,
+    ) -> Result<Self, HarnessError> {
+        if config.total_cells() != flop_indices.len() {
+            return Err(HarnessError::CellCountMismatch {
+                config_cells: config.total_cells(),
+                mapped_flops: flop_indices.len(),
+            });
+        }
+        let mut seen = vec![false; netlist.num_flops()];
+        for &f in &flop_indices {
+            if f >= netlist.num_flops() {
+                return Err(HarnessError::FlopOutOfRange(f));
+            }
+            if seen[f] {
+                return Err(HarnessError::DuplicateFlop(f));
+            }
+            seen[f] = true;
+        }
+        Ok(ScanHarness {
+            netlist,
+            config,
+            mapping: flop_indices,
+        })
+    }
+
+    /// The scan topology.
+    pub fn config(&self) -> &ScanConfig {
+        &self.config
+    }
+
+    /// The netlist under test.
+    pub fn netlist(&self) -> &'a Netlist {
+        self.netlist
+    }
+
+    /// The flop index bound to a scan cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is out of range.
+    pub fn flop_of(&self, cell: CellId) -> usize {
+        self.mapping[self.config.linear_index(cell)]
+    }
+
+    /// Applies one pattern, returning the captured values in linear cell
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern shape does not match the design.
+    pub fn apply(&self, sim: &mut Simulator<'_>, pattern: &TestPattern) -> Vec<Trit> {
+        self.apply_forced(sim, pattern, &[])
+    }
+
+    /// Like [`apply`](Self::apply), but forces nodes during the capture
+    /// evaluation — the hook fault simulation uses to inject stuck-at
+    /// faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern shape does not match the design.
+    pub fn apply_forced(
+        &self,
+        sim: &mut Simulator<'_>,
+        pattern: &TestPattern,
+        forced: &[(xhc_logic::NodeId, Trit)],
+    ) -> Vec<Trit> {
+        assert_eq!(
+            pattern.scan_load.len(),
+            self.config.total_cells(),
+            "scan load length mismatch"
+        );
+        // Reset everything (shadow flops back to X), then scan-load.
+        sim.reset();
+        for (cell_idx, &flop) in self.mapping.iter().enumerate() {
+            sim.set_flop_state(flop, pattern.scan_load[cell_idx]);
+        }
+        sim.eval_forced(&pattern.inputs, forced);
+        sim.clock();
+        self.mapping
+            .iter()
+            .map(|&flop| sim.flop_state(flop))
+            .collect()
+    }
+
+    /// Applies a pattern list and collects the dense response matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pattern's shape does not match the design.
+    pub fn run(&self, patterns: &[TestPattern]) -> ResponseMatrix {
+        let mut sim = Simulator::new(self.netlist);
+        let rows: Vec<Vec<Trit>> = patterns.iter().map(|p| self.apply(&mut sim, p)).collect();
+        ResponseMatrix::from_rows(self.config.clone(), &rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xhc_logic::samples;
+
+    #[test]
+    fn x_prone_circuit_produces_x_responses() {
+        let (netlist, scan_flops) = samples::x_prone_sequential();
+        let cfg = ScanConfig::uniform(2, 2);
+        let harness = ScanHarness::new(&netlist, cfg, scan_flops).unwrap();
+
+        // Pattern with tri-states disabled (floating bus) and shadow X.
+        let p0 = TestPattern {
+            scan_load: vec![Trit::Zero; 4],
+            inputs: vec![Trit::One, Trit::One, Trit::Zero],
+        };
+        // Pattern with q0 enabled (driving bus) -> known bus value.
+        let p1 = TestPattern {
+            scan_load: vec![Trit::One, Trit::Zero, Trit::Zero, Trit::Zero],
+            inputs: vec![Trit::One, Trit::Zero, Trit::Zero],
+        };
+        let resp = harness.run(&[p0, p1]);
+        assert_eq!(resp.num_patterns(), 2);
+        assert!(resp.total_x() > 0, "X sources must corrupt some captures");
+        // p1 drives the bus with in0=1 -> d0 = 1 ^ 0 = 1, known.
+        assert_eq!(resp.get(1, CellId::new(0, 0)), Trit::One);
+    }
+
+    #[test]
+    fn shadow_flops_re_enter_as_x_every_pattern() {
+        let (netlist, scan_flops) = samples::x_prone_sequential();
+        let cfg = ScanConfig::uniform(4, 1);
+        let harness = ScanHarness::new(&netlist, cfg, scan_flops).unwrap();
+        // q1 captures shadow & in0; with in0=1 this is X for every pattern,
+        // proving the shadow register resets to X between patterns.
+        let p = TestPattern {
+            scan_load: vec![Trit::Zero; 4],
+            inputs: vec![Trit::One, Trit::Zero, Trit::Zero],
+        };
+        let resp = harness.run(&[p.clone(), p.clone(), p]);
+        for pat in 0..3 {
+            assert_eq!(resp.get(pat, CellId::new(1, 0)), Trit::X);
+        }
+    }
+
+    #[test]
+    fn mapping_validation() {
+        let (netlist, mut scan_flops) = samples::x_prone_sequential();
+        let cfg = ScanConfig::uniform(2, 2);
+        assert!(matches!(
+            ScanHarness::new(&netlist, cfg.clone(), vec![0, 1]),
+            Err(HarnessError::CellCountMismatch { .. })
+        ));
+        assert!(matches!(
+            ScanHarness::new(&netlist, cfg.clone(), vec![0, 1, 2, 99]),
+            Err(HarnessError::FlopOutOfRange(99))
+        ));
+        scan_flops[1] = scan_flops[0];
+        assert!(matches!(
+            ScanHarness::new(&netlist, cfg, scan_flops),
+            Err(HarnessError::DuplicateFlop(_))
+        ));
+    }
+
+    #[test]
+    fn flop_of_follows_mapping() {
+        let (netlist, scan_flops) = samples::x_prone_sequential();
+        let cfg = ScanConfig::uniform(2, 2);
+        let expect = scan_flops.clone();
+        let harness = ScanHarness::new(&netlist, cfg, scan_flops).unwrap();
+        assert_eq!(harness.flop_of(CellId::new(0, 0)), expect[0]);
+        assert_eq!(harness.flop_of(CellId::new(1, 1)), expect[3]);
+    }
+}

@@ -1,0 +1,222 @@
+//! Dense captured-response storage.
+
+use crate::config::{CellId, ScanConfig};
+use xhc_logic::Trit;
+
+/// A dense matrix of captured responses: one [`Trit`] per (pattern, cell).
+///
+/// Suitable for circuit-derived workloads (up to a few million entries).
+/// For industrial-scale X analysis use the sparse [`crate::XMap`], obtained
+/// via [`ResponseMatrix::to_xmap`].
+///
+/// # Examples
+///
+/// ```
+/// use xhc_scan::{ResponseMatrix, ScanConfig, CellId};
+/// use xhc_logic::Trit;
+///
+/// let cfg = ScanConfig::uniform(2, 3);
+/// let mut resp = ResponseMatrix::filled(cfg, 4, Trit::Zero);
+/// resp.set(1, CellId::new(0, 2), Trit::X);
+/// assert_eq!(resp.get(1, CellId::new(0, 2)), Trit::X);
+/// assert_eq!(resp.total_x(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseMatrix {
+    config: ScanConfig,
+    num_patterns: usize,
+    // 0 = Zero, 1 = One, 2 = X; one byte per value keeps access cheap.
+    data: Vec<u8>,
+}
+
+fn encode(t: Trit) -> u8 {
+    match t {
+        Trit::Zero => 0,
+        Trit::One => 1,
+        Trit::X => 2,
+    }
+}
+
+fn decode(b: u8) -> Trit {
+    match b {
+        0 => Trit::Zero,
+        1 => Trit::One,
+        _ => Trit::X,
+    }
+}
+
+impl ResponseMatrix {
+    /// Creates a matrix with every entry set to `fill`.
+    pub fn filled(config: ScanConfig, num_patterns: usize, fill: Trit) -> Self {
+        let data = vec![encode(fill); num_patterns * config.total_cells()];
+        ResponseMatrix {
+            config,
+            num_patterns,
+            data,
+        }
+    }
+
+    /// Builds a matrix from per-pattern captured vectors (linear cell
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row length differs from `config.total_cells()`.
+    pub fn from_rows(config: ScanConfig, rows: &[Vec<Trit>]) -> Self {
+        let total = config.total_cells();
+        let mut data = Vec::with_capacity(rows.len() * total);
+        for row in rows {
+            assert_eq!(row.len(), total, "response row length mismatch");
+            data.extend(row.iter().map(|&t| encode(t)));
+        }
+        ResponseMatrix {
+            config,
+            num_patterns: rows.len(),
+            data,
+        }
+    }
+
+    /// The scan topology.
+    pub fn config(&self) -> &ScanConfig {
+        &self.config
+    }
+
+    /// Number of captured patterns.
+    pub fn num_patterns(&self) -> usize {
+        self.num_patterns
+    }
+
+    /// The value captured by `cell` under pattern `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, pattern: usize, cell: CellId) -> Trit {
+        assert!(
+            pattern < self.num_patterns,
+            "pattern {pattern} out of range"
+        );
+        decode(self.data[pattern * self.config.total_cells() + self.config.linear_index(cell)])
+    }
+
+    /// Sets the value captured by `cell` under pattern `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, pattern: usize, cell: CellId, value: Trit) {
+        assert!(
+            pattern < self.num_patterns,
+            "pattern {pattern} out of range"
+        );
+        let idx = pattern * self.config.total_cells() + self.config.linear_index(cell);
+        self.data[idx] = encode(value);
+    }
+
+    /// The value at a linear cell index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get_linear(&self, pattern: usize, cell_index: usize) -> Trit {
+        assert!(
+            pattern < self.num_patterns,
+            "pattern {pattern} out of range"
+        );
+        assert!(
+            cell_index < self.config.total_cells(),
+            "cell index {cell_index} out of range"
+        );
+        decode(self.data[pattern * self.config.total_cells() + cell_index])
+    }
+
+    /// Total number of X entries.
+    pub fn total_x(&self) -> usize {
+        self.data.iter().filter(|&&b| b == 2).count()
+    }
+
+    /// Fraction of entries that are X (the paper's "X-density").
+    pub fn x_density(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.total_x() as f64 / self.data.len() as f64
+    }
+
+    /// Converts to the sparse X-location representation.
+    pub fn to_xmap(&self) -> crate::XMap {
+        crate::XMap::from_fn(self.config.clone(), self.num_patterns, |p, cell| {
+            self.get(p, cell).is_x()
+        })
+    }
+
+    /// One pattern's captured values in linear cell order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` is out of range.
+    pub fn row(&self, pattern: usize) -> Vec<Trit> {
+        assert!(
+            pattern < self.num_patterns,
+            "pattern {pattern} out of range"
+        );
+        let total = self.config.total_cells();
+        self.data[pattern * total..(pattern + 1) * total]
+            .iter()
+            .map(|&b| decode(b))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_and_mutate() {
+        let cfg = ScanConfig::uniform(2, 2);
+        let mut m = ResponseMatrix::filled(cfg, 3, Trit::One);
+        assert_eq!(m.total_x(), 0);
+        m.set(0, CellId::new(1, 1), Trit::X);
+        m.set(2, CellId::new(0, 0), Trit::Zero);
+        assert_eq!(m.get(0, CellId::new(1, 1)), Trit::X);
+        assert_eq!(m.get(2, CellId::new(0, 0)), Trit::Zero);
+        assert_eq!(m.total_x(), 1);
+        assert!((m.x_density() - 1.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_rows_and_row_roundtrip() {
+        let cfg = ScanConfig::uniform(1, 3);
+        let rows = vec![
+            vec![Trit::Zero, Trit::One, Trit::X],
+            vec![Trit::X, Trit::X, Trit::One],
+        ];
+        let m = ResponseMatrix::from_rows(cfg, &rows);
+        assert_eq!(m.num_patterns(), 2);
+        assert_eq!(m.row(0), rows[0]);
+        assert_eq!(m.row(1), rows[1]);
+        assert_eq!(m.total_x(), 3);
+    }
+
+    #[test]
+    fn to_xmap_matches() {
+        let cfg = ScanConfig::uniform(2, 2);
+        let mut m = ResponseMatrix::filled(cfg, 2, Trit::Zero);
+        m.set(0, CellId::new(0, 1), Trit::X);
+        m.set(1, CellId::new(0, 1), Trit::X);
+        m.set(1, CellId::new(1, 0), Trit::X);
+        let xmap = m.to_xmap();
+        assert_eq!(xmap.total_x(), 3);
+        assert_eq!(xmap.x_count(CellId::new(0, 1)), 2);
+        assert_eq!(xmap.x_count(CellId::new(1, 0)), 1);
+        assert_eq!(xmap.x_count(CellId::new(0, 0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern 3 out of range")]
+    fn pattern_bound_checked() {
+        let cfg = ScanConfig::uniform(1, 1);
+        ResponseMatrix::filled(cfg, 3, Trit::Zero).get(3, CellId::new(0, 0));
+    }
+}

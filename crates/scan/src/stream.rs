@@ -1,0 +1,120 @@
+//! Cycle-level scan unload streams.
+//!
+//! The harness's [`crate::ScanHarness::run`] abstracts shifting away (a
+//! direct state load is behaviourally equivalent for capture). For the
+//! compactor, however, the *order* in which captured bits arrive matters:
+//! the MISR sees one bit per chain per cycle, cell nearest scan-out first,
+//! with short chains lead-aligned so every chain finishes together. This
+//! module materialises that stream; `xhc-misr`'s symbolic simulation uses
+//! the identical order, which is verified by a cross-crate test.
+
+use crate::config::CellId;
+use crate::response::ResponseMatrix;
+use xhc_logic::Trit;
+
+/// The scan-cell arriving at the compactor from `chain` on unload cycle
+/// `cycle` (0-based), or `None` while a short chain's data has not
+/// reached the output yet.
+///
+/// Unload takes `max_chain_len` cycles; cycle `t` presents, for a chain of
+/// length `len` with lead `max_len - len`, the cell at position
+/// `len - 1 - (t - lead)`.
+///
+/// # Panics
+///
+/// Panics if `chain` or `cycle` is out of range.
+pub fn unload_cell(config: &crate::ScanConfig, chain: usize, cycle: usize) -> Option<CellId> {
+    let max_len = config.max_chain_len();
+    assert!(cycle < max_len, "cycle {cycle} out of range");
+    let len = config.chain_len(chain);
+    let lead = max_len - len;
+    if cycle < lead {
+        return None;
+    }
+    Some(CellId::new(chain, len - 1 - (cycle - lead)))
+}
+
+/// The full unload stream of one captured pattern:
+/// `stream[cycle][chain]` is the [`Trit`] presented to compactor input
+/// `chain` on that cycle (`None` while a short chain is still leading).
+///
+/// # Panics
+///
+/// Panics if `pattern` is out of range.
+pub fn unload_stream(responses: &ResponseMatrix, pattern: usize) -> Vec<Vec<Option<Trit>>> {
+    let config = responses.config();
+    let max_len = config.max_chain_len();
+    (0..max_len)
+        .map(|cycle| {
+            (0..config.num_chains())
+                .map(|chain| {
+                    unload_cell(config, chain, cycle).map(|cell| responses.get(pattern, cell))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ScanConfig, XMapBuilder};
+
+    #[test]
+    fn every_cell_streams_exactly_once() {
+        let config = ScanConfig::new(vec![3, 1, 4]);
+        let mut seen = std::collections::BTreeSet::new();
+        for cycle in 0..config.max_chain_len() {
+            for chain in 0..config.num_chains() {
+                if let Some(cell) = unload_cell(&config, chain, cycle) {
+                    assert!(seen.insert(cell), "{cell} streamed twice");
+                }
+            }
+        }
+        assert_eq!(seen.len(), config.total_cells());
+    }
+
+    #[test]
+    fn nearest_scan_out_exits_first() {
+        let config = ScanConfig::uniform(2, 3);
+        // Cycle 0: position 2 (closest to scan-out); cycle 2: position 0.
+        assert_eq!(unload_cell(&config, 0, 0), Some(CellId::new(0, 2)));
+        assert_eq!(unload_cell(&config, 0, 2), Some(CellId::new(0, 0)));
+    }
+
+    #[test]
+    fn short_chains_lead_with_none() {
+        let config = ScanConfig::new(vec![4, 2]);
+        assert_eq!(unload_cell(&config, 1, 0), None);
+        assert_eq!(unload_cell(&config, 1, 1), None);
+        assert_eq!(unload_cell(&config, 1, 2), Some(CellId::new(1, 1)));
+        assert_eq!(unload_cell(&config, 1, 3), Some(CellId::new(1, 0)));
+        // All chains finish together on the last cycle.
+        assert_eq!(unload_cell(&config, 0, 3), Some(CellId::new(0, 0)));
+    }
+
+    #[test]
+    fn stream_values_match_matrix() {
+        let config = ScanConfig::uniform(2, 2);
+        let mut b = XMapBuilder::new(config.clone(), 1);
+        b.add_x(CellId::new(1, 0), 0);
+        let xmap = b.finish();
+        let mut resp = ResponseMatrix::filled(config.clone(), 1, Trit::Zero);
+        resp.set(0, CellId::new(0, 1), Trit::One);
+        resp.set(0, CellId::new(1, 0), Trit::X);
+
+        let stream = unload_stream(&resp, 0);
+        assert_eq!(stream.len(), 2);
+        // Cycle 0: positions 1 of each chain.
+        assert_eq!(stream[0], vec![Some(Trit::One), Some(Trit::Zero)]);
+        // Cycle 1: positions 0.
+        assert_eq!(stream[1], vec![Some(Trit::Zero), Some(Trit::X)]);
+        let _ = xmap;
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle 5 out of range")]
+    fn cycle_bound_checked() {
+        unload_cell(&ScanConfig::uniform(1, 5), 0, 5);
+    }
+}

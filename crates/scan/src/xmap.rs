@@ -1,0 +1,352 @@
+//! Sparse X-location maps.
+
+use crate::config::{CellId, ScanConfig};
+use std::collections::BTreeMap;
+use xhc_bits::PatternSet;
+
+/// The sparse X-location map: for every scan cell that captures at least
+/// one X, the set of patterns under which it does.
+///
+/// All control-bit and test-time accounting in the paper is a function of
+/// X locations only — non-X values never enter the formulas. `XMap` is
+/// therefore the working representation for industrial-scale analysis
+/// (e.g. CKT-A: 505,050 cells × 3,000 patterns stays small because only
+/// X-capturing cells are stored).
+///
+/// # Examples
+///
+/// ```
+/// use xhc_scan::{ScanConfig, XMapBuilder, CellId};
+///
+/// let cfg = ScanConfig::uniform(5, 3);
+/// let mut b = XMapBuilder::new(cfg, 8);
+/// b.add_x(CellId::new(0, 0), 0);
+/// b.add_x(CellId::new(0, 0), 3);
+/// let xmap = b.finish();
+/// assert_eq!(xmap.total_x(), 2);
+/// assert_eq!(xmap.x_count(CellId::new(0, 0)), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XMap {
+    config: ScanConfig,
+    num_patterns: usize,
+    /// Linear cell index → X pattern set; only X-capturing cells present.
+    xsets: BTreeMap<usize, PatternSet>,
+}
+
+impl XMap {
+    /// Builds a map by asking `is_x(pattern, cell)` for every entry.
+    ///
+    /// Only use for small configurations (it enumerates the full matrix);
+    /// large workloads should use [`XMapBuilder`].
+    pub fn from_fn<F: FnMut(usize, CellId) -> bool>(
+        config: ScanConfig,
+        num_patterns: usize,
+        mut is_x: F,
+    ) -> Self {
+        let mut b = XMapBuilder::new(config, num_patterns);
+        let cells: Vec<CellId> = b.config().iter_cells().collect();
+        for cell in cells {
+            for p in 0..num_patterns {
+                if is_x(p, cell) {
+                    b.add_x(cell, p);
+                }
+            }
+        }
+        b.finish()
+    }
+
+    /// The scan topology.
+    pub fn config(&self) -> &ScanConfig {
+        &self.config
+    }
+
+    /// Number of patterns in the universe.
+    pub fn num_patterns(&self) -> usize {
+        self.num_patterns
+    }
+
+    /// Number of cells that capture at least one X.
+    pub fn num_x_cells(&self) -> usize {
+        self.xsets.len()
+    }
+
+    /// Total number of X's over all cells and patterns.
+    pub fn total_x(&self) -> usize {
+        self.xsets.values().map(PatternSet::card).sum()
+    }
+
+    /// Fraction of response bits that are X.
+    pub fn x_density(&self) -> f64 {
+        let bits = self.config.total_cells() * self.num_patterns;
+        if bits == 0 {
+            return 0.0;
+        }
+        self.total_x() as f64 / bits as f64
+    }
+
+    /// Number of X's captured by `cell` over all patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is out of range.
+    pub fn x_count(&self, cell: CellId) -> usize {
+        self.xsets
+            .get(&self.config.linear_index(cell))
+            .map_or(0, PatternSet::card)
+    }
+
+    /// The X pattern set of `cell`, if it captures any X.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is out of range.
+    pub fn xset(&self, cell: CellId) -> Option<&PatternSet> {
+        self.xsets.get(&self.config.linear_index(cell))
+    }
+
+    /// Number of X's `cell` captures within the given pattern subset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is out of range or the subset universe differs
+    /// from `num_patterns`.
+    pub fn x_count_in(&self, cell: CellId, patterns: &PatternSet) -> usize {
+        self.xset(cell)
+            .map_or(0, |xs| xs.intersection_card(patterns))
+    }
+
+    /// Total X's within the given pattern subset, over all cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subset universe differs from `num_patterns`.
+    pub fn total_x_in(&self, patterns: &PatternSet) -> usize {
+        self.xsets
+            .values()
+            .map(|xs| xs.intersection_card(patterns))
+            .sum()
+    }
+
+    /// Whether `cell` captures an X under `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn is_x(&self, pattern: usize, cell: CellId) -> bool {
+        assert!(
+            pattern < self.num_patterns,
+            "pattern {pattern} out of range"
+        );
+        self.xset(cell).is_some_and(|xs| xs.contains(pattern))
+    }
+
+    /// Iterator over `(cell, X pattern set)` for X-capturing cells, in
+    /// linear-index order.
+    pub fn iter(&self) -> impl Iterator<Item = (CellId, &PatternSet)> {
+        self.xsets
+            .iter()
+            .map(|(&idx, xs)| (self.config.cell_at(idx), xs))
+    }
+
+    /// Number of X's per pattern (indexed by pattern).
+    pub fn x_per_pattern(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_patterns];
+        for xs in self.xsets.values() {
+            for p in xs.iter() {
+                counts[p] += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// Incremental builder for [`XMap`], used by workload generators and the
+/// scan capture harness.
+#[derive(Debug, Clone)]
+pub struct XMapBuilder {
+    config: ScanConfig,
+    num_patterns: usize,
+    xsets: BTreeMap<usize, PatternSet>,
+}
+
+impl XMapBuilder {
+    /// Creates a builder for the given topology and pattern count.
+    pub fn new(config: ScanConfig, num_patterns: usize) -> Self {
+        XMapBuilder {
+            config,
+            num_patterns,
+            xsets: BTreeMap::new(),
+        }
+    }
+
+    /// The scan topology.
+    pub fn config(&self) -> &ScanConfig {
+        &self.config
+    }
+
+    /// Records that `cell` captures an X under `pattern`. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell or pattern is out of range.
+    pub fn add_x(&mut self, cell: CellId, pattern: usize) {
+        assert!(
+            pattern < self.num_patterns,
+            "pattern {pattern} out of range"
+        );
+        let idx = self.config.linear_index(cell);
+        self.xsets
+            .entry(idx)
+            .or_insert_with(|| PatternSet::empty(self.num_patterns))
+            .insert(pattern);
+    }
+
+    /// Records a whole X pattern set for `cell`, unioning with anything
+    /// already recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is out of range or the set universe differs.
+    pub fn add_xset(&mut self, cell: CellId, patterns: &PatternSet) {
+        assert_eq!(
+            patterns.universe(),
+            self.num_patterns,
+            "pattern-set universe mismatch"
+        );
+        let idx = self.config.linear_index(cell);
+        match self.xsets.entry(idx) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(patterns.clone());
+            }
+            std::collections::btree_map::Entry::Occupied(mut o) => {
+                let merged = o.get().union(patterns);
+                o.insert(merged);
+            }
+        }
+    }
+
+    /// Finalises the map, dropping cells whose recorded set ended up empty.
+    pub fn finish(self) -> XMap {
+        let mut xsets = self.xsets;
+        xsets.retain(|_, xs| !xs.is_empty());
+        XMap {
+            config: self.config,
+            num_patterns: self.num_patterns,
+            xsets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig4_xmap() -> XMap {
+        // The paper's Fig. 4 X map: 8 patterns (0-indexed P1..P8 -> 0..7),
+        // 5 chains × 3 cells.
+        //   SC1[0]: X under P1,P4,P5,P6
+        //   SC2[0]: X under P1,P4,P5,P6
+        //   SC3[0]: X under P1,P4,P5,P6
+        //   SC2[2]: X under P1,P5
+        //   SC4[2]: X under P1,P2,P3,P4,P5,P7,P8 (7 X's)
+        //   SC5[1]: X under P1,P2,P4,P5,P7,P8 (6 X's)
+        //   SC5[2]: X under P6 (1 X)
+        let cfg = ScanConfig::uniform(5, 3);
+        let mut b = XMapBuilder::new(cfg, 8);
+        for p in [0, 3, 4, 5] {
+            b.add_x(CellId::new(0, 0), p);
+            b.add_x(CellId::new(1, 0), p);
+            b.add_x(CellId::new(2, 0), p);
+        }
+        for p in [0, 4] {
+            b.add_x(CellId::new(1, 2), p);
+        }
+        for p in [0, 1, 2, 3, 4, 6, 7] {
+            b.add_x(CellId::new(3, 2), p);
+        }
+        for p in [0, 1, 3, 4, 6, 7] {
+            b.add_x(CellId::new(4, 1), p);
+        }
+        b.add_x(CellId::new(4, 2), 5);
+        b.finish()
+    }
+
+    #[test]
+    fn fig4_totals() {
+        let m = fig4_xmap();
+        // 3 cells * 4 + 2 + 7 + 6 + 1 = 28 X's, as the paper counts.
+        assert_eq!(m.total_x(), 28);
+        assert_eq!(m.num_x_cells(), 7);
+        assert!((m.x_density() - 28.0 / 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_cell_counts_match_fig4() {
+        let m = fig4_xmap();
+        assert_eq!(m.x_count(CellId::new(0, 0)), 4);
+        assert_eq!(m.x_count(CellId::new(1, 2)), 2);
+        assert_eq!(m.x_count(CellId::new(3, 2)), 7);
+        assert_eq!(m.x_count(CellId::new(4, 1)), 6);
+        assert_eq!(m.x_count(CellId::new(4, 2)), 1);
+        assert_eq!(m.x_count(CellId::new(0, 1)), 0);
+    }
+
+    #[test]
+    fn restricted_counts() {
+        let m = fig4_xmap();
+        // Partition 1 of Fig. 5: patterns {P1, P4, P5, P6} = {0,3,4,5}.
+        let part1 = PatternSet::from_patterns(8, [0, 3, 4, 5]);
+        assert_eq!(m.x_count_in(CellId::new(0, 0), &part1), 4);
+        assert_eq!(m.x_count_in(CellId::new(3, 2), &part1), 3);
+        assert_eq!(m.x_count_in(CellId::new(4, 1), &part1), 3);
+        assert_eq!(m.x_count_in(CellId::new(4, 2), &part1), 1);
+        // Partition 2: {P2, P3, P7, P8} = {1,2,6,7}.
+        let part2 = PatternSet::from_patterns(8, [1, 2, 6, 7]);
+        assert_eq!(m.x_count_in(CellId::new(3, 2), &part2), 4);
+        assert_eq!(m.x_count_in(CellId::new(4, 1), &part2), 3);
+        assert_eq!(m.x_count_in(CellId::new(0, 0), &part2), 0);
+        assert_eq!(m.total_x_in(&part2), 7);
+    }
+
+    #[test]
+    fn is_x_and_iteration() {
+        let m = fig4_xmap();
+        assert!(m.is_x(0, CellId::new(0, 0)));
+        assert!(!m.is_x(1, CellId::new(0, 0)));
+        let cells: Vec<CellId> = m.iter().map(|(c, _)| c).collect();
+        assert_eq!(cells.len(), 7);
+        // Linear order: chain-major.
+        assert!(cells.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn x_per_pattern_sums_to_total() {
+        let m = fig4_xmap();
+        let per = m.x_per_pattern();
+        assert_eq!(per.iter().sum::<usize>(), 28);
+        // P6 (index 5): SC1[0], SC2[0], SC3[0], SC5[2] -> 4 X's.
+        assert_eq!(per[5], 4);
+    }
+
+    #[test]
+    fn add_xset_unions() {
+        let cfg = ScanConfig::uniform(1, 1);
+        let mut b = XMapBuilder::new(cfg, 4);
+        b.add_x(CellId::new(0, 0), 0);
+        b.add_xset(CellId::new(0, 0), &PatternSet::from_patterns(4, [2, 3]));
+        let m = b.finish();
+        assert_eq!(m.x_count(CellId::new(0, 0)), 3);
+    }
+
+    #[test]
+    fn empty_cells_dropped_at_finish() {
+        let cfg = ScanConfig::uniform(1, 2);
+        let mut b = XMapBuilder::new(cfg, 4);
+        b.add_xset(CellId::new(0, 0), &PatternSet::empty(4));
+        let m = b.finish();
+        assert_eq!(m.num_x_cells(), 0);
+        assert_eq!(m.total_x(), 0);
+        assert_eq!(m.x_density(), 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Property tests for the `xmap v1` text format: any map round-trips.
+
+use proptest::prelude::*;
+use xhc_scan::{read_xmap, write_xmap, CellId, ScanConfig, XMapBuilder};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_map_roundtrips(
+        lengths in prop::collection::vec(1usize..6, 1..5),
+        entries in prop::collection::vec((0usize..20, 0usize..15), 0..60),
+        patterns in 1usize..16,
+    ) {
+        let config = ScanConfig::new(lengths);
+        let mut b = XMapBuilder::new(config.clone(), patterns);
+        for (cell, pattern) in entries {
+            let cell = cell % config.total_cells();
+            b.add_x(config.cell_at(cell), pattern % patterns);
+        }
+        let xmap = b.finish();
+
+        let mut buf = Vec::new();
+        write_xmap(&mut buf, &xmap).expect("write to vec cannot fail");
+        let back = read_xmap(&buf[..]).expect("own output must parse");
+        prop_assert_eq!(back, xmap);
+    }
+
+    #[test]
+    fn truncated_input_never_panics(
+        lengths in prop::collection::vec(1usize..4, 1..3),
+        cut in 0usize..200,
+    ) {
+        let config = ScanConfig::new(lengths);
+        let mut b = XMapBuilder::new(config.clone(), 5);
+        b.add_x(config.cell_at(0), 0);
+        b.add_x(CellId::new(0, 0), 4);
+        let xmap = b.finish();
+        let mut buf = Vec::new();
+        write_xmap(&mut buf, &xmap).expect("write to vec cannot fail");
+        let cut = cut.min(buf.len());
+        // Truncated input either parses to *some* map or errors cleanly.
+        let _ = read_xmap(&buf[..cut]);
+    }
+}

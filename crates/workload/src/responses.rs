@@ -1,0 +1,110 @@
+//! Materialising concrete responses from an X map.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xhc_logic::Trit;
+use xhc_scan::{ResponseMatrix, XMap};
+
+/// Expands a (small) X map into a dense response matrix: X where the map
+/// says X, seeded-random known bits elsewhere.
+///
+/// Control-bit and test-time accounting never look at the known values, but
+/// the operational pipeline (mask gating, MISR compaction, X-canceling)
+/// does — this function provides consistent concrete data for end-to-end
+/// runs and fault-injection experiments.
+///
+/// # Panics
+///
+/// Panics if the dense matrix would exceed 100 million entries (use the
+/// sparse [`XMap`] directly for industrial-scale accounting).
+///
+/// # Examples
+///
+/// ```
+/// use xhc_workload::{materialize_responses, WorkloadSpec};
+///
+/// let spec = WorkloadSpec {
+///     total_cells: 60,
+///     num_chains: 3,
+///     num_patterns: 20,
+///     x_density: 0.05,
+///     ..WorkloadSpec::default()
+/// };
+/// let xmap = spec.generate();
+/// let responses = materialize_responses(&xmap, 42);
+/// assert_eq!(responses.total_x(), xmap.total_x());
+/// ```
+pub fn materialize_responses(xmap: &XMap, seed: u64) -> ResponseMatrix {
+    let config = xmap.config().clone();
+    let cells = config.total_cells();
+    let patterns = xmap.num_patterns();
+    assert!(
+        cells.saturating_mul(patterns) <= 100_000_000,
+        "dense responses too large ({cells} cells x {patterns} patterns); use the XMap directly"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = ResponseMatrix::filled(config.clone(), patterns, Trit::Zero);
+    for p in 0..patterns {
+        for idx in 0..cells {
+            let cell = config.cell_at(idx);
+            let v = if xmap.is_x(p, cell) {
+                Trit::X
+            } else {
+                Trit::from_bool(rng.gen_bool(0.5))
+            };
+            m.set(p, cell, v);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadSpec;
+
+    fn small_map() -> XMap {
+        WorkloadSpec {
+            total_cells: 80,
+            num_chains: 4,
+            num_patterns: 25,
+            x_density: 0.04,
+            seed: 3,
+            ..WorkloadSpec::default()
+        }
+        .generate()
+    }
+
+    #[test]
+    fn x_positions_match_map() {
+        let xmap = small_map();
+        let resp = materialize_responses(&xmap, 1);
+        let cfg = xmap.config();
+        for p in 0..xmap.num_patterns() {
+            for idx in 0..cfg.total_cells() {
+                let cell = cfg.cell_at(idx);
+                assert_eq!(resp.get(p, cell).is_x(), xmap.is_x(p, cell));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let xmap = small_map();
+        assert_eq!(
+            materialize_responses(&xmap, 5),
+            materialize_responses(&xmap, 5)
+        );
+        assert_ne!(
+            materialize_responses(&xmap, 5),
+            materialize_responses(&xmap, 6)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn size_guard() {
+        let xmap = WorkloadSpec::ckt_a().generate();
+        materialize_responses(&xmap, 0);
+    }
+}

@@ -1,0 +1,429 @@
+//! Synthetic industrial workload specification and generation.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use xhc_bits::PatternSet;
+use xhc_scan::{ScanConfig, XMap, XMapBuilder};
+
+/// A synthetic workload: a scan topology plus a statistically-shaped X
+/// profile.
+///
+/// The paper evaluates on three proprietary industrial circuits; their
+/// response data is reproduced here *statistically* (see `DESIGN.md`,
+/// substitutions table): the X profile is built from
+///
+/// * **correlated groups** — sets of scan cells sharing an *identical* X
+///   pattern set (the §3 inter-correlation: "172 scan cells out of 177
+///   have the 406 X's by the same 406 test patterns"), and
+/// * **noise** — individually scattered X's over a bounded cell pool
+///   ("90% of X's are captured in 4.9% of the scan cells").
+///
+/// All quantities in Table 1 are functions of the X profile only, so
+/// matching the profile preserves the experiment's shape.
+///
+/// # Examples
+///
+/// ```
+/// use xhc_workload::WorkloadSpec;
+///
+/// let spec = WorkloadSpec {
+///     total_cells: 600,
+///     num_chains: 6,
+///     num_patterns: 100,
+///     x_density: 0.02,
+///     ..WorkloadSpec::default()
+/// };
+/// let xmap = spec.generate();
+/// let achieved = xmap.x_density();
+/// assert!((achieved - 0.02).abs() < 0.005, "{achieved}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Workload label (e.g. "CKT-B").
+    pub name: &'static str,
+    /// Scan cells.
+    pub total_cells: usize,
+    /// Scan chains (cells are balanced over them).
+    pub num_chains: usize,
+    /// Test patterns.
+    pub num_patterns: usize,
+    /// Target X-density (fraction of response bits that are X).
+    pub x_density: f64,
+    /// Fraction of X's placed in correlated groups (rest is noise).
+    pub correlated_fraction: f64,
+    /// Number of correlated groups.
+    pub num_groups: usize,
+    /// Mean fraction of the pattern set covered by a group's shared X
+    /// pattern set.
+    pub group_pattern_fraction: f64,
+    /// Fraction of cells allowed to capture any X at all (the X cell
+    /// pool).
+    pub x_cell_fraction: f64,
+    /// Spatial (intra-correlation) clustering of the X cell pool: the
+    /// probability that each successive pool cell is placed adjacent to
+    /// the previous one on its scan chain instead of uniformly at random
+    /// (\[13\]'s "contiguous and adjacent areas of scan chains"). `0.0`
+    /// scatters the pool uniformly.
+    pub spatial_clustering: f64,
+    /// RNG seed (generation is deterministic per spec).
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            name: "synthetic",
+            total_cells: 1000,
+            num_chains: 10,
+            num_patterns: 200,
+            x_density: 0.01,
+            correlated_fraction: 0.9,
+            num_groups: 6,
+            group_pattern_fraction: 0.25,
+            x_cell_fraction: 0.1,
+            spatial_clustering: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// The paper's CKT-A profile: 505,050 cells, ~1000 chains (derived
+    /// from Table 1's test-time column), 3000 patterns, 0.05% X-density.
+    pub fn ckt_a() -> Self {
+        WorkloadSpec {
+            name: "CKT-A",
+            total_cells: 505_050,
+            num_chains: 1000,
+            num_patterns: 3000,
+            x_density: 0.0005,
+            correlated_fraction: 0.45,
+            num_groups: 2,
+            group_pattern_fraction: 0.35,
+            x_cell_fraction: 0.004,
+            spatial_clustering: 0.3,
+            seed: 0xA,
+        }
+    }
+
+    /// The paper's CKT-B profile: 36,075 cells, 75 chains, 3000 patterns,
+    /// 2.75% X-density, §3's clustering statistics.
+    pub fn ckt_b() -> Self {
+        WorkloadSpec {
+            name: "CKT-B",
+            total_cells: 36_075,
+            num_chains: 75,
+            num_patterns: 3000,
+            x_density: 0.0275,
+            correlated_fraction: 0.55,
+            num_groups: 3,
+            group_pattern_fraction: 0.77,
+            x_cell_fraction: 0.108, // 3,903 of 36,075 cells capture X
+            spatial_clustering: 0.3,
+            seed: 0xB,
+        }
+    }
+
+    /// The paper's CKT-C profile: 97,643 cells, 203 chains, 3000 patterns,
+    /// 2.38% X-density.
+    pub fn ckt_c() -> Self {
+        WorkloadSpec {
+            name: "CKT-C",
+            total_cells: 97_643,
+            num_chains: 203,
+            num_patterns: 3000,
+            x_density: 0.0238,
+            correlated_fraction: 0.33,
+            num_groups: 3,
+            group_pattern_fraction: 0.5,
+            x_cell_fraction: 0.08,
+            spatial_clustering: 0.3,
+            seed: 0xC,
+        }
+    }
+
+    /// The scan topology the workload uses.
+    pub fn scan_config(&self) -> ScanConfig {
+        ScanConfig::balanced(self.total_cells, self.num_chains)
+    }
+
+    /// Target total X count.
+    pub fn target_x(&self) -> usize {
+        (self.x_density * self.total_cells as f64 * self.num_patterns as f64).round() as usize
+    }
+
+    /// Generates the X map. Deterministic per spec (including `seed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is inconsistent (zero cells/chains/patterns,
+    /// fractions outside `\[0, 1\]`).
+    pub fn generate(&self) -> XMap {
+        assert!(self.num_patterns > 0, "need at least one pattern");
+        for (label, f) in [
+            ("x_density", self.x_density),
+            ("correlated_fraction", self.correlated_fraction),
+            ("group_pattern_fraction", self.group_pattern_fraction),
+            ("x_cell_fraction", self.x_cell_fraction),
+            ("spatial_clustering", self.spatial_clustering),
+        ] {
+            assert!((0.0..=1.0).contains(&f), "{label} must be in [0,1]");
+        }
+        let config = self.scan_config();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut builder = XMapBuilder::new(config.clone(), self.num_patterns);
+
+        let target = self.target_x();
+        let corr_budget = (target as f64 * self.correlated_fraction).round() as usize;
+        let noise_budget = target.saturating_sub(corr_budget);
+
+        // The X cell pool: the only cells ever allowed to capture X.
+        let pool_size = ((self.total_cells as f64 * self.x_cell_fraction).round() as usize)
+            .clamp(1, self.total_cells);
+        let mut pool = self.sample_pool(&config, pool_size, &mut rng);
+        if self.spatial_clustering <= 0.0 {
+            // A clustered walk is kept in walk order so correlated groups
+            // occupy contiguous chain segments; a scattered pool gains
+            // nothing from its sampling order.
+            pool.shuffle(&mut rng);
+        }
+
+        // Correlated groups: identical pattern set per group, cells drawn
+        // from the front of the pool (they may also receive noise later,
+        // which only adds patterns and never breaks the superset
+        // property that makes them maskable).
+        let mut pool_cursor = 0usize;
+        if self.num_groups > 0 && corr_budget > 0 {
+            let per_group = corr_budget / self.num_groups;
+            for g in 0..self.num_groups {
+                // Group pattern-set size: jitter around the mean fraction.
+                let mean = (self.group_pattern_fraction * self.num_patterns as f64).max(1.0);
+                let lo = (mean * 0.5).max(1.0) as usize;
+                let hi = ((mean * 1.5) as usize).clamp(lo + 1, self.num_patterns + 1);
+                let set_size = rng.gen_range(lo..hi).min(self.num_patterns);
+                let patterns = random_pattern_set(&mut rng, self.num_patterns, set_size);
+
+                let budget_g = if g == self.num_groups - 1 {
+                    corr_budget - per_group * (self.num_groups - 1)
+                } else {
+                    per_group
+                };
+                let cells_in_group = (budget_g / set_size).max(1);
+                for _ in 0..cells_in_group {
+                    if pool_cursor >= pool.len() {
+                        break;
+                    }
+                    let cell = config.cell_at(pool[pool_cursor]);
+                    pool_cursor += 1;
+                    builder.add_xset(cell, &patterns);
+                }
+            }
+        }
+
+        // Noise: scattered X's over the part of the pool *not* used by the
+        // correlated groups. Keeping group cells pristine matters: the
+        // paper's §3 analysis of real industrial data finds cells with
+        // *exactly* equal X counts and identical pattern sets (177 cells
+        // with exactly 406 X's), and the partitioning pivot is defined on
+        // those exact-count classes.
+        let noise_pool = if pool_cursor < pool.len() {
+            &pool[pool_cursor..]
+        } else {
+            &pool[..]
+        };
+        // Heterogeneous per-cell noise rates (log-uniform weights): real X
+        // sources differ wildly in how often they fire, so per-cell X
+        // counts spread out instead of clustering binomially around one
+        // mean — uniform noise would manufacture large *coincidental*
+        // equal-count classes that mislead the partitioning pivot.
+        let cumulative: Vec<f64> = (0..noise_pool.len())
+            .scan(0.0f64, |acc, _| {
+                *acc += (rng.gen_range(0.0..3.0f64)).exp();
+                Some(*acc)
+            })
+            .collect();
+        let total_weight = cumulative.last().copied().unwrap_or(0.0);
+        let noise_budget = if noise_pool.is_empty() || total_weight <= 0.0 {
+            0
+        } else {
+            noise_budget
+        };
+        for _ in 0..noise_budget {
+            let pick = rng.gen_range(0.0..total_weight);
+            let chosen = cumulative.partition_point(|&c| c <= pick);
+            let cell_idx = noise_pool[chosen.min(noise_pool.len() - 1)];
+            let p = rng.gen_range(0..self.num_patterns);
+            builder.add_x(config.cell_at(cell_idx), p);
+        }
+
+        builder.finish()
+    }
+}
+
+impl WorkloadSpec {
+    /// Samples the X cell pool, optionally as spatially-clustered chain
+    /// runs (see [`WorkloadSpec::spatial_clustering`]).
+    fn sample_pool(&self, config: &ScanConfig, size: usize, rng: &mut StdRng) -> Vec<usize> {
+        // Fall back to uniform sampling when clustering is off or the pool
+        // is so large that rejection sampling would crawl.
+        if self.spatial_clustering <= 0.0 || size * 2 > self.total_cells {
+            return rand::seq::index::sample(rng, self.total_cells, size).into_vec();
+        }
+        let mut chosen = std::collections::HashSet::with_capacity(size);
+        let mut pool = Vec::with_capacity(size);
+        let mut prev: Option<xhc_scan::CellId> = None;
+        while pool.len() < size {
+            let neighbour = prev
+                .filter(|_| rng.gen_bool(self.spatial_clustering))
+                .and_then(|cell| {
+                    let chain = cell.chain as usize;
+                    let len = config.chain_len(chain);
+                    let pos = cell.position as i64;
+                    [pos + 1, pos - 1]
+                        .into_iter()
+                        .filter(|&p| p >= 0 && (p as usize) < len)
+                        .map(|p| config.linear_index(xhc_scan::CellId::new(chain, p as usize)))
+                        .find(|i| !chosen.contains(i))
+                });
+            let idx = neighbour.unwrap_or_else(|| loop {
+                let i = rng.gen_range(0..self.total_cells);
+                if !chosen.contains(&i) {
+                    break i;
+                }
+            });
+            chosen.insert(idx);
+            pool.push(idx);
+            prev = Some(config.cell_at(idx));
+        }
+        pool
+    }
+}
+
+fn random_pattern_set(rng: &mut StdRng, universe: usize, size: usize) -> PatternSet {
+    let picks = rand::seq::index::sample(rng, universe, size.min(universe));
+    PatternSet::from_patterns(universe, picks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> WorkloadSpec {
+        WorkloadSpec {
+            total_cells: 500,
+            num_chains: 5,
+            num_patterns: 120,
+            x_density: 0.03,
+            num_groups: 4,
+            seed: 7,
+            ..WorkloadSpec::default()
+        }
+    }
+
+    #[test]
+    fn density_close_to_target() {
+        let xmap = small().generate();
+        let got = xmap.x_density();
+        assert!((got - 0.03).abs() < 0.01, "target 0.03, got {got}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small().generate();
+        let b = small().generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small().generate();
+        let b = WorkloadSpec { seed: 8, ..small() }.generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn x_cells_bounded_by_pool() {
+        let spec = small();
+        let xmap = spec.generate();
+        let pool = (spec.total_cells as f64 * spec.x_cell_fraction).round() as usize;
+        assert!(xmap.num_x_cells() <= pool);
+        assert!(xmap.num_x_cells() > 0);
+    }
+
+    #[test]
+    fn correlated_groups_share_identical_sets() {
+        // With 90% correlation there must be a sizable group of cells with
+        // identical X pattern sets.
+        let spec = WorkloadSpec {
+            correlated_fraction: 1.0,
+            ..small()
+        };
+        let xmap = spec.generate();
+        let mut by_set: std::collections::HashMap<&PatternSet, usize> =
+            std::collections::HashMap::new();
+        for (_, xs) in xmap.iter() {
+            *by_set.entry(xs).or_insert(0) += 1;
+        }
+        let largest = by_set.values().copied().max().unwrap_or(0);
+        assert!(largest >= 3, "expected a correlated group, got {largest}");
+    }
+
+    #[test]
+    fn presets_have_paper_shapes() {
+        let a = WorkloadSpec::ckt_a();
+        assert_eq!(a.total_cells, 505_050);
+        assert_eq!(a.scan_config().num_chains(), 1000);
+        let b = WorkloadSpec::ckt_b();
+        assert_eq!(
+            b.target_x(),
+            (0.0275f64 * 36_075.0 * 3000.0).round() as usize
+        );
+        let c = WorkloadSpec::ckt_c();
+        assert_eq!(c.num_patterns, 3000);
+    }
+
+    #[test]
+    fn spatial_clustering_creates_chain_runs() {
+        let scattered = WorkloadSpec {
+            spatial_clustering: 0.0,
+            ..small()
+        }
+        .generate();
+        let clustered = WorkloadSpec {
+            spatial_clustering: 0.9,
+            ..small()
+        }
+        .generate();
+        let adjacency = |xmap: &xhc_scan::XMap| {
+            let cfg = xmap.config();
+            let mut pairs = 0usize;
+            for (cell, _) in xmap.iter() {
+                let chain = cell.chain as usize;
+                let pos = cell.position as usize;
+                if pos + 1 < cfg.chain_len(chain)
+                    && xmap.xset(xhc_scan::CellId::new(chain, pos + 1)).is_some()
+                {
+                    pairs += 1;
+                }
+            }
+            pairs
+        };
+        assert!(
+            adjacency(&clustered) > adjacency(&scattered) * 2,
+            "clustered {} vs scattered {}",
+            adjacency(&clustered),
+            adjacency(&scattered)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn bad_fraction_panics() {
+        WorkloadSpec {
+            x_density: 1.5,
+            ..WorkloadSpec::default()
+        }
+        .generate();
+    }
+}

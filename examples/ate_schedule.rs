@@ -1,0 +1,100 @@
+//! Cycle-accurate ATE scheduling for the hybrid architecture.
+//!
+//! The paper reports test time through the closed-form model of \[11\]
+//! (`1 + n·x·q/(m−q)`); this example builds the explicit cycle schedule —
+//! shifting, captures, partition mask reloads, X-free extraction halts —
+//! shows the closed form emerging from it, and demonstrates why patterns
+//! should be applied partition-contiguously (one mask load per partition
+//! instead of one per partition *switch*).
+//!
+//! Run with: `cargo run --release --example ate_schedule`
+
+use xhybrid::core::{
+    mask_switches, pattern_order, schedule_hybrid, PartitionEngine, ScheduleOptions,
+};
+use xhybrid::misr::XCancelConfig;
+use xhybrid::scan::AteConfig;
+use xhybrid::workload::WorkloadSpec;
+
+fn main() {
+    let spec = WorkloadSpec {
+        name: "CKT-B (1/15 scale)",
+        total_cells: 2405,
+        num_chains: 5,
+        num_patterns: 600,
+        ..WorkloadSpec::ckt_b()
+    };
+    let xmap = spec.generate();
+    let cancel = XCancelConfig::paper_default();
+    let outcome = PartitionEngine::new(cancel).run(&xmap);
+    println!(
+        "workload {}: {} X's, {} partitions, {} leaked to the MISR",
+        spec.name,
+        xmap.total_x(),
+        outcome.partitions.len(),
+        outcome.leaked_x()
+    );
+
+    let ate = AteConfig::new(32);
+    let overlapped = schedule_hybrid(
+        xmap.config(),
+        xmap.num_patterns(),
+        &outcome,
+        cancel,
+        ate,
+        ScheduleOptions::default(),
+    );
+    let serialized = schedule_hybrid(
+        xmap.config(),
+        xmap.num_patterns(),
+        &outcome,
+        cancel,
+        ate,
+        ScheduleOptions {
+            overlap_mask_reload: false,
+            overlap_select_transfer: false,
+        },
+    );
+
+    println!("\n== cycle schedule (control data overlapped with shifting, the paper's model) ==");
+    print_schedule(&overlapped);
+    println!("\n== cycle schedule (control data serialized — a pessimistic ATE) ==");
+    print_schedule(&serialized);
+
+    // The closed form the paper uses.
+    let residual_density =
+        outcome.leaked_x() as f64 / (xmap.config().total_cells() * xmap.num_patterns()) as f64;
+    let closed_form = cancel.normalized_test_time(xmap.config().num_chains(), residual_density);
+    println!(
+        "\nclosed-form normalized time (paper §5 formula): {closed_form:.4}  vs schedule: {:.4}",
+        overlapped.normalized()
+    );
+
+    // Pattern ordering matters for mask loads.
+    let contiguous = pattern_order(&outcome);
+    let naive: Vec<usize> = (0..xmap.num_patterns()).collect();
+    println!(
+        "\nmask loads: {} partition-contiguous vs {} in naive ascending order",
+        mask_switches(&contiguous, &outcome),
+        mask_switches(&naive, &outcome)
+    );
+}
+
+fn print_schedule(s: &xhybrid::core::TestSchedule) {
+    println!("  shift           : {:>9} cycles", s.shift_cycles);
+    println!("  capture         : {:>9} cycles", s.capture_cycles);
+    println!(
+        "  mask reload     : {:>9} cycles ({} loads)",
+        s.mask_reload_cycles, s.mask_loads
+    );
+    println!(
+        "  halts/extraction: {:>9} cycles ({} halts)",
+        s.extraction_cycles + s.select_transfer_cycles,
+        s.halts
+    );
+    println!(
+        "  total           : {:>9} cycles  (normalized {:.4})",
+        s.total_cycles(),
+        s.normalized()
+    );
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerates every paper artifact and ablation in one pass.
+# Usage: scripts/reproduce.sh [output-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-reproduction}"
+mkdir -p "$out"
+
+bins=(
+  table1
+  table1_sweep
+  fig2_symbolic
+  fig4_6_worked_example
+  sec3_correlation
+  intra_vs_inter
+  coverage_preservation
+  ablation_partition_depth
+  ablation_cell_selection
+  ablation_misr_config
+  ablation_split_strategy
+  ablation_baselines
+  aliasing_study
+  circuit_flow
+)
+
+cargo build --release -p xhc-bench
+
+for bin in "${bins[@]}"; do
+  echo "== $bin =="
+  cargo run -q --release -p xhc-bench --bin "$bin" | tee "$out/$bin.txt"
+  echo
+done
+
+echo "reports written to $out/"

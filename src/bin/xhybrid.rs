@@ -1,0 +1,286 @@
+//! `xhybrid` — command-line front end for the hybrid X-handling toolkit.
+//!
+//! ```text
+//! xhybrid gen --profile ckt-b [--scale N] [--seed S] --out FILE
+//! xhybrid analyze FILE
+//! xhybrid partition FILE [--m 32] [--q 7] [--strategy largest|best-cost]
+//! xhybrid schedule FILE [--m 32] [--q 7] [--channels 32]
+//! ```
+//!
+//! Files use the `xmap v1` text format (see `xhybrid::scan::write_xmap`).
+
+use std::fs::File;
+use std::process::ExitCode;
+
+use xhybrid::core::{
+    inter_correlation_stats, intra_correlation_stats, schedule_hybrid, PartitionEngine,
+    ScheduleOptions, SplitStrategy,
+};
+use xhybrid::misr::XCancelConfig;
+use xhybrid::scan::{read_xmap, write_xmap, AteConfig, XMap};
+use xhybrid::workload::WorkloadSpec;
+
+fn usage() -> &'static str {
+    "usage:
+  xhybrid gen --profile <ckt-a|ckt-b|ckt-c|demo> [--scale N] [--seed S] --out FILE
+  xhybrid analyze FILE
+  xhybrid partition FILE [--m 32] [--q 7] [--strategy largest|best-cost]
+  xhybrid schedule FILE [--m 32] [--q 7] [--channels 32]"
+}
+
+/// Minimal flag parser: `--name value` pairs plus positional arguments.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                flags.push((name.to_string(), value.clone()));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn flag_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("bad --{name}: {e}")),
+        }
+    }
+}
+
+fn load(path: &str) -> Result<XMap, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    read_xmap(file).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn cancel_config(args: &Args) -> Result<XCancelConfig, String> {
+    let m: usize = args.flag_parse("m", 32)?;
+    let q: usize = args.flag_parse("q", 7)?;
+    if q == 0 || q >= m {
+        return Err(format!("need 0 < q < m, got m={m} q={q}"));
+    }
+    Ok(XCancelConfig::new(m, q))
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let profile = args.flag("profile").unwrap_or("demo");
+    let mut spec = match profile {
+        "ckt-a" => WorkloadSpec::ckt_a(),
+        "ckt-b" => WorkloadSpec::ckt_b(),
+        "ckt-c" => WorkloadSpec::ckt_c(),
+        "demo" => WorkloadSpec::default(),
+        other => return Err(format!("unknown profile `{other}`")),
+    };
+    let scale: usize = args.flag_parse("scale", 1)?;
+    if scale > 1 {
+        spec.total_cells = (spec.total_cells / scale).max(spec.num_chains.max(4));
+        spec.num_chains = (spec.num_chains / scale).max(4);
+        spec.num_patterns = (spec.num_patterns / scale).max(20);
+    }
+    spec.seed = args.flag_parse("seed", spec.seed)?;
+    let out = args.flag("out").ok_or("gen needs --out FILE")?;
+    let xmap = spec.generate();
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    write_xmap(file, &xmap).map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!(
+        "wrote {out}: {} cells / {} chains / {} patterns, {} X's ({:.3}%)",
+        xmap.config().total_cells(),
+        xmap.config().num_chains(),
+        xmap.num_patterns(),
+        xmap.total_x(),
+        100.0 * xmap.x_density()
+    );
+    Ok(())
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("analyze needs a FILE")?;
+    let xmap = load(path)?;
+    let inter = inter_correlation_stats(&xmap);
+    let intra = intra_correlation_stats(&xmap);
+    println!("cells            : {}", inter.total_cells);
+    println!(
+        "X-capturing cells: {} ({:.2}%)",
+        inter.x_cells,
+        100.0 * inter.x_cells as f64 / inter.total_cells.max(1) as f64
+    );
+    println!(
+        "total X's        : {} ({:.3}% density)",
+        inter.total_x,
+        100.0 * xmap.x_density()
+    );
+    println!(
+        "90% of X's in    : {:.2}% of cells",
+        100.0 * inter.cells_for_90pct
+    );
+    println!(
+        "inter-correlation: largest identical-set group = {} cells; largest count class = {} cells x {} X's",
+        inter.largest_identical_group, inter.largest_count_class, inter.largest_count_class_count
+    );
+    println!(
+        "intra-correlation: {} of {} X-cells have an X neighbour; {} runs, longest {}{}",
+        intra.x_cells_with_x_neighbour,
+        intra.x_cells,
+        intra.runs,
+        intra.longest_run,
+        match intra.mean_adjacent_jaccard {
+            Some(j) => format!("; adjacent-set Jaccard {j:.2}"),
+            None => String::new(),
+        }
+    );
+    Ok(())
+}
+
+fn cmd_partition(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("partition needs a FILE")?;
+    let xmap = load(path)?;
+    let cancel = cancel_config(args)?;
+    let strategy = match args.flag("strategy").unwrap_or("largest") {
+        "largest" => SplitStrategy::LargestClass,
+        "best-cost" => SplitStrategy::BestCost,
+        other => return Err(format!("unknown strategy `{other}`")),
+    };
+    let outcome = PartitionEngine::new(cancel)
+        .with_strategy(strategy)
+        .run(&xmap);
+    let report = xhybrid::core::report_for_outcome(&xmap, cancel, outcome);
+    println!(
+        "partitions       : {} (after {} rounds)",
+        report.outcome.partitions.len(),
+        report.outcome.rounds.len()
+    );
+    println!(
+        "X's              : {} masked + {} leaked = {}",
+        report.outcome.masked_x(),
+        report.outcome.leaked_x(),
+        report.total_x
+    );
+    println!(
+        "control bits     : {:.1} (mask {} + cancel {:.1})",
+        report.proposed_bits, report.outcome.cost.masking_bits, report.outcome.cost.canceling_bits
+    );
+    println!(
+        "vs baselines     : {:.2}x over X-masking-only, {:.2}x over X-canceling-only",
+        report.impv_over_masking, report.impv_over_canceling
+    );
+    println!(
+        "test time        : {:.3} -> {:.3} ({:.2}x)",
+        report.time_canceling_only, report.time_proposed, report.time_impv
+    );
+    Ok(())
+}
+
+fn cmd_schedule(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("schedule needs a FILE")?;
+    let xmap = load(path)?;
+    let cancel = cancel_config(args)?;
+    let channels: usize = args.flag_parse("channels", 32)?;
+    let outcome = PartitionEngine::new(cancel).run(&xmap);
+    let schedule = schedule_hybrid(
+        xmap.config(),
+        xmap.num_patterns(),
+        &outcome,
+        cancel,
+        AteConfig::new(channels),
+        ScheduleOptions::default(),
+    );
+    println!("shift cycles     : {}", schedule.shift_cycles);
+    println!("capture cycles   : {}", schedule.capture_cycles);
+    println!(
+        "mask loads       : {} ({} reload cycles)",
+        schedule.mask_loads, schedule.mask_reload_cycles
+    );
+    println!(
+        "halts            : {} ({} extraction cycles)",
+        schedule.halts, schedule.extraction_cycles
+    );
+    println!("total cycles     : {}", schedule.total_cycles());
+    println!("normalized time  : {:.4}", schedule.normalized());
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err(usage().to_string());
+    };
+    let args = Args::parse(rest)?;
+    match cmd.as_str() {
+        "gen" => cmd_gen(&args),
+        "analyze" => cmd_analyze(&args),
+        "partition" => cmd_partition(&args),
+        "schedule" => cmd_schedule(&args),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_flags_and_positional() {
+        let argv: Vec<String> = ["file.xmap", "--m", "16", "--q", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let args = Args::parse(&argv).unwrap();
+        assert_eq!(args.positional, vec!["file.xmap"]);
+        assert_eq!(args.flag("m"), Some("16"));
+        assert_eq!(args.flag_parse::<usize>("q", 7).unwrap(), 3);
+        assert_eq!(args.flag_parse::<usize>("channels", 32).unwrap(), 32);
+    }
+
+    #[test]
+    fn args_missing_value_is_error() {
+        let argv = vec!["--m".to_string()];
+        assert!(Args::parse(&argv).is_err());
+    }
+
+    #[test]
+    fn cancel_config_validates() {
+        let argv: Vec<String> = ["--m", "8", "--q", "8"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let args = Args::parse(&argv).unwrap();
+        assert!(cancel_config(&args).is_err());
+    }
+}

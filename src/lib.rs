@@ -1,0 +1,64 @@
+//! # xhybrid
+//!
+//! A from-scratch reproduction of *"Reducing Control Bit Overhead for
+//! X-Masking/X-Canceling Hybrid Architecture via Pattern Partitioning"*
+//! (Kang, Touba, Yang — DAC 2016), together with every substrate the paper
+//! depends on: three-valued gate-level simulation, scan infrastructure,
+//! stuck-at fault simulation, PODEM ATPG, MISR compaction with symbolic
+//! X-canceling, and synthetic industrial workloads.
+//!
+//! This crate is a facade: it re-exports the workspace's subsystem crates
+//! under stable module names.
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`bits`] | `xhc-bits` | bit vectors, pattern sets, GF(2) Gaussian elimination |
+//! | [`logic`] | `xhc-logic` | netlists, 0/1/X simulation, X sources, circuit generation |
+//! | [`scan`] | `xhc-scan` | scan chains, capture harness, sparse X maps, ATE model |
+//! | [`fault`] | `xhc-fault` | stuck-at faults, fault simulation, coverage |
+//! | [`atpg`] | `xhc-atpg` | PODEM + random-pattern test generation |
+//! | [`misr`] | `xhc-misr` | MISR, symbolic simulation, X-masking, X-canceling |
+//! | [`core`] | `xhc-core` | **the paper's contribution**: correlation analysis, pattern partitioning, hybrid cost model, baselines |
+//! | [`workload`] | `xhc-workload` | synthetic CKT-A/B/C industrial X profiles |
+//!
+//! # Quickstart
+//!
+//! Reproduce the paper's Fig. 5/6 worked example:
+//!
+//! ```
+//! use xhybrid::core::{evaluate_hybrid, CellSelection};
+//! use xhybrid::misr::XCancelConfig;
+//! use xhybrid::scan::{CellId, ScanConfig, XMapBuilder};
+//!
+//! // The Fig. 4 X map: 8 patterns, 5 chains x 3 cells, 28 X's.
+//! let cfg = ScanConfig::uniform(5, 3);
+//! let mut b = XMapBuilder::new(cfg, 8);
+//! for p in [0, 3, 4, 5] {
+//!     b.add_x(CellId::new(0, 0), p);
+//!     b.add_x(CellId::new(1, 0), p);
+//!     b.add_x(CellId::new(2, 0), p);
+//! }
+//! for p in [0, 4] { b.add_x(CellId::new(1, 2), p); }
+//! for p in [0, 1, 2, 3, 4, 6, 7] { b.add_x(CellId::new(3, 2), p); }
+//! for p in [0, 1, 3, 4, 6, 7] { b.add_x(CellId::new(4, 1), p); }
+//! b.add_x(CellId::new(4, 2), 5);
+//! let xmap = b.finish();
+//!
+//! let report = evaluate_hybrid(&xmap, XCancelConfig::new(10, 2), CellSelection::First);
+//! assert_eq!(report.outcome.partitions.len(), 3); // Fig. 5's final state
+//! assert_eq!(report.outcome.masked_x(), 23);      // 23 of 28 X's masked
+//! assert_eq!(report.outcome.cost.total_ceil(), 58); // 57.5 -> 58 bits
+//! assert_eq!(report.masking_only_bits, 120);      // conventional masking
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use xhc_atpg as atpg;
+pub use xhc_bits as bits;
+pub use xhc_core as core;
+pub use xhc_fault as fault;
+pub use xhc_logic as logic;
+pub use xhc_misr as misr;
+pub use xhc_scan as scan;
+pub use xhc_workload as workload;

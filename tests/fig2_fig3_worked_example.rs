@@ -1,0 +1,113 @@
+//! Reproduces the paper's Figs. 2–3 exactly: the symbolic MISR state after
+//! compacting 14 deterministic values and 4 X's, and the Gaussian
+//! elimination that extracts the two X-free combinations
+//! `M1 ^ M3 ^ M5` and `M1 ^ M4`.
+
+use xhybrid::bits::{gauss, BitMatrix, BitVec};
+
+/// Symbol indices: O2..O17 are mapped to 2..=17 of an 18-wide O space
+/// (0 and 1 unused, matching the paper's numbering); X1..X4 to 0..=3.
+struct Fig2 {
+    /// Per MISR bit, the O symbols it depends on.
+    o_rows: Vec<BitVec>,
+    /// Per MISR bit, the X symbols it depends on.
+    x_rows: Vec<BitVec>,
+}
+
+fn fig2() -> Fig2 {
+    let o = |idxs: &[usize]| BitVec::from_indices(18, idxs.iter().copied());
+    let x = |idxs: &[usize]| BitVec::from_indices(4, idxs.iter().map(|i| i - 1));
+    Fig2 {
+        o_rows: vec![
+            o(&[3, 8, 13]),     // M1 = X1 + O3 + O8 + O13
+            o(&[2, 9, 14]),     // M2 = X1 + O2 + X2 + X3 + O9 + O14
+            o(&[2, 5, 10, 15]), // M3 = O2 + O5 + X3 + O10 + O15
+            o(&[6, 11, 16]),    // M4 = X1 + O6 + O11 + O16
+            o(&[2, 12, 17]),    // M5 = X1 + O2 + X3 + O12 + O17
+            o(&[2]),            // M6 = O2 + X3 + X4
+        ],
+        x_rows: vec![
+            x(&[1]),
+            x(&[1, 2, 3]),
+            x(&[3]),
+            x(&[1]),
+            x(&[1, 3]),
+            x(&[3, 4]),
+        ],
+    }
+}
+
+#[test]
+fn gaussian_elimination_finds_two_x_free_rows() {
+    let fig = fig2();
+    let dep = BitMatrix::from_rows(fig.x_rows.clone());
+    // "Since there are 4 X's in a 6 bit MISR, 2 X-free rows can be found."
+    assert_eq!(dep.rank(), 4);
+    let combos = gauss::x_free_combinations(&dep);
+    assert_eq!(combos.len(), 2);
+    for combo in &combos {
+        assert!(gauss::is_x_free(&dep, combo));
+    }
+}
+
+#[test]
+fn paper_combinations_are_x_free() {
+    let fig = fig2();
+    let dep = BitMatrix::from_rows(fig.x_rows.clone());
+    let m1_m3_m5 = BitVec::from_indices(6, [0, 2, 4]);
+    let m1_m4 = BitVec::from_indices(6, [0, 3]);
+    assert!(gauss::is_x_free(&dep, &m1_m3_m5));
+    assert!(gauss::is_x_free(&dep, &m1_m4));
+}
+
+#[test]
+fn canceled_signatures_match_paper_o_sets() {
+    // M1^M3^M5 = O3^O5^O8^O10^O12^O13^O15^O17
+    // M1^M4    = O3^O6^O8^O11^O13^O16
+    let fig = fig2();
+    let xor_rows = |rows: &[usize]| {
+        let mut acc = BitVec::zeros(18);
+        for &r in rows {
+            acc.xor_with(&fig.o_rows[r]);
+        }
+        acc
+    };
+    assert_eq!(
+        xor_rows(&[0, 2, 4]),
+        BitVec::from_indices(18, [3, 5, 8, 10, 12, 13, 15, 17])
+    );
+    assert_eq!(
+        xor_rows(&[0, 3]),
+        BitVec::from_indices(18, [3, 6, 8, 11, 13, 16])
+    );
+}
+
+#[test]
+fn paper_combinations_span_the_computed_basis() {
+    // Our Gaussian elimination may output a different basis of the left
+    // null space; verify both bases generate each other.
+    let fig = fig2();
+    let dep = BitMatrix::from_rows(fig.x_rows);
+    let ours = gauss::x_free_combinations(&dep);
+    let paper = [
+        BitVec::from_indices(6, [0, 2, 4]),
+        BitVec::from_indices(6, [0, 3]),
+    ];
+    // Stack ours + one paper combo: rank must stay 2 (no new dimension).
+    for p in &paper {
+        let mut rows = ours.clone();
+        rows.push(p.clone());
+        assert_eq!(BitMatrix::from_rows(rows).rank(), 2);
+    }
+}
+
+#[test]
+fn control_bit_accounting_matches_paper_text() {
+    // "Since two X-free signatures are generated, it needs two cycles and
+    //  each cycle requires 6 bits of control data. A total of 12 bits."
+    let fig = fig2();
+    let dep = BitMatrix::from_rows(fig.x_rows);
+    let combos = gauss::x_free_combinations(&dep);
+    let control_bits = combos.len() * 6;
+    assert_eq!(control_bits, 12);
+}

@@ -1,0 +1,89 @@
+//! Property tests for the scheduling and toggle-masking extensions.
+
+use proptest::prelude::*;
+use xhybrid::core::{
+    mask_switches, pattern_order, schedule_hybrid, toggle_masking, PartitionEngine,
+    ScheduleOptions, TogglePolicy,
+};
+use xhybrid::misr::XCancelConfig;
+use xhybrid::scan::{AteConfig, CellId, ScanConfig, XMap, XMapBuilder};
+
+fn arb_xmap() -> impl Strategy<Value = XMap> {
+    let entries = prop::collection::vec((0usize..15, 0usize..20), 0..100);
+    entries.prop_map(|entries| {
+        let cfg = ScanConfig::uniform(3, 5);
+        let mut b = XMapBuilder::new(cfg, 20);
+        for (cell, pattern) in entries {
+            b.add_x(CellId::new(cell / 5, cell % 5), pattern);
+        }
+        b.finish()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn schedule_is_consistent(xmap in arb_xmap()) {
+        let cancel = XCancelConfig::new(10, 2);
+        let outcome = PartitionEngine::new(cancel).run(&xmap);
+        let fast = schedule_hybrid(
+            xmap.config(), xmap.num_patterns(), &outcome, cancel,
+            AteConfig::new(32), ScheduleOptions::default(),
+        );
+        let slow = schedule_hybrid(
+            xmap.config(), xmap.num_patterns(), &outcome, cancel,
+            AteConfig::new(32),
+            ScheduleOptions { overlap_mask_reload: false, overlap_select_transfer: false },
+        );
+        // Overlapping control data never makes things slower; both are
+        // at least the pure-shift baseline.
+        prop_assert!(fast.total_cycles() <= slow.total_cycles());
+        prop_assert!(fast.normalized() >= 1.0);
+        prop_assert_eq!(fast.mask_loads, outcome.partitions.len());
+        // Halts are bounded by the leaked X count.
+        prop_assert!(fast.halts <= outcome.leaked_x() + 1);
+    }
+
+    #[test]
+    fn pattern_order_is_a_permutation(xmap in arb_xmap()) {
+        let outcome = PartitionEngine::new(XCancelConfig::new(10, 2)).run(&xmap);
+        let order = pattern_order(&outcome);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..xmap.num_patterns()).collect::<Vec<_>>());
+        // Partition-contiguous ordering loads each mask exactly once.
+        prop_assert_eq!(mask_switches(&order, &outcome), outcome.partitions.len());
+        // Any order needs at least that many loads.
+        let ascending: Vec<usize> = (0..xmap.num_patterns()).collect();
+        prop_assert!(mask_switches(&ascending, &outcome) >= outcome.partitions.len());
+    }
+
+    #[test]
+    fn toggle_accounting_balances(xmap in arb_xmap()) {
+        let cancel = XCancelConfig::new(10, 2);
+        for policy in [TogglePolicy::Conservative, TogglePolicy::Aggressive] {
+            let r = toggle_masking(&xmap, cancel, policy);
+            prop_assert_eq!(r.masked_x + r.leaked_x, xmap.total_x());
+            if policy == TogglePolicy::Conservative {
+                prop_assert_eq!(r.lost_observability, 0);
+            }
+        }
+        // Aggressive masks at least as many X's as conservative.
+        let safe = toggle_masking(&xmap, cancel, TogglePolicy::Conservative);
+        let greedy = toggle_masking(&xmap, cancel, TogglePolicy::Aggressive);
+        prop_assert!(greedy.masked_x >= safe.masked_x);
+    }
+
+    #[test]
+    fn toggle_control_bits_independent_of_x(xmap in arb_xmap()) {
+        // Toggle control volume is a pure function of the topology and
+        // pattern count — the interval *contents* change, not the bits.
+        let cancel = XCancelConfig::new(10, 2);
+        let r = toggle_masking(&xmap, cancel, TogglePolicy::Conservative);
+        let l = xmap.config().max_chain_len();
+        let addr_bits = usize::BITS as usize - (l + 1).leading_zeros() as usize;
+        let expect = (xmap.num_patterns() * xmap.config().num_chains() * 2 * addr_bits) as u128;
+        prop_assert_eq!(r.masking_bits, expect);
+    }
+}
