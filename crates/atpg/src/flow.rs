@@ -2,10 +2,9 @@
 //! deterministic PODEM top-off.
 
 use crate::podem::{Podem, PodemFailure};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use xhc_fault::{fault_coverage, Fault, FullObservability};
 use xhc_logic::Trit;
+use xhc_prng::XhcRng;
 use xhc_scan::{ScanHarness, TestPattern};
 
 /// Configuration for [`generate_tests`].
@@ -63,7 +62,7 @@ impl AtpgResult {
     }
 }
 
-fn random_pattern(rng: &mut StdRng, num_cells: usize, num_inputs: usize) -> TestPattern {
+fn random_pattern(rng: &mut XhcRng, num_cells: usize, num_inputs: usize) -> TestPattern {
     TestPattern {
         scan_load: (0..num_cells)
             .map(|_| Trit::from_bool(rng.gen_bool(0.5)))
@@ -74,7 +73,7 @@ fn random_pattern(rng: &mut StdRng, num_cells: usize, num_inputs: usize) -> Test
     }
 }
 
-fn random_fill(rng: &mut StdRng, pattern: &TestPattern) -> TestPattern {
+fn random_fill(rng: &mut XhcRng, pattern: &TestPattern) -> TestPattern {
     let mut fill = |t: &Trit| {
         if t.is_x() {
             Trit::from_bool(rng.gen_bool(0.5))
@@ -103,7 +102,7 @@ pub fn generate_tests(
     faults: &[Fault],
     config: AtpgConfig,
 ) -> AtpgResult {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = XhcRng::seed_from_u64(config.seed);
     let num_cells = harness.config().total_cells();
     let num_inputs = harness.netlist().num_inputs();
 

@@ -1,9 +1,8 @@
-//! Criterion bench: the ATPG substrate — fault simulation with dropping
-//! and the full two-phase generation flow on generated circuits.
+//! Bench: the ATPG substrate — fault simulation with dropping and the
+//! full two-phase generation flow on generated circuits.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use xhc_atpg::{generate_tests, AtpgConfig};
+use xhc_bench::timing::{black_box, Harness};
 use xhc_fault::{all_output_faults, fault_coverage, FullObservability};
 use xhc_logic::generate::CircuitSpec;
 use xhc_logic::Trit;
@@ -21,9 +20,9 @@ fn spec(gates: usize) -> CircuitSpec {
     }
 }
 
-fn bench_fault_simulation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("atpg/fault_simulation");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::from_args("atpg");
+
     for gates in [60usize, 150, 300] {
         let circuit = spec(gates).generate();
         let harness = ScanHarness::new(
@@ -41,27 +40,16 @@ fn bench_fault_simulation(c: &mut Criterion) {
                     .collect(),
             })
             .collect();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{gates}gates")),
-            &(harness, patterns, faults),
-            |b, (harness, patterns, faults)| {
-                b.iter(|| {
-                    black_box(fault_coverage(
-                        black_box(harness),
-                        black_box(patterns),
-                        black_box(faults),
-                        &FullObservability,
-                    ))
-                })
-            },
-        );
+        h.bench(&format!("fault_simulation/{gates}gates"), || {
+            black_box(fault_coverage(
+                black_box(&harness),
+                black_box(&patterns),
+                black_box(&faults),
+                &FullObservability,
+            ))
+        });
     }
-    group.finish();
-}
 
-fn bench_full_flow(c: &mut Criterion) {
-    let mut group = c.benchmark_group("atpg/generate_tests");
-    group.sample_size(10);
     for gates in [60usize, 150] {
         let circuit = spec(gates).generate();
         let harness = ScanHarness::new(
@@ -71,22 +59,12 @@ fn bench_full_flow(c: &mut Criterion) {
         )
         .expect("valid mapping");
         let faults = all_output_faults(&circuit.netlist);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{gates}gates")),
-            &(harness, faults),
-            |b, (harness, faults)| {
-                b.iter(|| {
-                    black_box(generate_tests(
-                        black_box(harness),
-                        black_box(faults),
-                        AtpgConfig::default(),
-                    ))
-                })
-            },
-        );
+        h.bench(&format!("generate_tests/{gates}gates"), || {
+            black_box(generate_tests(
+                black_box(&harness),
+                black_box(&faults),
+                AtpgConfig::default(),
+            ))
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fault_simulation, bench_full_flow);
-criterion_main!(benches);

@@ -1,16 +1,15 @@
-//! Criterion bench: the time-multiplexed X-canceling session, with and
-//! without the hybrid's masking front end. Note this measures *simulator*
-//! CPU, not tester time: masking reduces halts (the hardware win recorded
-//! in each `SessionReport`), while the simulator's symbolic blocks grow
-//! when fewer halts split them — the two costs move independently.
+//! Bench: the time-multiplexed X-canceling session, with and without the
+//! hybrid's masking front end. Note this measures *simulator* CPU, not
+//! tester time: masking reduces halts (the hardware win recorded in each
+//! `SessionReport`), while the simulator's symbolic blocks grow when
+//! fewer halts split them — the two costs move independently.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use xhc_bench::timing::{black_box, Harness};
 use xhc_core::{apply_partition_masks, PartitionEngine};
 use xhc_misr::{CancelSession, Taps, XCancelConfig};
 use xhc_workload::{materialize_responses, WorkloadSpec};
 
-fn bench_session(c: &mut Criterion) {
+fn main() {
     let spec = WorkloadSpec {
         total_cells: 256,
         num_chains: 8,
@@ -25,20 +24,11 @@ fn bench_session(c: &mut Criterion) {
     let masked = apply_partition_masks(&responses, &outcome);
     let session = CancelSession::new(responses.config().clone(), cancel, Taps::default_for(32));
 
-    let mut group = c.benchmark_group("cancel_session");
-    group.sample_size(10);
-    group.bench_with_input(
-        BenchmarkId::from_parameter("raw_responses"),
-        &responses,
-        |b, r| b.iter(|| black_box(session.run(black_box(r)))),
-    );
-    group.bench_with_input(
-        BenchmarkId::from_parameter("hybrid_masked"),
-        &masked,
-        |b, r| b.iter(|| black_box(session.run(black_box(r)))),
-    );
-    group.finish();
+    let mut h = Harness::from_args("cancel_session");
+    h.bench("raw_responses", || {
+        black_box(session.run(black_box(&responses)))
+    });
+    h.bench("hybrid_masked", || {
+        black_box(session.run(black_box(&masked)))
+    });
 }
-
-criterion_group!(benches, bench_session);
-criterion_main!(benches);

@@ -1,14 +1,12 @@
-//! Criterion bench: GF(2) Gaussian elimination / X-free-combination
-//! extraction — the per-halt cost of the X-canceling MISR.
+//! Bench: GF(2) Gaussian elimination / X-free-combination extraction —
+//! the per-halt cost of the X-canceling MISR.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::hint::black_box;
+use xhc_bench::timing::{black_box, Harness};
 use xhc_bits::{gauss, BitMatrix, BitVec};
+use xhc_prng::XhcRng;
 
 fn random_matrix(rows: usize, cols: usize, seed: u64) -> BitMatrix {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XhcRng::seed_from_u64(seed);
     BitMatrix::from_rows(
         (0..rows)
             .map(|_| BitVec::from_bools((0..cols).map(|_| rng.gen_bool(0.3))))
@@ -16,30 +14,17 @@ fn random_matrix(rows: usize, cols: usize, seed: u64) -> BitMatrix {
     )
 }
 
-fn bench_x_free_combinations(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gauss/x_free_combinations");
+fn main() {
+    let mut h = Harness::from_args("gauss");
     // The paper's configuration: a 32-bit MISR halting with 25 X's.
     for (m, x) in [(32usize, 25usize), (64, 57), (128, 100)] {
         let dep = random_matrix(m, x, 42);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("m{m}_x{x}")),
-            &dep,
-            |b, dep| b.iter(|| black_box(gauss::x_free_combinations(black_box(dep)))),
-        );
-    }
-    group.finish();
-}
-
-fn bench_rank(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gauss/rank");
-    for n in [32usize, 128, 512] {
-        let m = random_matrix(n, n, 7);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
-            b.iter(|| black_box(black_box(m).rank()))
+        h.bench(&format!("x_free_combinations/m{m}_x{x}"), || {
+            black_box(gauss::x_free_combinations(black_box(&dep)))
         });
     }
-    group.finish();
+    for n in [32usize, 128, 512] {
+        let m = random_matrix(n, n, 7);
+        h.bench(&format!("rank/{n}"), || black_box(black_box(&m).rank()));
+    }
 }
-
-criterion_group!(benches, bench_x_free_combinations, bench_rank);
-criterion_main!(benches);

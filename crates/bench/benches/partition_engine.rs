@@ -1,14 +1,14 @@
-//! Criterion bench: partitioning-engine runtime scaling with workload
-//! size and X-density (the algorithmic cost of the paper's Algorithm 1).
+//! Bench: partitioning-engine runtime scaling with workload size and
+//! X-density (the algorithmic cost of the paper's Algorithm 1).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use xhc_bench::timing::{black_box, Harness};
 use xhc_core::{PartitionEngine, SplitStrategy};
 use xhc_misr::XCancelConfig;
 use xhc_workload::WorkloadSpec;
 
-fn bench_partition_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("partition_engine/cells");
+fn main() {
+    let mut h = Harness::from_args("partition_engine");
+
     for cells in [500usize, 2_000, 8_000] {
         let spec = WorkloadSpec {
             total_cells: cells,
@@ -18,17 +18,11 @@ fn bench_partition_scaling(c: &mut Criterion) {
             ..WorkloadSpec::default()
         };
         let xmap = spec.generate();
-        group.bench_with_input(BenchmarkId::from_parameter(cells), &xmap, |b, xmap| {
-            b.iter(|| {
-                black_box(PartitionEngine::new(XCancelConfig::paper_default()).run(black_box(xmap)))
-            })
+        h.bench(&format!("cells/{cells}"), || {
+            black_box(PartitionEngine::new(XCancelConfig::paper_default()).run(black_box(&xmap)))
         });
     }
-    group.finish();
-}
 
-fn bench_partition_density(c: &mut Criterion) {
-    let mut group = c.benchmark_group("partition_engine/x_density");
     for density_pct in [1usize, 3, 6] {
         let spec = WorkloadSpec {
             total_cells: 2_000,
@@ -38,23 +32,11 @@ fn bench_partition_density(c: &mut Criterion) {
             ..WorkloadSpec::default()
         };
         let xmap = spec.generate();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{density_pct}pct")),
-            &xmap,
-            |b, xmap| {
-                b.iter(|| {
-                    black_box(
-                        PartitionEngine::new(XCancelConfig::paper_default()).run(black_box(xmap)),
-                    )
-                })
-            },
-        );
+        h.bench(&format!("x_density/{density_pct}pct"), || {
+            black_box(PartitionEngine::new(XCancelConfig::paper_default()).run(black_box(&xmap)))
+        });
     }
-    group.finish();
-}
 
-fn bench_split_strategy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("partition_engine/strategy");
     let spec = WorkloadSpec {
         total_cells: 2_000,
         num_chains: 8,
@@ -67,23 +49,12 @@ fn bench_split_strategy(c: &mut Criterion) {
         ("largest_class", SplitStrategy::LargestClass),
         ("best_cost", SplitStrategy::BestCost),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &xmap, |b, xmap| {
-            b.iter(|| {
-                black_box(
-                    PartitionEngine::new(XCancelConfig::paper_default())
-                        .with_strategy(strategy)
-                        .run(black_box(xmap)),
-                )
-            })
+        h.bench(&format!("strategy/{name}"), || {
+            black_box(
+                PartitionEngine::new(XCancelConfig::paper_default())
+                    .with_strategy(strategy)
+                    .run(black_box(&xmap)),
+            )
         });
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_partition_scaling,
-    bench_partition_density,
-    bench_split_strategy
-);
-criterion_main!(benches);

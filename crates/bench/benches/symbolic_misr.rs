@@ -1,35 +1,25 @@
-//! Criterion bench: symbolic MISR unload (Fig. 2's machinery) and
-//! per-pattern X-canceling.
+//! Bench: symbolic MISR unload (Fig. 2's machinery) and per-pattern
+//! X-canceling.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use xhc_bench::timing::{black_box, Harness};
 use xhc_logic::Trit;
 use xhc_misr::{pattern_signature_rows, Taps, XCancelingMisr};
 use xhc_scan::ScanConfig;
 
-fn bench_signature_rows(c: &mut Criterion) {
-    let mut group = c.benchmark_group("symbolic/pattern_signature_rows");
+fn main() {
+    let mut h = Harness::from_args("symbolic");
+
     for (chains, len) in [(8usize, 32usize), (16, 64), (32, 128)] {
         let cfg = ScanConfig::uniform(chains, len);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{chains}x{len}")),
-            &cfg,
-            |b, cfg| {
-                b.iter(|| {
-                    black_box(pattern_signature_rows(
-                        black_box(cfg),
-                        32,
-                        Taps::default_for(32),
-                    ))
-                })
-            },
-        );
+        h.bench(&format!("pattern_signature_rows/{chains}x{len}"), || {
+            black_box(pattern_signature_rows(
+                black_box(&cfg),
+                32,
+                Taps::default_for(32),
+            ))
+        });
     }
-    group.finish();
-}
 
-fn bench_cancel_pattern(c: &mut Criterion) {
-    let mut group = c.benchmark_group("symbolic/cancel_pattern");
     for x_count in [4usize, 12, 24] {
         let cfg = ScanConfig::uniform(16, 32); // 512 cells
         let xc = XCancelingMisr::new(cfg, 32, Taps::default_for(32));
@@ -37,14 +27,8 @@ fn bench_cancel_pattern(c: &mut Criterion) {
         for i in 0..x_count {
             row[i * 512 / x_count] = Trit::X;
         }
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("x{x_count}")),
-            &(xc, row),
-            |b, (xc, row)| b.iter(|| black_box(xc.cancel_pattern(black_box(row)))),
-        );
+        h.bench(&format!("cancel_pattern/x{x_count}"), || {
+            black_box(xc.cancel_pattern(black_box(&row)))
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_signature_rows, bench_cancel_pattern);
-criterion_main!(benches);

@@ -1,9 +1,8 @@
-//! Criterion bench: the full Table-1 evaluation pipeline (workload
-//! generation + partitioning + accounting) on 1/15-scale CKT profiles.
-//! The `table1` binary prints the actual table; this measures its cost.
+//! Bench: the full Table-1 evaluation pipeline (workload generation +
+//! partitioning + accounting) on 1/15-scale CKT profiles. The `table1`
+//! binary prints the actual table; this measures its cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use xhc_bench::timing::{black_box, Harness};
 use xhc_core::{evaluate_hybrid, CellSelection};
 use xhc_misr::XCancelConfig;
 use xhc_workload::WorkloadSpec;
@@ -15,39 +14,26 @@ fn scaled(mut spec: WorkloadSpec) -> WorkloadSpec {
     spec
 }
 
-fn bench_table1_rows(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1/evaluate_hybrid");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::from_args("table1");
+
     for spec in [
         scaled(WorkloadSpec::ckt_a()),
         scaled(WorkloadSpec::ckt_b()),
         scaled(WorkloadSpec::ckt_c()),
     ] {
         let xmap = spec.generate();
-        group.bench_with_input(BenchmarkId::from_parameter(spec.name), &xmap, |b, xmap| {
-            b.iter(|| {
-                black_box(evaluate_hybrid(
-                    black_box(xmap),
-                    XCancelConfig::paper_default(),
-                    CellSelection::First,
-                ))
-            })
+        h.bench(&format!("evaluate_hybrid/{}", spec.name), || {
+            black_box(evaluate_hybrid(
+                black_box(&xmap),
+                XCancelConfig::paper_default(),
+                CellSelection::First,
+            ))
         });
     }
-    group.finish();
-}
 
-fn bench_workload_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1/workload_generation");
-    group.sample_size(10);
-    {
-        let spec = scaled(WorkloadSpec::ckt_b());
-        group.bench_with_input(BenchmarkId::from_parameter(spec.name), &spec, |b, spec| {
-            b.iter(|| black_box(spec.generate()))
-        });
-    }
-    group.finish();
+    let spec = scaled(WorkloadSpec::ckt_b());
+    h.bench(&format!("workload_generation/{}", spec.name), || {
+        black_box(spec.generate())
+    });
 }
-
-criterion_group!(benches, bench_table1_rows, bench_workload_generation);
-criterion_main!(benches);

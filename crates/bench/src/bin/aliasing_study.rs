@@ -8,18 +8,16 @@
 //!
 //! Run with: `cargo run --release -p xhc-bench --bin aliasing_study`
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use xhc_bits::BitVec;
 use xhc_misr::{Taps, XCancelingMisr};
+use xhc_prng::{SliceRandom, XhcRng};
 use xhc_scan::ScanConfig;
 
 fn main() {
     let scan = ScanConfig::uniform(8, 16); // 128 cells
     let m = 16;
     let trials = 20_000;
-    let mut rng = StdRng::seed_from_u64(2016);
+    let mut rng = XhcRng::seed_from_u64(2016);
 
     println!(
         "{:>5} {:>7} {:>10} | {:>10} {:>10} {:>10} {:>10}",
@@ -49,7 +47,7 @@ fn main() {
             })
             .collect();
 
-        let escapes = |k: usize, rng: &mut StdRng| -> f64 {
+        let escapes = |k: usize, rng: &mut XhcRng| -> f64 {
             if observable.len() < k {
                 return f64::NAN;
             }
@@ -82,7 +80,7 @@ fn main() {
             e4,
             0.5f64.powi(combined.len() as i32),
         );
-        let _ = rng.gen::<u8>(); // decorrelate rows
+        let _ = rng.next_u64(); // decorrelate rows
     }
     println!("\nsingle-bit errors at observable cells never escape (escape = 0 by");
     println!("construction). Multi-bit escapes exceed the 2^-combos random-code bound");

@@ -21,6 +21,14 @@
 //! | MISR aliasing / signature hardening | `aliasing_study` |
 //!
 //! Run any of them with `cargo run --release -p xhc-bench --bin <name>`.
+//!
+//! Micro-benchmarks (`benches/`) run on the self-contained [`timing`]
+//! harness: `cargo bench -p xhc-bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod timing;
 
 use xhc_scan::{CellId, ScanConfig, XMap, XMapBuilder};
 

@@ -1,0 +1,138 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! The workspace builds fully offline, so the benches under `benches/`
+//! (declared with `harness = false`) use this instead of an external
+//! framework. The harness auto-calibrates the iteration count to a small
+//! wall-clock budget per case and reports min / median / mean, which is
+//! plenty for tracking the relative cost of the hot paths over time.
+//!
+//! # Examples
+//!
+//! ```
+//! use xhc_bench::timing::Harness;
+//!
+//! let mut h = Harness::from_args("demo");
+//! h.bench("sum", || (0..1000u64).sum::<u64>());
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the optimization barrier used around bench inputs/outputs.
+pub use std::hint::black_box;
+
+/// A named group of micro-benchmarks with a per-case time budget.
+pub struct Harness {
+    group: String,
+    filter: Option<String>,
+    budget: Duration,
+}
+
+impl Harness {
+    /// A harness for `group` reading the standard bench argv: an optional
+    /// positional substring filter (cargo passes `--bench`; it is
+    /// ignored) and `--budget-ms N` to change the per-case budget.
+    pub fn from_args(group: &str) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut filter = None;
+        let mut budget_ms = 300u64;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--bench" | "--test" => {}
+                "--budget-ms" => {
+                    if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        budget_ms = v;
+                        i += 1;
+                    }
+                }
+                a if !a.starts_with('-') => filter = Some(a.to_string()),
+                _ => {}
+            }
+            i += 1;
+        }
+        Harness {
+            group: group.to_string(),
+            filter,
+            budget: Duration::from_millis(budget_ms),
+        }
+    }
+
+    /// Runs one case: calibrates an iteration count against the budget,
+    /// then times each iteration and prints the summary line.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        let full = format!("{}/{}", self.group, name);
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Calibration: one untimed warmup doubles as the cost estimate.
+        let start = Instant::now();
+        black_box(f());
+        let est = start.elapsed().max(Duration::from_nanos(50));
+        let iters = (self.budget.as_nanos() / est.as_nanos()).clamp(3, 10_000) as usize;
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let t = Instant::now();
+            black_box(f());
+            samples.push(t.elapsed());
+        }
+        samples.sort_unstable();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{full:<48} {iters:>6} iters   min {:>12}   median {:>12}   mean {:>12}",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns}ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_filters() {
+        let mut h = Harness {
+            group: "t".into(),
+            filter: Some("nomatch".into()),
+            budget: Duration::from_millis(1),
+        };
+        let mut calls = 0u32;
+        h.bench("case", || calls += 1);
+        assert_eq!(calls, 0, "filtered-out case must not run");
+
+        let mut h = Harness {
+            group: "t".into(),
+            filter: None,
+            budget: Duration::from_millis(1),
+        };
+        h.bench("case", || calls += 1);
+        assert!(calls >= 4, "warmup + >=3 samples, got {calls}");
+    }
+
+    #[test]
+    fn durations_format() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500ns");
+        assert_eq!(fmt_duration(Duration::from_micros(500)), "500.00us");
+        assert_eq!(fmt_duration(Duration::from_millis(500)), "500.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(20)), "20.00s");
+    }
+}

@@ -1,103 +1,156 @@
-//! Property-based tests for the GF(2) substrate.
+//! Randomized invariant tests for the GF(2) substrate (deterministic
+//! seeded loops; the invariants must hold for *any* input).
 
-use proptest::prelude::*;
 use xhc_bits::{gauss, BitMatrix, BitVec, PatternSet};
+use xhc_prng::XhcRng;
 
-fn arb_bitvec(len: usize) -> impl Strategy<Value = BitVec> {
-    prop::collection::vec(any::<bool>(), len).prop_map(BitVec::from_bools)
+const CASES: u64 = 64;
+
+fn random_bitvec(rng: &mut XhcRng, len: usize) -> BitVec {
+    BitVec::from_bools((0..len).map(|_| rng.gen_bool(0.5)))
 }
 
-fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = BitMatrix> {
-    prop::collection::vec(arb_bitvec(cols), rows).prop_map(BitMatrix::from_rows)
+fn random_matrix(rng: &mut XhcRng, rows: usize, cols: usize) -> BitMatrix {
+    BitMatrix::from_rows((0..rows).map(|_| random_bitvec(rng, cols)).collect())
 }
 
-proptest! {
-    #[test]
-    fn union_card_is_inclusion_exclusion(a in arb_bitvec(150), b in arb_bitvec(150)) {
+fn random_pattern_set(rng: &mut XhcRng, universe: usize, max_card: usize) -> PatternSet {
+    let card = rng.gen_range(0..max_card);
+    PatternSet::from_patterns(universe, (0..card).map(|_| rng.gen_index(universe)))
+}
+
+#[test]
+fn union_card_is_inclusion_exclusion() {
+    let mut rng = XhcRng::seed_from_u64(0x3B17);
+    for _ in 0..CASES {
+        let a = random_bitvec(&mut rng, 150);
+        let b = random_bitvec(&mut rng, 150);
         let mut u = a.clone();
         u.union_with(&b);
-        prop_assert_eq!(
+        assert_eq!(
             u.count_ones(),
             a.count_ones() + b.count_ones() - a.intersection_count(&b)
         );
     }
+}
 
-    #[test]
-    fn xor_twice_is_identity(a in arb_bitvec(200), b in arb_bitvec(200)) {
+#[test]
+fn xor_twice_is_identity() {
+    let mut rng = XhcRng::seed_from_u64(0x3B18);
+    for _ in 0..CASES {
+        let a = random_bitvec(&mut rng, 200);
+        let b = random_bitvec(&mut rng, 200);
         let mut x = a.clone();
         x.xor_with(&b);
         x.xor_with(&b);
-        prop_assert_eq!(x, a);
+        assert_eq!(x, a);
     }
+}
 
-    #[test]
-    fn negate_complements_count(a in arb_bitvec(131)) {
+#[test]
+fn negate_complements_count() {
+    let mut rng = XhcRng::seed_from_u64(0x3B19);
+    for _ in 0..CASES {
+        let a = random_bitvec(&mut rng, 131);
         let ones = a.count_ones();
         let mut n = a.clone();
         n.negate();
-        prop_assert_eq!(n.count_ones(), 131 - ones);
-        prop_assert!(n.is_disjoint_from(&a));
+        assert_eq!(n.count_ones(), 131 - ones);
+        assert!(n.is_disjoint_from(&a));
     }
+}
 
-    #[test]
-    fn iter_ones_matches_get(a in arb_bitvec(100)) {
+#[test]
+fn iter_ones_matches_get() {
+    let mut rng = XhcRng::seed_from_u64(0x3B1A);
+    for _ in 0..CASES {
+        let a = random_bitvec(&mut rng, 100);
         let from_iter: Vec<usize> = a.iter_ones().collect();
         let from_get: Vec<usize> = (0..100).filter(|&i| a.get(i)).collect();
-        prop_assert_eq!(from_iter, from_get);
+        assert_eq!(from_iter, from_get);
     }
+}
 
-    #[test]
-    fn subset_iff_difference_empty(a in arb_bitvec(90), b in arb_bitvec(90)) {
+#[test]
+fn subset_iff_difference_empty() {
+    let mut rng = XhcRng::seed_from_u64(0x3B1B);
+    for case in 0..CASES {
+        let a = random_bitvec(&mut rng, 90);
+        // Mix in actual subsets: random vectors of 90 bits are almost
+        // never subsets of each other, so exercise both branches.
+        let b = if case % 2 == 0 {
+            let mut b = random_bitvec(&mut rng, 90);
+            b.union_with(&a);
+            b
+        } else {
+            random_bitvec(&mut rng, 90)
+        };
         let mut d = a.clone();
         d.difference_with(&b);
-        prop_assert_eq!(a.is_subset_of(&b), d.none());
+        assert_eq!(a.is_subset_of(&b), d.none());
     }
+}
 
-    #[test]
-    fn split_by_is_a_partition(
-        members in prop::collection::btree_set(0usize..64, 0..40),
-        pivot in prop::collection::btree_set(0usize..64, 0..40),
-    ) {
-        let s = PatternSet::from_patterns(64, members.iter().copied());
-        let p = PatternSet::from_patterns(64, pivot.iter().copied());
+#[test]
+fn split_by_is_a_partition() {
+    let mut rng = XhcRng::seed_from_u64(0x3B1C);
+    for _ in 0..CASES {
+        let s = random_pattern_set(&mut rng, 64, 40);
+        let p = random_pattern_set(&mut rng, 64, 40);
         let (inside, outside) = s.split_by(&p);
-        prop_assert!(inside.is_disjoint_from(&outside));
-        prop_assert_eq!(inside.union(&outside), s.clone());
-        prop_assert!(inside.is_subset_of(&p));
-        prop_assert!(outside.is_disjoint_from(&p));
+        assert!(inside.is_disjoint_from(&outside));
+        assert_eq!(inside.union(&outside), s.clone());
+        assert!(inside.is_subset_of(&p));
+        assert!(outside.is_disjoint_from(&p));
     }
+}
 
-    #[test]
-    fn rank_is_at_most_min_dim(m in arb_matrix(8, 5)) {
-        prop_assert!(m.rank() <= 5);
-        prop_assert!(m.rank() <= 8);
+#[test]
+fn rank_is_at_most_min_dim() {
+    let mut rng = XhcRng::seed_from_u64(0x3B1D);
+    for _ in 0..CASES {
+        let m = random_matrix(&mut rng, 8, 5);
+        assert!(m.rank() <= 5);
+        assert!(m.rank() <= 8);
     }
+}
 
-    #[test]
-    fn x_free_combination_count_is_nullity(m in arb_matrix(10, 6)) {
+#[test]
+fn x_free_combination_count_is_nullity() {
+    let mut rng = XhcRng::seed_from_u64(0x3B1E);
+    for _ in 0..CASES {
+        let m = random_matrix(&mut rng, 10, 6);
         let combos = gauss::x_free_combinations(&m);
-        prop_assert_eq!(combos.len(), 10 - m.rank());
+        assert_eq!(combos.len(), 10 - m.rank());
         for c in &combos {
-            prop_assert!(gauss::is_x_free(&m, c));
-            prop_assert!(c.any(), "combinations must be non-trivial");
+            assert!(gauss::is_x_free(&m, c));
+            assert!(c.any(), "combinations must be non-trivial");
         }
     }
+}
 
-    #[test]
-    fn x_free_combinations_are_independent(m in arb_matrix(9, 4)) {
+#[test]
+fn x_free_combinations_are_independent() {
+    let mut rng = XhcRng::seed_from_u64(0x3B1F);
+    for _ in 0..CASES {
+        let m = random_matrix(&mut rng, 9, 4);
         // Stack the combination vectors as rows; they must be linearly
         // independent, i.e. full rank.
         let combos = gauss::x_free_combinations(&m);
         if !combos.is_empty() {
             let stack = BitMatrix::from_rows(combos.clone());
-            prop_assert_eq!(stack.rank(), combos.len());
+            assert_eq!(stack.rank(), combos.len());
         }
     }
+}
 
-    #[test]
-    fn elimination_preserves_row_space_dimension(m in arb_matrix(7, 7)) {
+#[test]
+fn elimination_preserves_row_space_dimension() {
+    let mut rng = XhcRng::seed_from_u64(0x3B20);
+    for _ in 0..CASES {
+        let m = random_matrix(&mut rng, 7, 7);
         let e = gauss::eliminate(&m);
-        prop_assert_eq!(e.rank, m.rank());
-        prop_assert_eq!(e.reduced.rank(), m.rank());
+        assert_eq!(e.rank, m.rank());
+        assert_eq!(e.reduced.rank(), m.rank());
     }
 }

@@ -2,11 +2,9 @@
 
 use crate::correlation::CorrelationAnalysis;
 use crate::cost::{hybrid_cost_with_masks, HybridCost};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use xhc_bits::PatternSet;
 use xhc_misr::{MaskWord, XCancelConfig};
+use xhc_prng::{SliceRandom, XhcRng};
 use xhc_scan::XMap;
 
 /// How the engine picks the pivot scan cell within the chosen count class.
@@ -216,7 +214,7 @@ impl PartitionEngine {
         let total_x = xmap.total_x();
         let word_bits = xmap.config().mask_word_bits() as u128;
         let mut rng = match self.policy {
-            CellSelection::Seeded(seed) => Some(StdRng::seed_from_u64(seed)),
+            CellSelection::Seeded(seed) => Some(XhcRng::seed_from_u64(seed)),
             _ => None,
         };
 
@@ -357,6 +355,47 @@ impl PartitionEngine {
         let partitions: Vec<PatternSet> = infos.into_iter().map(|i| i.patterns).collect();
         let (final_cost, masks) = hybrid_cost_with_masks(xmap, &partitions, self.cancel);
         debug_assert!((final_cost.total() - cost.total()).abs() < 1e-6);
+
+        // Self-checks mirroring the xhc-lint rules (kept inline: lint
+        // depends on this crate, so it cannot be called from here).
+        #[cfg(debug_assertions)]
+        {
+            // XL0301 partition-cover: disjoint cover of the pattern set.
+            let mut union = PatternSet::empty(num_patterns);
+            for part in &partitions {
+                debug_assert!(
+                    union.is_disjoint_from(part),
+                    "partition plan has overlapping partitions"
+                );
+                union = union.union(part);
+            }
+            debug_assert_eq!(
+                union.card(),
+                num_patterns,
+                "partition plan does not cover every pattern"
+            );
+            // XL0302 unsafe-mask: a masked cell is X under every pattern
+            // of its partition (no coverage loss).
+            for (part, mask) in partitions.iter().zip(&masks) {
+                for idx in 0..xmap.config().total_cells() {
+                    if mask.masks(idx) {
+                        let cell = xmap.config().cell_at(idx);
+                        debug_assert!(
+                            xmap.xset(cell).is_some_and(|xs| part.is_subset_of(xs)),
+                            "mask gates a non-X response at cell {cell}"
+                        );
+                    }
+                }
+            }
+            // XL0303 cost-mismatch: accounting balances the X budget.
+            debug_assert_eq!(
+                final_cost.masked_x + final_cost.leaked_x,
+                total_x,
+                "masked + leaked X must equal the map's total X"
+            );
+            debug_assert_eq!(final_cost.num_partitions, partitions.len());
+        }
+
         PartitionOutcome {
             partitions,
             masks,

@@ -1,0 +1,242 @@
+//! End-to-end linter for the repo's bundled workloads.
+//!
+//! ```text
+//! xhc-lint [OPTIONS] [PRESET...]
+//! ```
+//!
+//! Lints each named preset (`fig4`, `ckt-a`, `ckt-b`, `ckt-c`, or `all`,
+//! the default) end to end and exits `1` if any `deny` finding fired,
+//! `0` otherwise (`2` on usage errors). Workload presets are scaled down
+//! by `--scale` (default 50) so a lint run stays interactive; pass
+//! `--full` for paper-size runs.
+
+use std::process::ExitCode;
+
+use xhc_core::PartitionEngine;
+use xhc_lint::{
+    check_cancel_params, check_misr_taps, check_outcome, check_xmap, lint_workload, LintCode,
+    LintConfig, LintReport, Severity,
+};
+use xhc_misr::{Taps, XCancelConfig};
+use xhc_scan::{CellId, ScanConfig, XMap, XMapBuilder};
+use xhc_workload::WorkloadSpec;
+
+const USAGE: &str = "\
+Usage: xhc-lint [OPTIONS] [PRESET...]
+
+Lints bundled workloads end to end: X map extraction, partition planning,
+mask safety, cost accounting and MISR configuration.
+
+Presets:
+  fig4      the paper's Fig. 4 worked example (15 cells, 8 patterns)
+  ckt-a     CKT-A industrial profile
+  ckt-b     CKT-B industrial profile
+  ckt-c     CKT-C industrial profile
+  all       every preset (default)
+
+Options:
+  --json         render findings as JSON instead of human text
+  --full         run workload presets at paper size (slow)
+  --scale N      divide workload dimensions by N (default 50)
+  --deny CODE    escalate a rule (XLxxxx id or slug) to deny
+  --warn CODE    demote a rule to warn
+  --allow CODE   suppress a rule
+  --list         list all rules and exit
+  -h, --help     show this help
+
+Exit status: 0 clean (warnings allowed), 1 any deny finding, 2 usage error.";
+
+fn describe(code: LintCode) -> &'static str {
+    match code {
+        LintCode::CombLoop => "combinational cycle in the netlist",
+        LintCode::FloatingNet => "driverless bus or unconnected flop D pin",
+        LintCode::DeadLogic => "combinational logic no output observes",
+        LintCode::BadArity => "gate fan-in invalid for its kind",
+        LintCode::UnreachableFlop => "flop no primary output observes",
+        LintCode::ChainImbalance => "ragged scan chains waste mask-word bits",
+        LintCode::XOutOfRange => "X entry references no cell/pattern",
+        LintCode::DuplicateX => "duplicate X entries",
+        LintCode::PartitionCover => "partition plan not a disjoint cover",
+        LintCode::UnsafeMask => "mask gates a non-X response bit",
+        LintCode::CostMismatch => "cost accounting disagrees with recomputation",
+        LintCode::DegenerateMisr => "degenerate / non-primitive MISR feedback",
+        LintCode::BadCancelConfig => "inconsistent X-canceling (m, q)",
+    }
+}
+
+/// The Fig. 4 worked example from the paper: 15 cells in 5 chains of 3,
+/// 8 patterns, 28 X's.
+fn fig4_xmap() -> XMap {
+    let cfg = ScanConfig::uniform(5, 3);
+    let mut b = XMapBuilder::new(cfg, 8);
+    for p in [0, 3, 4, 5] {
+        b.add_x(CellId::new(0, 0), p);
+        b.add_x(CellId::new(1, 0), p);
+        b.add_x(CellId::new(2, 0), p);
+    }
+    for p in [0, 4] {
+        b.add_x(CellId::new(1, 2), p);
+    }
+    for p in [0, 1, 2, 3, 4, 6, 7] {
+        b.add_x(CellId::new(3, 2), p);
+    }
+    for p in [0, 1, 3, 4, 6, 7] {
+        b.add_x(CellId::new(4, 1), p);
+    }
+    b.add_x(CellId::new(4, 2), 5);
+    b.finish()
+}
+
+/// Shrinks a workload spec by `scale` while keeping its statistical shape.
+fn scaled(spec: WorkloadSpec, scale: usize) -> WorkloadSpec {
+    if scale <= 1 {
+        return spec;
+    }
+    let num_chains = (spec.num_chains / scale).max(1);
+    WorkloadSpec {
+        total_cells: (spec.total_cells / scale).max(num_chains),
+        num_chains,
+        num_patterns: (spec.num_patterns / scale).max(8),
+        ..spec
+    }
+}
+
+fn lint_fig4(config: &LintConfig) -> LintReport {
+    let xmap = fig4_xmap();
+    let cancel = XCancelConfig::new(10, 2);
+    let taps = Taps::default_for(10);
+    let mut report = check_xmap(config, &xmap);
+    report.merge(check_cancel_params(config, cancel.m(), cancel.q()));
+    report.merge(check_misr_taps(config, cancel.m(), &taps));
+    let outcome = PartitionEngine::new(cancel).run(&xmap);
+    report.merge(check_outcome(config, &xmap, &outcome, cancel));
+    report
+}
+
+struct Options {
+    json: bool,
+    scale: usize,
+    config: LintConfig,
+    presets: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        json: false,
+        scale: 50,
+        config: LintConfig::default(),
+        presets: Vec::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--list" => {
+                println!("{:<8} {:<18} {:<6} description", "code", "rule", "level");
+                for code in LintCode::ALL {
+                    println!(
+                        "{:<8} {:<18} {:<6} {}",
+                        code.id(),
+                        code.name(),
+                        code.default_severity().to_string(),
+                        describe(code)
+                    );
+                }
+                return Ok(None);
+            }
+            "--json" => opts.json = true,
+            "--full" => opts.scale = 1,
+            "--scale" => {
+                let value = iter.next().ok_or("--scale needs a value")?;
+                opts.scale = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&s| s >= 1)
+                    .ok_or_else(|| format!("invalid --scale value '{value}'"))?;
+            }
+            "--deny" | "--warn" | "--allow" => {
+                let value = iter.next().ok_or_else(|| format!("{arg} needs a rule"))?;
+                let code = LintCode::parse(value)
+                    .ok_or_else(|| format!("unknown rule '{value}' (try --list)"))?;
+                let severity = match arg.as_str() {
+                    "--deny" => Severity::Deny,
+                    "--warn" => Severity::Warn,
+                    _ => Severity::Allow,
+                };
+                opts.config = opts.config.clone().set(code, severity);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option '{other}'"));
+            }
+            preset => opts.presets.push(preset.to_string()),
+        }
+    }
+    if opts.presets.is_empty() {
+        opts.presets.push("all".to_string());
+    }
+    Ok(Some(opts))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("xhc-lint: {message}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut targets: Vec<&str> = Vec::new();
+    for preset in &opts.presets {
+        match preset.as_str() {
+            "all" => targets.extend(["fig4", "ckt-a", "ckt-b", "ckt-c"]),
+            "fig4" | "ckt-a" | "ckt-b" | "ckt-c" => targets.push(preset),
+            other => {
+                eprintln!("xhc-lint: unknown preset '{other}'\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    targets.dedup();
+
+    let cancel = XCancelConfig::paper_default();
+    let taps = Taps::default_for(cancel.m());
+    let mut any_deny = false;
+    for target in targets {
+        let report = match target {
+            "fig4" => lint_fig4(&opts.config),
+            name => {
+                let spec = match name {
+                    "ckt-a" => WorkloadSpec::ckt_a(),
+                    "ckt-b" => WorkloadSpec::ckt_b(),
+                    _ => WorkloadSpec::ckt_c(),
+                };
+                lint_workload(&opts.config, &scaled(spec, opts.scale), cancel, &taps)
+            }
+        };
+        any_deny |= report.has_deny();
+        if opts.json {
+            println!("{{\"preset\":\"{target}\",\"findings\":{}}}", {
+                let json = report.render_json();
+                json.trim_end().to_string()
+            });
+        } else {
+            println!("== {target} ==");
+            if report.is_empty() {
+                println!("clean: no findings\n");
+            } else {
+                println!("{}", report.render_human());
+            }
+        }
+    }
+    if any_deny {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,453 @@
+//! The diagnostics engine: lint codes, severities, structured
+//! diagnostics, per-rule severity overrides and renderers.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How seriously a finding is treated.
+///
+/// `Deny` findings fail the CLI (nonzero exit) and trip the
+/// `debug_assert!`-gated library checks; `Warn` findings are reported but
+/// non-fatal; `Allow` suppresses the rule entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suppressed: the rule still runs but its findings are dropped.
+    Allow,
+    /// Reported, never fatal.
+    Warn,
+    /// Reported and fatal.
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        })
+    }
+}
+
+/// Every rule the analyzer ships, with a stable `XLxxxx` identifier.
+///
+/// The numbering is grouped by pipeline stage: `XL01xx` netlist, `XL02xx`
+/// scan / X-map, `XL03xx` hybrid (partition plan / MISR).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// XL0101: combinational cycle in the netlist.
+    CombLoop,
+    /// XL0102: floating net — driverless bus or unconnected flop D pin.
+    FloatingNet,
+    /// XL0103: combinational logic whose value can never be observed.
+    DeadLogic,
+    /// XL0104: gate fan-in count invalid for its [`xhc_logic::GateKind`].
+    BadArity,
+    /// XL0105: flop that no primary output transitively observes.
+    UnreachableFlop,
+    /// XL0201: scan chain lengths waste mask-word bits (`L·C` ≫ cells).
+    ChainImbalance,
+    /// XL0202: X entry references a cell or pattern out of range.
+    XOutOfRange,
+    /// XL0203: duplicate X entries for the same cell or pattern.
+    DuplicateX,
+    /// XL0301: partition plan is not a disjoint cover of the pattern set.
+    PartitionCover,
+    /// XL0302: mask bit set for a cell that is not X under every pattern
+    /// of its partition (fault-coverage loss).
+    UnsafeMask,
+    /// XL0303: claimed control-bit accounting disagrees with
+    /// [`xhc_core::hybrid_cost`].
+    CostMismatch,
+    /// XL0304: degenerate or non-primitive MISR feedback polynomial.
+    DegenerateMisr,
+    /// XL0305: inconsistent X-canceling `(m, q)` configuration.
+    BadCancelConfig,
+}
+
+impl LintCode {
+    /// All rules, in code order.
+    pub const ALL: [LintCode; 13] = [
+        LintCode::CombLoop,
+        LintCode::FloatingNet,
+        LintCode::DeadLogic,
+        LintCode::BadArity,
+        LintCode::UnreachableFlop,
+        LintCode::ChainImbalance,
+        LintCode::XOutOfRange,
+        LintCode::DuplicateX,
+        LintCode::PartitionCover,
+        LintCode::UnsafeMask,
+        LintCode::CostMismatch,
+        LintCode::DegenerateMisr,
+        LintCode::BadCancelConfig,
+    ];
+
+    /// The stable `XLxxxx` identifier.
+    pub fn id(self) -> &'static str {
+        match self {
+            LintCode::CombLoop => "XL0101",
+            LintCode::FloatingNet => "XL0102",
+            LintCode::DeadLogic => "XL0103",
+            LintCode::BadArity => "XL0104",
+            LintCode::UnreachableFlop => "XL0105",
+            LintCode::ChainImbalance => "XL0201",
+            LintCode::XOutOfRange => "XL0202",
+            LintCode::DuplicateX => "XL0203",
+            LintCode::PartitionCover => "XL0301",
+            LintCode::UnsafeMask => "XL0302",
+            LintCode::CostMismatch => "XL0303",
+            LintCode::DegenerateMisr => "XL0304",
+            LintCode::BadCancelConfig => "XL0305",
+        }
+    }
+
+    /// The human-facing rule slug (used for CLI severity overrides).
+    pub fn name(self) -> &'static str {
+        match self {
+            LintCode::CombLoop => "comb-loop",
+            LintCode::FloatingNet => "floating-net",
+            LintCode::DeadLogic => "dead-logic",
+            LintCode::BadArity => "bad-arity",
+            LintCode::UnreachableFlop => "unreachable-flop",
+            LintCode::ChainImbalance => "chain-imbalance",
+            LintCode::XOutOfRange => "x-out-of-range",
+            LintCode::DuplicateX => "duplicate-x",
+            LintCode::PartitionCover => "partition-cover",
+            LintCode::UnsafeMask => "unsafe-mask",
+            LintCode::CostMismatch => "cost-mismatch",
+            LintCode::DegenerateMisr => "degenerate-misr",
+            LintCode::BadCancelConfig => "bad-cancel-config",
+        }
+    }
+
+    /// The severity the rule carries unless overridden.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            LintCode::CombLoop
+            | LintCode::FloatingNet
+            | LintCode::BadArity
+            | LintCode::XOutOfRange
+            | LintCode::PartitionCover
+            | LintCode::UnsafeMask
+            | LintCode::CostMismatch
+            | LintCode::BadCancelConfig => Severity::Deny,
+            LintCode::DeadLogic
+            | LintCode::UnreachableFlop
+            | LintCode::ChainImbalance
+            | LintCode::DuplicateX
+            | LintCode::DegenerateMisr => Severity::Warn,
+        }
+    }
+
+    /// Parses an `XLxxxx` id or a rule slug.
+    pub fn parse(s: &str) -> Option<LintCode> {
+        LintCode::ALL
+            .into_iter()
+            .find(|c| c.id().eq_ignore_ascii_case(s) || c.name() == s)
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.id(), self.name())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub code: LintCode,
+    /// Effective severity (after config overrides).
+    pub severity: Severity,
+    /// Where in the artifact the finding points (e.g. `netlist node 17`,
+    /// `SC4[2]`, `partition 1`).
+    pub location: String,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix or interpret it.
+    pub help: String,
+}
+
+/// Per-rule severity overrides.
+///
+/// # Examples
+///
+/// ```
+/// use xhc_lint::{LintCode, LintConfig, Severity};
+///
+/// let config = LintConfig::default()
+///     .deny(LintCode::DeadLogic)
+///     .allow(LintCode::ChainImbalance);
+/// assert_eq!(config.severity(LintCode::DeadLogic), Severity::Deny);
+/// assert_eq!(config.severity(LintCode::ChainImbalance), Severity::Allow);
+/// assert_eq!(config.severity(LintCode::CombLoop), Severity::Deny);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintConfig {
+    overrides: BTreeMap<LintCode, Severity>,
+}
+
+impl LintConfig {
+    /// The effective severity of a rule.
+    pub fn severity(&self, code: LintCode) -> Severity {
+        self.overrides
+            .get(&code)
+            .copied()
+            .unwrap_or_else(|| code.default_severity())
+    }
+
+    /// The effective severity when the rule itself proposes a `base` for
+    /// a particular finding (e.g. an advisory emitted under a
+    /// deny-by-default code): an explicit override still wins.
+    pub fn severity_or(&self, code: LintCode, base: Severity) -> Severity {
+        self.overrides.get(&code).copied().unwrap_or(base)
+    }
+
+    /// Sets an explicit severity for a rule.
+    pub fn set(mut self, code: LintCode, severity: Severity) -> Self {
+        self.overrides.insert(code, severity);
+        self
+    }
+
+    /// Escalates a rule to `Deny`.
+    pub fn deny(self, code: LintCode) -> Self {
+        self.set(code, Severity::Deny)
+    }
+
+    /// Demotes a rule to `Warn`.
+    pub fn warn(self, code: LintCode) -> Self {
+        self.set(code, Severity::Warn)
+    }
+
+    /// Suppresses a rule.
+    pub fn allow(self, code: LintCode) -> Self {
+        self.set(code, Severity::Allow)
+    }
+}
+
+/// An ordered collection of diagnostics with rendering and exit-status
+/// helpers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    /// The findings, in rule-execution order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        LintReport::default()
+    }
+
+    /// Records a finding under `config`'s severity for `code`; findings of
+    /// `Allow`ed rules are dropped.
+    pub fn push(
+        &mut self,
+        config: &LintConfig,
+        code: LintCode,
+        location: impl Into<String>,
+        message: impl Into<String>,
+        help: impl Into<String>,
+    ) {
+        let severity = config.severity(code);
+        if severity == Severity::Allow {
+            return;
+        }
+        self.diagnostics.push(Diagnostic {
+            code,
+            severity,
+            location: location.into(),
+            message: message.into(),
+            help: help.into(),
+        });
+    }
+
+    /// Like [`push`](Self::push), but the finding carries `base` severity
+    /// unless `config` overrides the rule explicitly. Used for findings
+    /// whose weight differs from their rule's default (e.g. a structural
+    /// defect under a warn-by-default rule, or an advisory under a
+    /// deny-by-default one).
+    pub fn push_at(
+        &mut self,
+        config: &LintConfig,
+        code: LintCode,
+        base: Severity,
+        location: impl Into<String>,
+        message: impl Into<String>,
+        help: impl Into<String>,
+    ) {
+        let severity = config.severity_or(code, base);
+        if severity == Severity::Allow {
+            return;
+        }
+        self.diagnostics.push(Diagnostic {
+            code,
+            severity,
+            location: location.into(),
+            message: message.into(),
+            help: help.into(),
+        });
+    }
+
+    /// Appends every finding of `other`.
+    pub fn merge(&mut self, other: LintReport) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Whether the report is clean.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// Number of `Deny` findings (the CLI's exit status is nonzero iff
+    /// this is).
+    pub fn deny_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Whether any finding is fatal.
+    pub fn has_deny(&self) -> bool {
+        self.deny_count() > 0
+    }
+
+    /// `rustc`-style human rendering, one block per finding.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "{}[{}]: {}\n  --> {}\n  = help: {}\n",
+                d.severity,
+                d.code.id(),
+                d.message,
+                d.location,
+                d.help
+            ));
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str(&format!(
+                "{} finding(s): {} deny, {} warn\n",
+                self.len(),
+                self.deny_count(),
+                self.len() - self.deny_count()
+            ));
+        }
+        out
+    }
+
+    /// JSON rendering: an array of objects with `code`, `rule`,
+    /// `severity`, `location`, `message`, `help` keys.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n  {{\"code\":\"{}\",\"rule\":\"{}\",\"severity\":\"{}\",\"location\":{},\"message\":{},\"help\":{}}}",
+                d.code.id(),
+                d.code.name(),
+                d.severity,
+                json_string(&d.location),
+                json_string(&d.message),
+                json_string(&d.help)
+            ));
+        }
+        if !self.diagnostics.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_parse_roundtrips() {
+        let ids: std::collections::BTreeSet<&str> = LintCode::ALL.iter().map(|c| c.id()).collect();
+        assert_eq!(ids.len(), LintCode::ALL.len());
+        for code in LintCode::ALL {
+            assert_eq!(LintCode::parse(code.id()), Some(code));
+            assert_eq!(LintCode::parse(code.name()), Some(code));
+        }
+        assert_eq!(LintCode::parse("nope"), None);
+    }
+
+    #[test]
+    fn config_overrides_apply() {
+        let config = LintConfig::default().allow(LintCode::CombLoop);
+        let mut report = LintReport::new();
+        report.push(&config, LintCode::CombLoop, "x", "y", "z");
+        assert!(report.is_empty(), "allowed rule must be dropped");
+        report.push(&config, LintCode::DeadLogic, "x", "y", "z");
+        assert_eq!(report.diagnostics[0].severity, Severity::Warn);
+        assert!(!report.has_deny());
+        let config = LintConfig::default().deny(LintCode::DeadLogic);
+        report.push(&config, LintCode::DeadLogic, "x", "y", "z");
+        assert!(report.has_deny());
+    }
+
+    #[test]
+    fn human_rendering_mentions_code_and_help() {
+        let mut report = LintReport::new();
+        report.push(
+            &LintConfig::default(),
+            LintCode::UnsafeMask,
+            "partition 0",
+            "mask covers a non-X value",
+            "unmask the cell",
+        );
+        let text = report.render_human();
+        assert!(text.contains("deny[XL0302]"));
+        assert!(text.contains("partition 0"));
+        assert!(text.contains("help: unmask the cell"));
+        assert!(text.contains("1 deny, 0 warn"));
+    }
+
+    #[test]
+    fn json_rendering_escapes() {
+        let mut report = LintReport::new();
+        report.push(
+            &LintConfig::default(),
+            LintCode::DuplicateX,
+            "cell \"7\"",
+            "line1\nline2",
+            "h",
+        );
+        let json = report.render_json();
+        assert!(json.contains("\\\"7\\\""));
+        assert!(json.contains("line1\\nline2"));
+        assert!(json.contains("\"rule\":\"duplicate-x\""));
+        assert!(LintReport::new().render_json().starts_with("[]"));
+    }
+}

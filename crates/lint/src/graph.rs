@@ -1,0 +1,116 @@
+//! Tarjan's strongly-connected-components algorithm (iterative), used by
+//! the combinational-loop rule.
+
+/// Returns every non-trivial SCC of the directed graph `edges` over nodes
+/// `0..n`: components of two or more nodes, plus single nodes with a
+/// self-edge. Each component is sorted ascending; components are ordered
+/// by their smallest node.
+pub fn nontrivial_sccs(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    let mut adj = vec![Vec::new(); n];
+    let mut self_loop = vec![false; n];
+    for &(u, v) in edges {
+        assert!(u < n && v < n, "edge ({u},{v}) out of range for {n} nodes");
+        if u == v {
+            self_loop[u] = true;
+        }
+        adj[u].push(v);
+    }
+
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+    // Iterative Tarjan: (node, next-child-cursor) call frames.
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&(v, cursor)) = frames.last() {
+            if let Some(&w) = adj[v].get(cursor) {
+                frames.last_mut().expect("frame present").1 += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    if component.len() > 1 || self_loop[component[0]] {
+                        component.sort_unstable();
+                        sccs.push(component);
+                    }
+                }
+            }
+        }
+    }
+    sccs.sort_by_key(|c| c[0]);
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acyclic_graph_has_no_nontrivial_sccs() {
+        let sccs = nontrivial_sccs(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        assert!(sccs.is_empty());
+    }
+
+    #[test]
+    fn finds_a_simple_cycle() {
+        let sccs = nontrivial_sccs(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        assert_eq!(sccs, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn self_loop_counts() {
+        let sccs = nontrivial_sccs(3, &[(1, 1), (0, 2)]);
+        assert_eq!(sccs, vec![vec![1]]);
+    }
+
+    #[test]
+    fn two_separate_cycles() {
+        let sccs = nontrivial_sccs(6, &[(0, 1), (1, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
+        assert_eq!(sccs, vec![vec![0, 1], vec![3, 4, 5]]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // The iterative formulation must handle paths far beyond any
+        // recursion limit.
+        let n = 200_000;
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        assert!(nontrivial_sccs(n, &edges).is_empty());
+    }
+}

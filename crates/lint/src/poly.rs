@@ -1,0 +1,157 @@
+//! GF(2) polynomial arithmetic for the MISR feedback-polynomial rule.
+//!
+//! A MISR with feedback taps `T` (state bit `s'[0] = ⊕_{t∈T} s[t]`)
+//! realizes the characteristic polynomial
+//! `p(x) = x^m + Σ_{t∈T} x^(m-1-t)` over GF(2). The rule checks that `p`
+//! is *primitive* — that `x` generates the full multiplicative order
+//! `2^m − 1` — which maximizes signature mixing and error coverage.
+
+/// Whether the degree-`m` polynomial realized by `taps` is primitive over
+/// GF(2). Supports `2 <= m <= 32`; returns `None` outside that range
+/// (the check is skipped, not failed).
+///
+/// Every tap must be `< m`.
+pub fn taps_primitive(m: usize, taps: &[usize]) -> Option<bool> {
+    if !(2..=32).contains(&m) {
+        return None;
+    }
+    assert!(taps.iter().all(|&t| t < m), "tap out of range");
+    // p as a bitmask: bit i = coefficient of x^i. Degree m fits in u64.
+    let mut p: u64 = 1 << m;
+    for &t in taps {
+        p |= 1 << (m - 1 - t);
+    }
+    // A primitive polynomial needs a nonzero constant term (equivalently
+    // the m-1 tap present), else x | p and the register is singular.
+    if p & 1 == 0 {
+        return Some(false);
+    }
+    let group_order = (1u64 << m) - 1;
+    // x must have exact order 2^m - 1 in GF(2)[x]/(p). If p were
+    // reducible, the unit group is strictly smaller than 2^m - 1, so the
+    // order test alone also proves irreducibility.
+    if pow_mod(2, group_order, p, m) != 1 {
+        return Some(false);
+    }
+    for f in prime_factors(group_order) {
+        if pow_mod(2, group_order / f, p, m) == 1 {
+            return Some(false);
+        }
+    }
+    Some(true)
+}
+
+/// `base^exp mod p` where `base`/`p` are GF(2) polynomial bitmasks and
+/// `p` has degree `m`.
+fn pow_mod(base: u64, exp: u64, p: u64, m: usize) -> u64 {
+    let mut result = 1u64;
+    let mut acc = rem(base, p, m);
+    let mut e = exp;
+    while e > 0 {
+        if e & 1 == 1 {
+            result = mul_mod(result, acc, p, m);
+        }
+        acc = mul_mod(acc, acc, p, m);
+        e >>= 1;
+    }
+    result
+}
+
+/// Carry-less multiply of two degree-`< m` polynomials, reduced mod `p`.
+fn mul_mod(a: u64, b: u64, p: u64, m: usize) -> u64 {
+    debug_assert!(m <= 32, "product must fit in u64");
+    let mut prod = 0u64;
+    let mut a = a;
+    let mut b = b;
+    while b > 0 {
+        if b & 1 == 1 {
+            prod ^= a;
+        }
+        a <<= 1;
+        b >>= 1;
+    }
+    rem(prod, p, m)
+}
+
+/// Polynomial remainder `a mod p` where `p` has degree `m`.
+fn rem(mut a: u64, p: u64, m: usize) -> u64 {
+    while a >> m != 0 {
+        let shift = 63 - a.leading_zeros() as usize - m;
+        a ^= p << shift;
+    }
+    a
+}
+
+/// The distinct prime factors of `n` (trial division; `n < 2^32` here, so
+/// divisors up to 2^16 suffice).
+fn prime_factors(mut n: u64) -> Vec<u64> {
+    let mut factors = Vec::new();
+    let mut d = 2u64;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            factors.push(d);
+            while n.is_multiple_of(d) {
+                n /= d;
+            }
+        }
+        d += 1;
+    }
+    if n > 1 {
+        factors.push(n);
+    }
+    factors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_primitive_polynomials() {
+        // x^2+x+1: taps {1} (m-1-t = 0) + {0} -> t in {1, 0}? p needs
+        // x^1 and x^0 terms: t = m-1-1 = 0 and t = m-1 = 1.
+        assert_eq!(taps_primitive(2, &[0, 1]), Some(true));
+        // x^3+x+1 -> exponents {1, 0} -> taps {m-1-1, m-1} = {1, 2}.
+        assert_eq!(taps_primitive(3, &[1, 2]), Some(true));
+        // x^4+x+1 -> taps {2, 3}.
+        assert_eq!(taps_primitive(4, &[2, 3]), Some(true));
+        // x^8+x^4+x^3+x^2+1 -> exponents {4,3,2,0} -> taps {3,4,5,7}.
+        assert_eq!(taps_primitive(8, &[3, 4, 5, 7]), Some(true));
+        // x^16+x^12+x^3+x+1 (CRC-CCITT is NOT primitive; use the standard
+        // primitive x^16+x^5+x^3+x^2+1 -> exponents {5,3,2,0} ->
+        // taps {10,12,13,15}).
+        assert_eq!(taps_primitive(16, &[10, 12, 13, 15]), Some(true));
+    }
+
+    #[test]
+    fn known_non_primitive_polynomials() {
+        // x^4+x^2+1 = (x^2+x+1)^2: exponents {2, 0} -> taps {1, 3}.
+        assert_eq!(taps_primitive(4, &[1, 3]), Some(false));
+        // x^4+x^3+x^2+x+1 divides x^5-1: order 5 < 15. Exponents
+        // {3,2,1,0} -> taps {0,1,2,3}.
+        assert_eq!(taps_primitive(4, &[0, 1, 2, 3]), Some(false));
+        // Missing the m-1 tap -> no constant term -> singular.
+        assert_eq!(taps_primitive(4, &[1]), Some(false));
+    }
+
+    #[test]
+    fn out_of_scope_sizes_are_skipped() {
+        assert_eq!(taps_primitive(33, &[32]), None);
+        assert_eq!(taps_primitive(1, &[0]), None);
+    }
+
+    #[test]
+    fn m32_runs_fast() {
+        // The largest supported size must complete instantly (2^32-1 =
+        // 3 * 5 * 17 * 257 * 65537).
+        let got = taps_primitive(32, &[1, 16, 31]);
+        assert!(got.is_some());
+    }
+
+    #[test]
+    fn prime_factorization() {
+        assert_eq!(prime_factors((1 << 4) - 1), vec![3, 5]);
+        assert_eq!(prime_factors((1u64 << 32) - 1), vec![3, 5, 17, 257, 65537]);
+        assert_eq!(prime_factors(7), vec![7]);
+    }
+}

@@ -1,0 +1,430 @@
+//! Per-rule fixtures: every rule has a seeded-defect fixture on which it
+//! fires (and only it fires) and a clean fixture on which it stays quiet.
+
+use xhc_bits::PatternSet;
+use xhc_core::PartitionEngine;
+use xhc_lint::{
+    check_cancel_params, check_cost_accounting, check_masks_safe, check_misr_taps, check_netlist,
+    check_netlist_facts, check_outcome, check_partition_cover, check_scan_config, check_xmap,
+    check_xmap_facts, LintCode, LintConfig, LintReport, NetlistFacts, NodeFact, XMapFacts,
+};
+use xhc_logic::{FlopInit, GateKind, NetlistBuilder};
+use xhc_misr::{MaskWord, Taps, XCancelConfig};
+use xhc_scan::{CellId, ScanConfig, XMap, XMapBuilder};
+
+fn codes(report: &LintReport) -> Vec<LintCode> {
+    let mut codes: Vec<LintCode> = report.diagnostics.iter().map(|d| d.code).collect();
+    codes.dedup();
+    codes
+}
+
+/// A small clean netlist: two inputs, a few gates, a flop in a feedback
+/// loop (sequential, not combinational), everything observable.
+fn clean_netlist_facts() -> NetlistFacts {
+    let mut b = NetlistBuilder::new();
+    let a = b.input();
+    let c = b.input();
+    let g1 = b.and2(a, c);
+    let f = b.flop(FlopInit::Zero);
+    let g2 = b.xor2(g1, f);
+    b.connect_flop_d(f, g2);
+    b.output(g2);
+    NetlistFacts::from_netlist(&b.finish().expect("fixture netlist is valid"))
+}
+
+// ---------------------------------------------------------------- XL0101
+
+#[test]
+fn xl0101_comb_loop_fires() {
+    // g2 -> g3 -> g2 — a combinational cycle a buggy importer could emit.
+    let facts = NetlistFacts {
+        nodes: vec![
+            NodeFact::Input,
+            NodeFact::Gate {
+                kind: GateKind::And,
+                inputs: vec![0, 2],
+            },
+            NodeFact::Gate {
+                kind: GateKind::Not,
+                inputs: vec![1],
+            },
+        ],
+        outputs: vec![1],
+    };
+    let report = check_netlist_facts(&LintConfig::default(), &facts);
+    assert_eq!(codes(&report), vec![LintCode::CombLoop]);
+    assert!(report.has_deny());
+}
+
+#[test]
+fn xl0101_clean_netlist_passes() {
+    let report = check_netlist_facts(&LintConfig::default(), &clean_netlist_facts());
+    assert!(report.is_empty(), "{}", report.render_human());
+}
+
+// ---------------------------------------------------------------- XL0102
+
+#[test]
+fn xl0102_floating_net_fires() {
+    // A driverless bus and an unconnected flop D pin.
+    let facts = NetlistFacts {
+        nodes: vec![
+            NodeFact::Bus {
+                drivers: Vec::new(),
+            },
+            NodeFact::Flop { d: None },
+        ],
+        outputs: vec![0, 1],
+    };
+    let report = check_netlist_facts(&LintConfig::default(), &facts);
+    assert_eq!(codes(&report), vec![LintCode::FloatingNet]);
+    assert_eq!(report.len(), 2);
+}
+
+#[test]
+fn xl0102_driven_bus_passes() {
+    let mut b = NetlistBuilder::new();
+    let en = b.input();
+    let data = b.input();
+    let t = b.tribuf(en, data);
+    let bus = b.bus(vec![t]);
+    b.output(bus);
+    let report = check_netlist(
+        &LintConfig::default(),
+        &b.finish().expect("fixture netlist is valid"),
+    );
+    assert!(report.is_empty(), "{}", report.render_human());
+}
+
+// ---------------------------------------------------------------- XL0103
+
+#[test]
+fn xl0103_dead_logic_fires() {
+    // A gate nothing observes.
+    let mut b = NetlistBuilder::new();
+    let a = b.input();
+    let c = b.input();
+    let live = b.or2(a, c);
+    let _dead = b.and2(a, c);
+    b.output(live);
+    let report = check_netlist(
+        &LintConfig::default(),
+        &b.finish().expect("fixture netlist is valid"),
+    );
+    assert_eq!(codes(&report), vec![LintCode::DeadLogic]);
+    assert!(!report.has_deny(), "dead logic is a warning by default");
+}
+
+#[test]
+fn xl0103_logic_observed_through_flop_passes() {
+    // Logic feeding only a flop D pin is still observable (next cycle).
+    let mut b = NetlistBuilder::new();
+    let a = b.input();
+    let g = b.not(a);
+    let f = b.flop(FlopInit::Zero);
+    b.connect_flop_d(f, g);
+    b.output(f);
+    let report = check_netlist(
+        &LintConfig::default(),
+        &b.finish().expect("fixture netlist is valid"),
+    );
+    assert!(report.is_empty(), "{}", report.render_human());
+}
+
+// ---------------------------------------------------------------- XL0104
+
+#[test]
+fn xl0104_bad_arity_fires() {
+    // A 2-input NOT and a 1-input AND — both invalid.
+    let facts = NetlistFacts {
+        nodes: vec![
+            NodeFact::Input,
+            NodeFact::Input,
+            NodeFact::Gate {
+                kind: GateKind::Not,
+                inputs: vec![0, 1],
+            },
+            NodeFact::Gate {
+                kind: GateKind::And,
+                inputs: vec![0],
+            },
+        ],
+        outputs: vec![2, 3],
+    };
+    let report = check_netlist_facts(&LintConfig::default(), &facts);
+    assert_eq!(codes(&report), vec![LintCode::BadArity]);
+    assert_eq!(report.len(), 2);
+    assert!(report.has_deny());
+}
+
+#[test]
+fn xl0104_wide_gates_pass() {
+    let mut b = NetlistBuilder::new();
+    let inputs: Vec<_> = (0..4).map(|_| b.input()).collect();
+    let wide = b.gate(GateKind::And, inputs.clone());
+    let sel = b.gate(GateKind::Mux, vec![inputs[0], inputs[1], wide]);
+    b.output(sel);
+    let report = check_netlist(
+        &LintConfig::default(),
+        &b.finish().expect("fixture netlist is valid"),
+    );
+    assert!(report.is_empty(), "{}", report.render_human());
+}
+
+// ---------------------------------------------------------------- XL0105
+
+#[test]
+fn xl0105_unreachable_flop_fires() {
+    let mut b = NetlistBuilder::new();
+    let a = b.input();
+    let f = b.flop(FlopInit::Zero);
+    b.connect_flop_d(f, a);
+    // The flop is driven but nothing reads it; a separate path feeds the
+    // output.
+    let out = b.not(a);
+    b.output(out);
+    let report = check_netlist(
+        &LintConfig::default(),
+        &b.finish().expect("fixture netlist is valid"),
+    );
+    assert_eq!(codes(&report), vec![LintCode::UnreachableFlop]);
+    assert!(!report.has_deny());
+}
+
+#[test]
+fn xl0105_observed_flop_passes() {
+    let report = check_netlist_facts(&LintConfig::default(), &clean_netlist_facts());
+    assert!(report.is_empty());
+}
+
+// ---------------------------------------------------------------- XL0201
+
+#[test]
+fn xl0201_chain_imbalance_fires() {
+    // 300-bit mask word for 120 cells: 60% waste.
+    let scan = ScanConfig::new(vec![100, 10, 10]);
+    let report = check_scan_config(&LintConfig::default(), &scan);
+    assert_eq!(codes(&report), vec![LintCode::ChainImbalance]);
+}
+
+#[test]
+fn xl0201_balanced_chains_pass() {
+    let report = check_scan_config(&LintConfig::default(), &ScanConfig::balanced(997, 7));
+    assert!(report.is_empty(), "{}", report.render_human());
+}
+
+// ---------------------------------------------------------------- XL0202
+
+#[test]
+fn xl0202_out_of_range_fires() {
+    let facts = XMapFacts {
+        total_cells: 10,
+        num_patterns: 6,
+        entries: vec![(10, vec![0]), (4, vec![6])],
+    };
+    let report = check_xmap_facts(&LintConfig::default(), &facts);
+    assert_eq!(codes(&report), vec![LintCode::XOutOfRange]);
+    assert!(report.has_deny());
+}
+
+#[test]
+fn xl0202_in_range_passes() {
+    let facts = XMapFacts {
+        total_cells: 10,
+        num_patterns: 6,
+        entries: vec![(9, vec![0, 5]), (4, vec![3])],
+    };
+    let report = check_xmap_facts(&LintConfig::default(), &facts);
+    assert!(report.is_empty(), "{}", report.render_human());
+}
+
+// ---------------------------------------------------------------- XL0203
+
+#[test]
+fn xl0203_duplicates_fire() {
+    let facts = XMapFacts {
+        total_cells: 10,
+        num_patterns: 6,
+        entries: vec![(4, vec![1]), (4, vec![2]), (7, vec![3, 3])],
+    };
+    let report = check_xmap_facts(&LintConfig::default(), &facts);
+    assert_eq!(codes(&report), vec![LintCode::DuplicateX]);
+    assert_eq!(report.len(), 2);
+}
+
+#[test]
+fn xl0203_builder_output_passes() {
+    let mut b = XMapBuilder::new(ScanConfig::uniform(2, 5), 6);
+    // add_x twice for the same (cell, pattern) coalesces in the builder.
+    b.add_x(CellId::new(0, 3), 2);
+    b.add_x(CellId::new(0, 3), 2);
+    let report = check_xmap(&LintConfig::default(), &b.finish());
+    assert!(report.is_empty(), "{}", report.render_human());
+}
+
+// ---------------------------------------------------------------- XL0301
+
+#[test]
+fn xl0301_bad_cover_fires() {
+    let lc = LintConfig::default();
+    // Overlap.
+    let parts = vec![
+        PatternSet::from_patterns(6, [0, 1, 2]),
+        PatternSet::from_patterns(6, [2, 3, 4, 5]),
+    ];
+    assert_eq!(
+        codes(&check_partition_cover(&lc, 6, &parts)),
+        vec![LintCode::PartitionCover]
+    );
+    // Hole.
+    let parts = vec![
+        PatternSet::from_patterns(6, [0, 1]),
+        PatternSet::from_patterns(6, [3, 4, 5]),
+    ];
+    assert_eq!(
+        codes(&check_partition_cover(&lc, 6, &parts)),
+        vec![LintCode::PartitionCover]
+    );
+}
+
+#[test]
+fn xl0301_disjoint_cover_passes() {
+    let parts = vec![
+        PatternSet::from_patterns(6, [0, 2, 4]),
+        PatternSet::from_patterns(6, [1, 3]),
+        PatternSet::from_patterns(6, [5]),
+    ];
+    let report = check_partition_cover(&LintConfig::default(), 6, &parts);
+    assert!(report.is_empty(), "{}", report.render_human());
+}
+
+// ---------------------------------------------------------------- XL0302
+
+fn two_cell_xmap() -> XMap {
+    let mut b = XMapBuilder::new(ScanConfig::uniform(1, 2), 4);
+    // Cell 0 is X everywhere; cell 1 only under pattern 0.
+    for p in 0..4 {
+        b.add_x(CellId::new(0, 0), p);
+    }
+    b.add_x(CellId::new(0, 1), 0);
+    b.finish()
+}
+
+#[test]
+fn xl0302_unsafe_mask_fires() {
+    let xmap = two_cell_xmap();
+    let parts = vec![PatternSet::all(4)];
+    let mut mask = MaskWord::none(xmap.config());
+    mask.mask(xmap.config(), CellId::new(0, 1)); // known under patterns 1–3
+    let report = check_masks_safe(&LintConfig::default(), &xmap, &parts, &[mask]);
+    assert_eq!(codes(&report), vec![LintCode::UnsafeMask]);
+    assert!(report.has_deny());
+}
+
+#[test]
+fn xl0302_all_x_mask_passes() {
+    let xmap = two_cell_xmap();
+    let parts = vec![PatternSet::all(4)];
+    let mut mask = MaskWord::none(xmap.config());
+    mask.mask(xmap.config(), CellId::new(0, 0)); // X under every pattern
+    let report = check_masks_safe(&LintConfig::default(), &xmap, &parts, &[mask]);
+    assert!(report.is_empty(), "{}", report.render_human());
+}
+
+// ---------------------------------------------------------------- XL0303
+
+#[test]
+fn xl0303_cost_mismatch_fires() {
+    let xmap = two_cell_xmap();
+    let cancel = XCancelConfig::new(4, 1);
+    let outcome = PartitionEngine::new(cancel).run(&xmap);
+    let mut claimed = outcome.cost.clone();
+    claimed.masking_bits += 2;
+    claimed.canceling_bits += 0.5;
+    let report = check_cost_accounting(
+        &LintConfig::default(),
+        &xmap,
+        &outcome.partitions,
+        cancel,
+        &claimed,
+    );
+    assert_eq!(codes(&report), vec![LintCode::CostMismatch]);
+    let text = report.render_human();
+    assert!(text.contains("masking_bits") && text.contains("canceling_bits"));
+}
+
+#[test]
+fn xl0303_engine_cost_passes() {
+    let xmap = two_cell_xmap();
+    let cancel = XCancelConfig::new(4, 1);
+    let outcome = PartitionEngine::new(cancel).run(&xmap);
+    let report = check_outcome(&LintConfig::default(), &xmap, &outcome, cancel);
+    assert!(report.is_empty(), "{}", report.render_human());
+}
+
+// ---------------------------------------------------------------- XL0304
+
+#[test]
+fn xl0304_degenerate_misr_fires() {
+    let lc = LintConfig::default();
+    // No x^m feedback term (m-1 missing): deny.
+    assert!(check_misr_taps(&lc, 8, &Taps::new(vec![0, 3])).has_deny());
+    // Tap out of range: deny.
+    assert!(check_misr_taps(&lc, 4, &Taps::new(vec![3, 7])).has_deny());
+    // Non-primitive but structurally sound: warn only.
+    let report = check_misr_taps(&lc, 4, &Taps::new(vec![1, 3]));
+    assert_eq!(codes(&report), vec![LintCode::DegenerateMisr]);
+    assert!(!report.has_deny());
+}
+
+#[test]
+fn xl0304_primitive_taps_pass() {
+    let lc = LintConfig::default();
+    // x^4 + x + 1 and x^8 + x^4 + x^3 + x^2 + 1, both primitive.
+    assert!(check_misr_taps(&lc, 4, &Taps::new(vec![2, 3])).is_empty());
+    assert!(check_misr_taps(&lc, 8, &Taps::new(vec![3, 4, 5, 7])).is_empty());
+}
+
+// ---------------------------------------------------------------- XL0305
+
+#[test]
+fn xl0305_bad_cancel_config_fires() {
+    let lc = LintConfig::default();
+    assert!(check_cancel_params(&lc, 0, 0).has_deny());
+    assert!(check_cancel_params(&lc, 8, 0).has_deny());
+    assert!(check_cancel_params(&lc, 8, 8).has_deny());
+    // q > m/2: warn.
+    let report = check_cancel_params(&lc, 8, 5);
+    assert_eq!(codes(&report), vec![LintCode::BadCancelConfig]);
+    assert!(!report.has_deny());
+}
+
+#[test]
+fn xl0305_paper_config_passes() {
+    let cancel = XCancelConfig::paper_default();
+    let report = check_cancel_params(&LintConfig::default(), cancel.m(), cancel.q());
+    assert!(report.is_empty(), "{}", report.render_human());
+}
+
+// ------------------------------------------------------- severity plumbing
+
+#[test]
+fn overrides_change_exit_semantics() {
+    // Demote a deny rule: report still fires but is no longer fatal.
+    let facts = XMapFacts {
+        total_cells: 5,
+        num_patterns: 5,
+        entries: vec![(7, vec![0])],
+    };
+    let demoted = LintConfig::default().warn(LintCode::XOutOfRange);
+    let report = check_xmap_facts(&demoted, &facts);
+    assert_eq!(report.len(), 1);
+    assert!(!report.has_deny());
+    // Suppress it entirely.
+    let allowed = LintConfig::default().allow(LintCode::XOutOfRange);
+    assert!(check_xmap_facts(&allowed, &facts).is_empty());
+    // Escalate a warn rule.
+    let escalated = LintConfig::default().deny(LintCode::ChainImbalance);
+    let scan = ScanConfig::new(vec![100, 10, 10]);
+    assert!(check_scan_config(&escalated, &scan).has_deny());
+}

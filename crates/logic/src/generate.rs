@@ -7,9 +7,7 @@
 //! uninitialized shadow flops and tri-state buses.
 
 use crate::netlist::{FlopInit, GateKind, Netlist, NetlistBuilder, NodeId};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use xhc_prng::{SliceRandom, XhcRng};
 
 /// Parameters for random circuit generation.
 ///
@@ -92,7 +90,7 @@ impl CircuitSpec {
     pub fn generate(&self) -> GeneratedCircuit {
         assert!(self.num_inputs > 0, "need at least one primary input");
         assert!(self.max_fanin >= 2, "max_fanin must be at least 2");
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = XhcRng::seed_from_u64(self.seed);
         let mut b = NetlistBuilder::new();
 
         // Signal pool: anything a gate may use as fan-in.

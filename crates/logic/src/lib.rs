@@ -48,5 +48,5 @@ pub mod generate;
 pub mod samples;
 
 pub use netlist::{BuildError, FlopInit, GateKind, Netlist, NetlistBuilder, Node, NodeId};
-pub use sim::Simulator;
+pub use sim::{SimError, Simulator};
 pub use trit::{resolve_bus, tristate, Drive, Trit};

@@ -13,6 +13,15 @@ impl NodeId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// A node id from a raw index — for deserializing externally stored
+    /// references (fault lists, saved patterns). The id is *not* checked
+    /// against any netlist here; fallible consumers such as
+    /// [`Simulator::try_eval_forced`](crate::Simulator::try_eval_forced)
+    /// validate on use.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index fits in u32"))
+    }
 }
 
 impl fmt::Display for NodeId {

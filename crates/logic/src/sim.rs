@@ -2,6 +2,53 @@
 
 use crate::netlist::{GateKind, Netlist, Node, NodeId};
 use crate::trit::{resolve_bus, tristate, Drive, Trit};
+use std::fmt;
+
+/// Why a simulation request was rejected.
+///
+/// Most `Simulator` entry points panic on misuse (the callers inside this
+/// workspace always pass vectors they just sized off the same netlist),
+/// but requests built from *external* data — a fault list read from disk,
+/// a pattern file — should go through the fallible
+/// [`try_eval_forced`](Simulator::try_eval_forced) and surface these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The input vector does not match the netlist's primary input count.
+    InputLengthMismatch {
+        /// What the netlist requires.
+        expected: usize,
+        /// What the caller passed.
+        got: usize,
+    },
+    /// A forced node id does not exist in the netlist.
+    ForcedNodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the netlist.
+        num_nodes: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InputLengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "input vector length mismatch: expected {expected}, got {got}"
+                )
+            }
+            SimError::ForcedNodeOutOfRange { node, num_nodes } => {
+                write!(
+                    f,
+                    "forced node {node:?} out of range for a {num_nodes}-node netlist"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// A levelized three-valued simulator for a [`Netlist`].
 ///
@@ -130,13 +177,55 @@ impl<'a> Simulator<'a> {
     /// # Panics
     ///
     /// Panics if `inputs.len() != num_inputs` or a forced node is out of
-    /// range.
+    /// range. For requests built from external data, use
+    /// [`try_eval_forced`](Self::try_eval_forced) instead.
     pub fn eval_forced(&mut self, inputs: &[Trit], forced: &[(NodeId, Trit)]) {
         assert_eq!(
             inputs.len(),
             self.netlist.num_inputs(),
             "input vector length mismatch"
         );
+        if let Some(&(node, _)) = forced
+            .iter()
+            .find(|(n, _)| n.index() >= self.netlist.num_nodes())
+        {
+            panic!(
+                "forced node {node:?} out of range for a {}-node netlist",
+                self.netlist.num_nodes()
+            );
+        }
+        self.eval_forced_unchecked(inputs, forced);
+    }
+
+    /// Fallible variant of [`eval_forced`](Self::eval_forced): rejects
+    /// mis-sized input vectors and out-of-range forced nodes with a typed
+    /// [`SimError`] instead of panicking. On error the simulator state is
+    /// untouched.
+    pub fn try_eval_forced(
+        &mut self,
+        inputs: &[Trit],
+        forced: &[(NodeId, Trit)],
+    ) -> Result<(), SimError> {
+        if inputs.len() != self.netlist.num_inputs() {
+            return Err(SimError::InputLengthMismatch {
+                expected: self.netlist.num_inputs(),
+                got: inputs.len(),
+            });
+        }
+        if let Some(&(node, _)) = forced
+            .iter()
+            .find(|(n, _)| n.index() >= self.netlist.num_nodes())
+        {
+            return Err(SimError::ForcedNodeOutOfRange {
+                node,
+                num_nodes: self.netlist.num_nodes(),
+            });
+        }
+        self.eval_forced_unchecked(inputs, forced);
+        Ok(())
+    }
+
+    fn eval_forced_unchecked(&mut self, inputs: &[Trit], forced: &[(NodeId, Trit)]) {
         let forced_value =
             |id: NodeId| -> Option<Trit> { forced.iter().find(|(n, _)| *n == id).map(|&(_, v)| v) };
         // Seed sources.
@@ -434,6 +523,44 @@ mod tests {
         b.input();
         let nl = b.finish().unwrap();
         Simulator::new(&nl).eval(&[]);
+    }
+
+    #[test]
+    fn try_eval_forced_rejects_bad_requests() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input();
+        let g = b.not(a);
+        b.output(g);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl);
+
+        let err = sim.try_eval_forced(&[], &[]).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::InputLengthMismatch {
+                expected: 1,
+                got: 0
+            }
+        );
+
+        let bogus = NodeId::from_index(99);
+        let err = sim.try_eval_forced(&[One], &[(bogus, Zero)]).unwrap_err();
+        assert!(matches!(err, SimError::ForcedNodeOutOfRange { .. }));
+        assert!(err.to_string().contains("out of range"));
+
+        // Valid request succeeds and matches the panicking path.
+        sim.try_eval_forced(&[One], &[(g, One)]).unwrap();
+        assert_eq!(sim.outputs(), vec![One]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn eval_forced_out_of_range_panics() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input();
+        b.output(a);
+        let nl = b.finish().unwrap();
+        Simulator::new(&nl).eval_forced(&[One], &[(NodeId::from_index(7), Zero)]);
     }
 
     #[test]

@@ -1,59 +1,62 @@
-//! Property tests for the three-valued simulator.
+//! Randomized invariant tests for the three-valued simulator
+//! (deterministic seeded loops).
 
-use proptest::prelude::*;
 use xhc_logic::generate::CircuitSpec;
 use xhc_logic::{Simulator, Trit};
+use xhc_prng::XhcRng;
 
-fn arb_spec() -> impl Strategy<Value = CircuitSpec> {
-    (
-        1u64..1000,
-        2usize..8,
-        10usize..80,
-        0usize..12,
-        0usize..3,
-        0usize..3,
-    )
-        .prop_map(|(seed, inputs, gates, scan, shadow, buses)| CircuitSpec {
-            num_inputs: inputs,
-            num_outputs: 3,
-            num_gates: gates,
-            num_scan_flops: scan,
-            num_shadow_flops: shadow,
-            num_buses: buses,
-            max_fanin: 4,
-            seed,
+fn random_spec(rng: &mut XhcRng) -> CircuitSpec {
+    CircuitSpec {
+        num_inputs: rng.gen_range(2..8),
+        num_outputs: 3,
+        num_gates: rng.gen_range(10..80),
+        num_scan_flops: rng.gen_range(0..12),
+        num_shadow_flops: rng.gen_range(0..3),
+        num_buses: rng.gen_range(0..3),
+        max_fanin: 4,
+        seed: rng.next_u64() % 1000,
+    }
+}
+
+fn random_trits(rng: &mut XhcRng, len: usize) -> Vec<Trit> {
+    (0..len)
+        .map(|_| match rng.gen_index(3) {
+            0 => Trit::Zero,
+            1 => Trit::One,
+            _ => Trit::X,
         })
+        .collect()
 }
 
-fn arb_trits(len: usize) -> impl Strategy<Value = Vec<Trit>> {
-    prop::collection::vec(
-        prop_oneof![Just(Trit::Zero), Just(Trit::One), Just(Trit::X)],
-        len,
-    )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Kleene monotonicity: refining an X input to a concrete value never
-    /// *changes* an already-known output — it can only turn X outputs into
-    /// known ones. This is the property PODEM's pruning relies on.
-    #[test]
-    fn refinement_is_monotonic(seed in 1u64..500, refine_bits in any::<u64>()) {
-        let spec = CircuitSpec { seed, ..CircuitSpec::default() };
+/// Kleene monotonicity: refining an X input to a concrete value never
+/// *changes* an already-known output — it can only turn X outputs into
+/// known ones. This is the property PODEM's pruning relies on.
+#[test]
+fn refinement_is_monotonic() {
+    let mut rng = XhcRng::seed_from_u64(0x51A1);
+    for _ in 0..48 {
+        let spec = CircuitSpec {
+            seed: 1 + rng.next_u64() % 499,
+            ..CircuitSpec::default()
+        };
         let circuit = spec.generate();
         let n = circuit.netlist.num_inputs();
         let mut sim = Simulator::new(&circuit.netlist);
 
         let coarse: Vec<Trit> = (0..n)
-            .map(|i| if refine_bits >> (2 * (i % 32)) & 1 == 1 { Trit::X } else { Trit::Zero })
+            .map(|_| {
+                if rng.gen_bool(0.5) {
+                    Trit::X
+                } else {
+                    Trit::Zero
+                }
+            })
             .collect();
         let refined: Vec<Trit> = coarse
             .iter()
-            .enumerate()
-            .map(|(i, &t)| {
+            .map(|&t| {
                 if t.is_x() {
-                    Trit::from_bool(refine_bits >> (2 * (i % 32) + 1) & 1 == 1)
+                    Trit::from_bool(rng.gen_bool(0.5))
                 } else {
                     t
                 }
@@ -69,46 +72,56 @@ proptest! {
 
         for (c, r) in out_coarse.iter().zip(&out_refined) {
             if c.is_known() {
-                prop_assert_eq!(c, r, "known output changed under refinement");
+                assert_eq!(c, r, "known output changed under refinement");
             }
         }
         for (c, r) in next_coarse.iter().zip(&next_refined) {
             if c.is_known() {
-                prop_assert_eq!(c, r, "known next-state changed under refinement");
+                assert_eq!(c, r, "known next-state changed under refinement");
             }
         }
     }
+}
 
-    /// A fully X-free circuit state with known inputs produces known
-    /// outputs for combinational circuits without X sources.
-    #[test]
-    fn no_x_sources_no_x_outputs(spec in arb_spec(), input_bits in any::<u64>()) {
-        let spec = CircuitSpec { num_shadow_flops: 0, num_buses: 0, ..spec };
+/// A fully X-free circuit state with known inputs produces known
+/// outputs for combinational circuits without X sources.
+#[test]
+fn no_x_sources_no_x_outputs() {
+    let mut rng = XhcRng::seed_from_u64(0x51A2);
+    for _ in 0..48 {
+        let spec = CircuitSpec {
+            num_shadow_flops: 0,
+            num_buses: 0,
+            ..random_spec(&mut rng)
+        };
         let circuit = spec.generate();
         let mut sim = Simulator::new(&circuit.netlist);
         for f in 0..circuit.netlist.num_flops() {
-            sim.set_flop_state(f, Trit::from_bool(input_bits >> (f % 60) & 1 == 1));
+            sim.set_flop_state(f, Trit::from_bool(rng.gen_bool(0.5)));
         }
         let inputs: Vec<Trit> = (0..circuit.netlist.num_inputs())
-            .map(|i| Trit::from_bool(input_bits >> (i % 64) & 1 == 1))
+            .map(|_| Trit::from_bool(rng.gen_bool(0.5)))
             .collect();
         sim.eval(&inputs);
         for (i, o) in sim.outputs().iter().enumerate() {
-            prop_assert!(o.is_known(), "output {i} is X without any X source");
+            assert!(o.is_known(), "output {i} is X without any X source");
         }
         for (i, d) in sim.flop_next().iter().enumerate() {
-            prop_assert!(d.is_known(), "flop {i} D is X without any X source");
+            assert!(d.is_known(), "flop {i} D is X without any X source");
         }
     }
+}
 
-    /// Forcing a node to the value it already has changes nothing
-    /// anywhere (stuck-at fault with no activation is invisible).
-    #[test]
-    fn forcing_same_value_is_identity(spec in arb_spec(), input_bits in any::<u64>()) {
-        let circuit = spec.generate();
+/// Forcing a node to the value it already has changes nothing anywhere
+/// (stuck-at fault with no activation is invisible).
+#[test]
+fn forcing_same_value_is_identity() {
+    let mut rng = XhcRng::seed_from_u64(0x51A3);
+    for _ in 0..48 {
+        let circuit = random_spec(&mut rng).generate();
         let mut sim = Simulator::new(&circuit.netlist);
         let inputs: Vec<Trit> = (0..circuit.netlist.num_inputs())
-            .map(|i| Trit::from_bool(input_bits >> (i % 64) & 1 == 1))
+            .map(|_| Trit::from_bool(rng.gen_bool(0.5)))
             .collect();
         sim.eval(&inputs);
         let outputs = sim.outputs();
@@ -117,42 +130,42 @@ proptest! {
         let v = sim.value(target);
         if v.is_known() {
             sim.eval_forced(&inputs, &[(target, v)]);
-            prop_assert_eq!(sim.outputs(), outputs);
+            assert_eq!(sim.outputs(), outputs);
         }
-    }
-
-    /// Repeated evaluation with the same inputs is idempotent.
-    #[test]
-    fn eval_is_idempotent(spec in arb_spec(), inputs_seed in any::<u64>()) {
-        let circuit = spec.generate();
-        let mut sim = Simulator::new(&circuit.netlist);
-        let n = circuit.netlist.num_inputs();
-        let inputs: Vec<Trit> = (0..n)
-            .map(|i| match inputs_seed >> (2 * (i % 30)) & 3 {
-                0 => Trit::Zero,
-                1 => Trit::One,
-                _ => Trit::X,
-            })
-            .collect();
-        sim.eval(&inputs);
-        let first = (sim.outputs(), sim.flop_next());
-        sim.eval(&inputs);
-        prop_assert_eq!((sim.outputs(), sim.flop_next()), first);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Repeated evaluation with the same inputs is idempotent.
+#[test]
+fn eval_is_idempotent() {
+    let mut rng = XhcRng::seed_from_u64(0x51A4);
+    for _ in 0..48 {
+        let circuit = random_spec(&mut rng).generate();
+        let mut sim = Simulator::new(&circuit.netlist);
+        let n = circuit.netlist.num_inputs();
+        let inputs = random_trits(&mut rng, n);
+        sim.eval(&inputs);
+        let first = (sim.outputs(), sim.flop_next());
+        sim.eval(&inputs);
+        assert_eq!((sim.outputs(), sim.flop_next()), first);
+    }
+}
 
-    /// A clocked step stores exactly the D values computed by eval.
-    #[test]
-    fn clock_latches_flop_next(spec in arb_spec(), inputs in arb_trits(8)) {
-        let spec = CircuitSpec { num_inputs: 8, ..spec };
+/// A clocked step stores exactly the D values computed by eval.
+#[test]
+fn clock_latches_flop_next() {
+    let mut rng = XhcRng::seed_from_u64(0x51A5);
+    for _ in 0..24 {
+        let spec = CircuitSpec {
+            num_inputs: 8,
+            ..random_spec(&mut rng)
+        };
         let circuit = spec.generate();
         let mut sim = Simulator::new(&circuit.netlist);
+        let inputs = random_trits(&mut rng, 8);
         sim.eval(&inputs);
         let expected = sim.flop_next();
         sim.clock();
-        prop_assert_eq!(sim.state(), &expected[..]);
+        assert_eq!(sim.state(), &expected[..]);
     }
 }

@@ -173,6 +173,31 @@ impl CancelSession {
 
         let total_control_bits = blocks.iter().map(|b| b.control_bits).sum();
         let halts = blocks.len();
+
+        // Self-checks mirroring the xhc-lint accounting rules (XL0303
+        // family; kept inline — lint depends on this crate).
+        #[cfg(debug_assertions)]
+        {
+            // Every block's X count and control bits must balance: the
+            // session-level totals are pure sums of the block outcomes.
+            debug_assert_eq!(
+                blocks.iter().map(|b| b.num_x).sum::<usize>(),
+                total_x,
+                "block X counts must sum to the session total"
+            );
+            for block in &blocks {
+                debug_assert_eq!(
+                    block.control_bits,
+                    m * block.combinations.len(),
+                    "control bits must be m per selected combination"
+                );
+                debug_assert!(
+                    block.combinations.len() <= q,
+                    "a block never streams more than q combinations"
+                );
+            }
+        }
+
         SessionReport {
             blocks,
             total_control_bits,

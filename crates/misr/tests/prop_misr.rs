@@ -1,17 +1,21 @@
-//! Property tests: the symbolic MISR agrees with the concrete hardware,
-//! and X-canceling really is X-independent.
+//! Randomized tests: the symbolic MISR agrees with the concrete hardware,
+//! and X-canceling really is X-independent (deterministic seeded loops).
 
-use proptest::prelude::*;
 use xhc_bits::BitVec;
 use xhc_logic::Trit;
 use xhc_misr::{
     known_part_values, pattern_signature_rows, Misr, Taps, XCancelConfig, XCancelingMisr,
 };
+use xhc_prng::XhcRng;
 use xhc_scan::{CellId, ScanConfig, ScanHarness};
 
-fn arb_shape() -> impl Strategy<Value = (usize, usize, usize)> {
-    // (chains, chain length, misr size)
-    (1usize..6, 1usize..6, 2usize..8)
+/// A random (chains, chain length, misr size) shape.
+fn random_shape(rng: &mut XhcRng) -> (usize, usize, usize) {
+    (
+        rng.gen_range(1..6),
+        rng.gen_range(1..6),
+        rng.gen_range(2..8),
+    )
 }
 
 fn unload_concrete(cfg: &ScanConfig, m: usize, taps: &Taps, values: &[bool]) -> BitVec {
@@ -36,46 +40,40 @@ fn unload_concrete(cfg: &ScanConfig, m: usize, taps: &Taps, values: &[bool]) -> 
     misr.state().clone()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The symbolic signature predicts the concrete MISR for every
-    /// X-free response, on every scan shape.
-    #[test]
-    fn symbolic_predicts_concrete(
-        (chains, len, m) in arb_shape(),
-        value_bits in any::<u64>(),
-    ) {
+/// The symbolic signature predicts the concrete MISR for every X-free
+/// response, on every scan shape.
+#[test]
+fn symbolic_predicts_concrete() {
+    let mut rng = XhcRng::seed_from_u64(0xA150);
+    for _ in 0..64 {
+        let (chains, len, m) = random_shape(&mut rng);
         let cfg = ScanConfig::uniform(chains, len);
         let taps = Taps::default_for(m);
         let rows = pattern_signature_rows(&cfg, m, taps.clone());
-        let values: Vec<bool> = (0..cfg.total_cells())
-            .map(|i| value_bits >> (i % 64) & 1 == 1)
-            .collect();
+        let values: Vec<bool> = (0..cfg.total_cells()).map(|_| rng.gen_bool(0.5)).collect();
         let predicted = known_part_values(&rows, |s| Some(values[s]));
         let concrete = unload_concrete(&cfg, m, &taps, &values);
-        prop_assert_eq!(predicted, concrete);
+        assert_eq!(predicted, concrete);
     }
+}
 
-    /// Canceled signature values never depend on the X assignment:
-    /// substitute arbitrary values for the X's, re-evaluate the chosen
-    /// combinations, and the observed values are unchanged.
-    #[test]
-    fn canceled_values_are_x_invariant(
-        (chains, len, m) in arb_shape(),
-        x_mask in any::<u32>(),
-        value_bits in any::<u64>(),
-        x_assignment in any::<u32>(),
-    ) {
+/// Canceled signature values never depend on the X assignment:
+/// substitute arbitrary values for the X's, re-evaluate the chosen
+/// combinations, and the observed values are unchanged.
+#[test]
+fn canceled_values_are_x_invariant() {
+    let mut rng = XhcRng::seed_from_u64(0xA151);
+    for _ in 0..64 {
+        let (chains, len, m) = random_shape(&mut rng);
         let cfg = ScanConfig::uniform(chains, len);
         let cells = cfg.total_cells();
         let xc = XCancelingMisr::new(cfg, m, Taps::default_for(m));
         let row: Vec<Trit> = (0..cells)
-            .map(|i| {
-                if x_mask >> (i % 32) & 1 == 1 {
+            .map(|_| {
+                if rng.gen_bool(0.5) {
                     Trit::X
                 } else {
-                    Trit::from_bool(value_bits >> (i % 64) & 1 == 1)
+                    Trit::from_bool(rng.gen_bool(0.5))
                 }
             })
             .collect();
@@ -84,10 +82,9 @@ proptest! {
         // Concretize the X's arbitrarily.
         let concrete: Vec<Trit> = row
             .iter()
-            .enumerate()
-            .map(|(i, &t)| {
+            .map(|&t| {
                 if t.is_x() {
-                    Trit::from_bool(x_assignment >> (i % 32) & 1 == 1)
+                    Trit::from_bool(rng.gen_bool(0.5))
                 } else {
                     t
                 }
@@ -99,23 +96,24 @@ proptest! {
             for bit in combo.iter_ones() {
                 acc ^= known.get(bit);
             }
-            prop_assert_eq!(acc, outcome.canceled_values.get(ci));
+            assert_eq!(acc, outcome.canceled_values.get(ci));
         }
     }
+}
 
-    /// The number of X-free combinations is at least m - #X (equality when
-    /// the X columns are independent), and the control-bit count follows.
-    #[test]
-    fn combination_count_bound(
-        (chains, len, m) in arb_shape(),
-        x_mask in any::<u32>(),
-    ) {
+/// The number of X-free combinations is at least m - #X (equality when
+/// the X columns are independent), and the control-bit count follows.
+#[test]
+fn combination_count_bound() {
+    let mut rng = XhcRng::seed_from_u64(0xA152);
+    for _ in 0..64 {
+        let (chains, len, m) = random_shape(&mut rng);
         let cfg = ScanConfig::uniform(chains, len);
         let cells = cfg.total_cells();
         let xc = XCancelingMisr::new(cfg, m, Taps::default_for(m));
         let row: Vec<Trit> = (0..cells)
-            .map(|i| {
-                if x_mask >> (i % 32) & 1 == 1 {
+            .map(|_| {
+                if rng.gen_bool(0.5) {
                     Trit::X
                 } else {
                     Trit::Zero
@@ -123,48 +121,51 @@ proptest! {
             })
             .collect();
         let outcome = xc.cancel_pattern(&row);
-        prop_assert!(outcome.combinations.len() >= m.saturating_sub(outcome.num_x));
-        prop_assert_eq!(outcome.control_bits, m * outcome.combinations.len());
+        assert!(outcome.combinations.len() >= m.saturating_sub(outcome.num_x));
+        assert_eq!(outcome.control_bits, m * outcome.combinations.len());
     }
+}
 
-    /// Observable cells through X-free combinations never include an X
-    /// cell, and with zero X's every cell that reaches the signature is
-    /// observable.
-    #[test]
-    fn observability_soundness(
-        (chains, len, m) in arb_shape(),
-        x_mask in any::<u32>(),
-    ) {
+/// Observable cells through X-free combinations never include an X cell,
+/// and with zero X's every cell that reaches the signature is observable.
+#[test]
+fn observability_soundness() {
+    let mut rng = XhcRng::seed_from_u64(0xA153);
+    for case in 0..64u32 {
+        let (chains, len, m) = random_shape(&mut rng);
         let cfg = ScanConfig::uniform(chains, len);
         let cells = cfg.total_cells();
         let xc = XCancelingMisr::new(cfg.clone(), m, Taps::default_for(m));
-        let x_cells: Vec<usize> = (0..cells).filter(|i| x_mask >> (i % 32) & 1 == 1).collect();
+        // Every fourth case: no X's at all (exercise the completeness leg).
+        let x_cells: Vec<usize> = if case % 4 == 0 {
+            Vec::new()
+        } else {
+            (0..cells).filter(|_| rng.gen_bool(0.4)).collect()
+        };
         let obs = xc.observable_cells(&x_cells);
         for &x in &x_cells {
-            prop_assert!(!obs.get(x), "X cell {x} claimed observable");
+            assert!(!obs.get(x), "X cell {x} claimed observable");
         }
         if x_cells.is_empty() {
             for c in 0..cells {
-                prop_assert!(obs.get(c), "cell {c} lost with zero X's");
+                assert!(obs.get(c), "cell {c} lost with zero X's");
             }
         }
     }
+}
 
-    /// MISR linearity over random streams (the algebraic foundation of
-    /// symbolic X-canceling).
-    #[test]
-    fn misr_is_linear(
-        m in 2usize..10,
-        a_bits in any::<u64>(),
-        b_bits in any::<u64>(),
-        cycles in 1usize..12,
-    ) {
+/// MISR linearity over random streams (the algebraic foundation of
+/// symbolic X-canceling).
+#[test]
+fn misr_is_linear() {
+    let mut rng = XhcRng::seed_from_u64(0xA154);
+    for _ in 0..64 {
+        let m = rng.gen_range(2..10);
+        let cycles = rng.gen_range(1..12);
         let taps = Taps::default_for(m);
-        let stream = |bits: u64| -> Vec<BitVec> {
+        let stream = |rng: &mut XhcRng| -> Vec<BitVec> {
             (0..cycles)
-                .map(|t| {
-                    BitVec::from_bools((0..m).map(|i| bits >> ((t * m + i) % 64) & 1 == 1))
-                })
+                .map(|_| BitVec::from_bools((0..m).map(|_| rng.gen_bool(0.5))))
                 .collect()
         };
         let run = |streams: &[BitVec]| {
@@ -174,8 +175,8 @@ proptest! {
             }
             misr.state().clone()
         };
-        let sa = stream(a_bits);
-        let sb = stream(b_bits);
+        let sa = stream(&mut rng);
+        let sb = stream(&mut rng);
         let sum: Vec<BitVec> = sa
             .iter()
             .zip(&sb)
@@ -187,18 +188,17 @@ proptest! {
             .collect();
         let mut expect = run(&sa);
         expect.xor_with(&run(&sb));
-        prop_assert_eq!(run(&sum), expect);
+        assert_eq!(run(&sum), expect);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// End-to-end: captured responses from a real circuit, canceled per
-    /// pattern — every canceled value must be reproducible from the
-    /// response's known bits alone.
-    #[test]
-    fn circuit_responses_cancel_consistently(seed in 0u64..200) {
+/// End-to-end: captured responses from a real circuit, canceled per
+/// pattern — every canceled value must be reproducible from the
+/// response's known bits alone.
+#[test]
+fn circuit_responses_cancel_consistently() {
+    let mut rng = XhcRng::seed_from_u64(0xA155);
+    for _ in 0..16 {
         use xhc_logic::generate::CircuitSpec;
         let circuit = CircuitSpec {
             num_inputs: 6,
@@ -206,7 +206,7 @@ proptest! {
             num_scan_flops: 8,
             num_shadow_flops: 1,
             num_buses: 1,
-            seed,
+            seed: rng.next_u64() % 200,
             ..CircuitSpec::default()
         }
         .generate();
@@ -223,9 +223,9 @@ proptest! {
         let outcome = xc.cancel_pattern(&row);
         let cancel = XCancelConfig::new(6, 2);
         // Accounting sanity: formula bits >= 0 and combos valid.
-        prop_assert!(cancel.control_bits(outcome.num_x) >= 0.0);
+        assert!(cancel.control_bits(outcome.num_x) >= 0.0);
         for combo in &outcome.combinations {
-            prop_assert!(combo.any());
+            assert!(combo.any());
         }
     }
 }

@@ -1,44 +1,46 @@
-//! Property tests for the `xmap v1` text format: any map round-trips.
+//! Randomized tests for the `xmap v1` text format: any map round-trips,
+//! and truncated input never panics (deterministic seeded loops).
 
-use proptest::prelude::*;
+use xhc_prng::XhcRng;
 use xhc_scan::{read_xmap, write_xmap, CellId, ScanConfig, XMapBuilder};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_lengths(rng: &mut XhcRng, max_chains: usize, max_len: usize) -> Vec<usize> {
+    let chains = rng.gen_range(1..max_chains);
+    (0..chains).map(|_| rng.gen_range(1..max_len)).collect()
+}
 
-    #[test]
-    fn any_map_roundtrips(
-        lengths in prop::collection::vec(1usize..6, 1..5),
-        entries in prop::collection::vec((0usize..20, 0usize..15), 0..60),
-        patterns in 1usize..16,
-    ) {
-        let config = ScanConfig::new(lengths);
+#[test]
+fn any_map_roundtrips() {
+    let mut rng = XhcRng::seed_from_u64(0x10A1);
+    for _ in 0..64 {
+        let config = ScanConfig::new(random_lengths(&mut rng, 5, 6));
+        let patterns = rng.gen_range(1..16);
         let mut b = XMapBuilder::new(config.clone(), patterns);
-        for (cell, pattern) in entries {
-            let cell = cell % config.total_cells();
-            b.add_x(config.cell_at(cell), pattern % patterns);
+        for _ in 0..rng.gen_range(0..60) {
+            let cell = rng.gen_index(config.total_cells());
+            b.add_x(config.cell_at(cell), rng.gen_index(patterns));
         }
         let xmap = b.finish();
 
         let mut buf = Vec::new();
         write_xmap(&mut buf, &xmap).expect("write to vec cannot fail");
         let back = read_xmap(&buf[..]).expect("own output must parse");
-        prop_assert_eq!(back, xmap);
+        assert_eq!(back, xmap);
     }
+}
 
-    #[test]
-    fn truncated_input_never_panics(
-        lengths in prop::collection::vec(1usize..4, 1..3),
-        cut in 0usize..200,
-    ) {
-        let config = ScanConfig::new(lengths);
+#[test]
+fn truncated_input_never_panics() {
+    let mut rng = XhcRng::seed_from_u64(0x10A2);
+    for _ in 0..64 {
+        let config = ScanConfig::new(random_lengths(&mut rng, 3, 4));
         let mut b = XMapBuilder::new(config.clone(), 5);
         b.add_x(config.cell_at(0), 0);
         b.add_x(CellId::new(0, 0), 4);
         let xmap = b.finish();
         let mut buf = Vec::new();
         write_xmap(&mut buf, &xmap).expect("write to vec cannot fail");
-        let cut = cut.min(buf.len());
+        let cut = rng.gen_index(buf.len() + 1);
         // Truncated input either parses to *some* map or errors cleanly.
         let _ = read_xmap(&buf[..cut]);
     }

@@ -1,8 +1,7 @@
 //! Materialising concrete responses from an X map.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use xhc_logic::Trit;
+use xhc_prng::XhcRng;
 use xhc_scan::{ResponseMatrix, XMap};
 
 /// Expands a (small) X map into a dense response matrix: X where the map
@@ -42,7 +41,7 @@ pub fn materialize_responses(xmap: &XMap, seed: u64) -> ResponseMatrix {
         cells.saturating_mul(patterns) <= 100_000_000,
         "dense responses too large ({cells} cells x {patterns} patterns); use the XMap directly"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XhcRng::seed_from_u64(seed);
     let mut m = ResponseMatrix::filled(config.clone(), patterns, Trit::Zero);
     for p in 0..patterns {
         for idx in 0..cells {

@@ -1,9 +1,7 @@
 //! Synthetic industrial workload specification and generation.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use xhc_bits::PatternSet;
+use xhc_prng::{sample_indices, SliceRandom, XhcRng};
 use xhc_scan::{ScanConfig, XMap, XMapBuilder};
 
 /// A synthetic workload: a scan topology plus a statistically-shaped X
@@ -171,7 +169,7 @@ impl WorkloadSpec {
             assert!((0.0..=1.0).contains(&f), "{label} must be in [0,1]");
         }
         let config = self.scan_config();
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = XhcRng::seed_from_u64(self.seed);
         let mut builder = XMapBuilder::new(config.clone(), self.num_patterns);
 
         let target = self.target_x();
@@ -264,11 +262,11 @@ impl WorkloadSpec {
 impl WorkloadSpec {
     /// Samples the X cell pool, optionally as spatially-clustered chain
     /// runs (see [`WorkloadSpec::spatial_clustering`]).
-    fn sample_pool(&self, config: &ScanConfig, size: usize, rng: &mut StdRng) -> Vec<usize> {
+    fn sample_pool(&self, config: &ScanConfig, size: usize, rng: &mut XhcRng) -> Vec<usize> {
         // Fall back to uniform sampling when clustering is off or the pool
         // is so large that rejection sampling would crawl.
         if self.spatial_clustering <= 0.0 || size * 2 > self.total_cells {
-            return rand::seq::index::sample(rng, self.total_cells, size).into_vec();
+            return sample_indices(rng, self.total_cells, size);
         }
         let mut chosen = std::collections::HashSet::with_capacity(size);
         let mut pool = Vec::with_capacity(size);
@@ -300,8 +298,8 @@ impl WorkloadSpec {
     }
 }
 
-fn random_pattern_set(rng: &mut StdRng, universe: usize, size: usize) -> PatternSet {
-    let picks = rand::seq::index::sample(rng, universe, size.min(universe));
+fn random_pattern_set(rng: &mut XhcRng, universe: usize, size: usize) -> PatternSet {
+    let picks = sample_indices(rng, universe, size.min(universe));
     PatternSet::from_patterns(universe, picks)
 }
 

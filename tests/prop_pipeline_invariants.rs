@@ -1,8 +1,8 @@
-//! Property-based tests over randomly generated workloads: the invariants
-//! the paper's method rests on must hold for *any* X profile, not just the
-//! worked example.
+//! Randomized invariant tests over generated workloads: the invariants
+//! the paper's method rests on must hold for *any* X profile, not just
+//! the worked example (deterministic seeded loops).
 
-use proptest::prelude::*;
+use xhc_prng::XhcRng;
 use xhybrid::bits::PatternSet;
 use xhybrid::core::{evaluate_hybrid, CellSelection, PartitionEngine};
 use xhybrid::misr::XCancelConfig;
@@ -10,83 +10,105 @@ use xhybrid::scan::{CellId, ScanConfig, XMap, XMapBuilder};
 use xhybrid::workload::WorkloadSpec;
 
 /// An arbitrary small X map: up to 12 cells x 24 patterns.
-fn arb_xmap() -> impl Strategy<Value = XMap> {
-    let entries = prop::collection::vec((0usize..12, 0usize..24), 0..120);
-    entries.prop_map(|entries| {
-        let cfg = ScanConfig::uniform(3, 4);
-        let mut b = XMapBuilder::new(cfg, 24);
-        for (cell, pattern) in entries {
-            b.add_x(CellId::new(cell / 4, cell % 4), pattern);
-        }
-        b.finish()
-    })
+fn random_xmap(rng: &mut XhcRng) -> XMap {
+    let cfg = ScanConfig::uniform(3, 4);
+    let mut b = XMapBuilder::new(cfg, 24);
+    for _ in 0..rng.gen_range(0..120) {
+        let cell = rng.gen_index(12);
+        b.add_x(CellId::new(cell / 4, cell % 4), rng.gen_index(24));
+    }
+    b.finish()
 }
 
-fn arb_cancel() -> impl Strategy<Value = XCancelConfig> {
-    (4usize..=16, 1usize..=3).prop_map(|(m, q)| XCancelConfig::new(m, q.min(m - 1)))
+fn random_cancel(rng: &mut XhcRng) -> XCancelConfig {
+    let m = rng.gen_range(4..=16);
+    let q = rng.gen_range(1..=3usize);
+    XCancelConfig::new(m, q.min(m - 1))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn partitions_cover_and_are_disjoint(xmap in arb_xmap(), cancel in arb_cancel()) {
+#[test]
+fn partitions_cover_and_are_disjoint() {
+    let mut rng = XhcRng::seed_from_u64(0xF1F1);
+    for _ in 0..64 {
+        let xmap = random_xmap(&mut rng);
+        let cancel = random_cancel(&mut rng);
         let outcome = PartitionEngine::new(cancel).run(&xmap);
         let n = xmap.num_patterns();
         let mut union = PatternSet::empty(n);
         for p in &outcome.partitions {
-            prop_assert!(union.is_disjoint_from(p));
+            assert!(union.is_disjoint_from(p));
             union = union.union(p);
         }
-        prop_assert_eq!(union, PatternSet::all(n));
+        assert_eq!(union, PatternSet::all(n));
     }
+}
 
-    #[test]
-    fn masks_only_cover_all_x_cells(xmap in arb_xmap(), cancel in arb_cancel()) {
-        // The no-coverage-loss invariant: a masked cell is X under every
-        // pattern of its partition.
+#[test]
+fn masks_only_cover_all_x_cells() {
+    // The no-coverage-loss invariant: a masked cell is X under every
+    // pattern of its partition.
+    let mut rng = XhcRng::seed_from_u64(0xF1F2);
+    for _ in 0..64 {
+        let xmap = random_xmap(&mut rng);
+        let cancel = random_cancel(&mut rng);
         let outcome = PartitionEngine::new(cancel).run(&xmap);
         for (part, mask) in outcome.partitions.iter().zip(&outcome.masks) {
             for idx in 0..xmap.config().total_cells() {
                 if mask.masks(idx) {
                     let cell = xmap.config().cell_at(idx);
                     for p in part.iter() {
-                        prop_assert!(xmap.is_x(p, cell));
+                        assert!(xmap.is_x(p, cell));
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn x_accounting_balances(xmap in arb_xmap(), cancel in arb_cancel()) {
+#[test]
+fn x_accounting_balances() {
+    let mut rng = XhcRng::seed_from_u64(0xF1F3);
+    for _ in 0..64 {
+        let xmap = random_xmap(&mut rng);
+        let cancel = random_cancel(&mut rng);
         let outcome = PartitionEngine::new(cancel).run(&xmap);
-        prop_assert_eq!(
-            outcome.masked_x() + outcome.leaked_x(),
-            xmap.total_x()
-        );
+        assert_eq!(outcome.masked_x() + outcome.leaked_x(), xmap.total_x());
     }
+}
 
-    #[test]
-    fn cost_stop_never_exceeds_initial(xmap in arb_xmap(), cancel in arb_cancel()) {
-        // With the cost stop active, the final cost is at most the cost of
-        // the single-partition starting point.
+#[test]
+fn cost_stop_never_exceeds_initial() {
+    // With the cost stop active, the final cost is at most the cost of
+    // the single-partition starting point.
+    let mut rng = XhcRng::seed_from_u64(0xF1F4);
+    for _ in 0..64 {
+        let xmap = random_xmap(&mut rng);
+        let cancel = random_cancel(&mut rng);
         let outcome = PartitionEngine::new(cancel).run(&xmap);
-        prop_assert!(outcome.cost.total() <= outcome.initial_cost.total() + 1e-9);
+        assert!(outcome.cost.total() <= outcome.initial_cost.total() + 1e-9);
     }
+}
 
-    #[test]
-    fn cost_formula_consistency(xmap in arb_xmap(), cancel in arb_cancel()) {
+#[test]
+fn cost_formula_consistency() {
+    let mut rng = XhcRng::seed_from_u64(0xF1F5);
+    for _ in 0..64 {
+        let xmap = random_xmap(&mut rng);
+        let cancel = random_cancel(&mut rng);
         let outcome = PartitionEngine::new(cancel).run(&xmap);
         let expect_mask_bits =
             xmap.config().mask_word_bits() as u128 * outcome.partitions.len() as u128;
-        prop_assert_eq!(outcome.cost.masking_bits, expect_mask_bits);
+        assert_eq!(outcome.cost.masking_bits, expect_mask_bits);
         let expect_cancel = cancel.control_bits(outcome.leaked_x());
-        prop_assert!((outcome.cost.canceling_bits - expect_cancel).abs() < 1e-9);
+        assert!((outcome.cost.canceling_bits - expect_cancel).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn policies_all_satisfy_invariants(xmap in arb_xmap()) {
+#[test]
+fn policies_all_satisfy_invariants() {
+    let mut rng = XhcRng::seed_from_u64(0xF1F6);
+    for _ in 0..64 {
+        let xmap = random_xmap(&mut rng);
         let cancel = XCancelConfig::new(10, 2);
         for policy in [
             CellSelection::First,
@@ -94,45 +116,45 @@ proptest! {
             CellSelection::GlobalMaxX,
         ] {
             let outcome = PartitionEngine::new(cancel).with_policy(policy).run(&xmap);
-            prop_assert_eq!(
-                outcome.masked_x() + outcome.leaked_x(),
-                xmap.total_x()
-            );
+            assert_eq!(outcome.masked_x() + outcome.leaked_x(), xmap.total_x());
         }
-    }
-
-    #[test]
-    fn deeper_partitioning_never_masks_fewer_x(xmap in arb_xmap()) {
-        // Without the cost stop, running to exhaustion masks at least as
-        // many X's as the cost-stopped run (more partitions -> more,
-        // never fewer, maskable cells).
-        let cancel = XCancelConfig::new(10, 2);
-        let stopped = PartitionEngine::new(cancel).run(&xmap);
-        let exhaustive = PartitionEngine::new(cancel).without_cost_stop().run(&xmap);
-        prop_assert!(exhaustive.masked_x() >= stopped.masked_x());
-        prop_assert!(exhaustive.partitions.len() >= stopped.partitions.len());
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn deeper_partitioning_never_masks_fewer_x() {
+    // Without the cost stop, running to exhaustion masks at least as
+    // many X's as the cost-stopped run (more partitions -> more,
+    // never fewer, maskable cells).
+    let mut rng = XhcRng::seed_from_u64(0xF1F7);
+    for _ in 0..64 {
+        let xmap = random_xmap(&mut rng);
+        let cancel = XCancelConfig::new(10, 2);
+        let stopped = PartitionEngine::new(cancel).run(&xmap);
+        let exhaustive = PartitionEngine::new(cancel).without_cost_stop().run(&xmap);
+        assert!(exhaustive.masked_x() >= stopped.masked_x());
+        assert!(exhaustive.partitions.len() >= stopped.partitions.len());
+    }
+}
 
-    #[test]
-    fn workload_generator_feeds_the_pipeline(seed in 0u64..500) {
+#[test]
+fn workload_generator_feeds_the_pipeline() {
+    let mut rng = XhcRng::seed_from_u64(0xF1F8);
+    for _ in 0..12 {
         let spec = WorkloadSpec {
             total_cells: 240,
             num_chains: 4,
             num_patterns: 60,
             x_density: 0.03,
-            seed,
+            seed: rng.next_u64() % 500,
             ..WorkloadSpec::default()
         };
         let xmap = spec.generate();
         let report = evaluate_hybrid(&xmap, XCancelConfig::new(16, 4), CellSelection::First);
         // The hybrid never does worse than its own starting point, and the
         // improvement ratios are well-defined.
-        prop_assert!(report.proposed_bits <= report.outcome.initial_cost.total() + 1e-9);
-        prop_assert!(report.time_proposed <= report.time_canceling_only + 1e-12);
-        prop_assert!(report.impv_over_masking.is_finite());
+        assert!(report.proposed_bits <= report.outcome.initial_cost.total() + 1e-9);
+        assert!(report.time_proposed <= report.time_canceling_only + 1e-12);
+        assert!(report.impv_over_masking.is_finite());
     }
 }

@@ -1,6 +1,7 @@
-//! Property tests for the scheduling and toggle-masking extensions.
+//! Randomized tests for the scheduling and toggle-masking extensions
+//! (deterministic seeded loops).
 
-use proptest::prelude::*;
+use xhc_prng::XhcRng;
 use xhybrid::core::{
     mask_switches, pattern_order, schedule_hybrid, toggle_masking, PartitionEngine,
     ScheduleOptions, TogglePolicy,
@@ -8,82 +9,102 @@ use xhybrid::core::{
 use xhybrid::misr::XCancelConfig;
 use xhybrid::scan::{AteConfig, CellId, ScanConfig, XMap, XMapBuilder};
 
-fn arb_xmap() -> impl Strategy<Value = XMap> {
-    let entries = prop::collection::vec((0usize..15, 0usize..20), 0..100);
-    entries.prop_map(|entries| {
-        let cfg = ScanConfig::uniform(3, 5);
-        let mut b = XMapBuilder::new(cfg, 20);
-        for (cell, pattern) in entries {
-            b.add_x(CellId::new(cell / 5, cell % 5), pattern);
-        }
-        b.finish()
-    })
+fn random_xmap(rng: &mut XhcRng) -> XMap {
+    let cfg = ScanConfig::uniform(3, 5);
+    let mut b = XMapBuilder::new(cfg, 20);
+    for _ in 0..rng.gen_range(0..100) {
+        let cell = rng.gen_index(15);
+        b.add_x(CellId::new(cell / 5, cell % 5), rng.gen_index(20));
+    }
+    b.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn schedule_is_consistent(xmap in arb_xmap()) {
+#[test]
+fn schedule_is_consistent() {
+    let mut rng = XhcRng::seed_from_u64(0x5C01);
+    for _ in 0..48 {
+        let xmap = random_xmap(&mut rng);
         let cancel = XCancelConfig::new(10, 2);
         let outcome = PartitionEngine::new(cancel).run(&xmap);
         let fast = schedule_hybrid(
-            xmap.config(), xmap.num_patterns(), &outcome, cancel,
-            AteConfig::new(32), ScheduleOptions::default(),
+            xmap.config(),
+            xmap.num_patterns(),
+            &outcome,
+            cancel,
+            AteConfig::new(32),
+            ScheduleOptions::default(),
         );
         let slow = schedule_hybrid(
-            xmap.config(), xmap.num_patterns(), &outcome, cancel,
+            xmap.config(),
+            xmap.num_patterns(),
+            &outcome,
+            cancel,
             AteConfig::new(32),
-            ScheduleOptions { overlap_mask_reload: false, overlap_select_transfer: false },
+            ScheduleOptions {
+                overlap_mask_reload: false,
+                overlap_select_transfer: false,
+            },
         );
         // Overlapping control data never makes things slower; both are
         // at least the pure-shift baseline.
-        prop_assert!(fast.total_cycles() <= slow.total_cycles());
-        prop_assert!(fast.normalized() >= 1.0);
-        prop_assert_eq!(fast.mask_loads, outcome.partitions.len());
+        assert!(fast.total_cycles() <= slow.total_cycles());
+        assert!(fast.normalized() >= 1.0);
+        assert_eq!(fast.mask_loads, outcome.partitions.len());
         // Halts are bounded by the leaked X count.
-        prop_assert!(fast.halts <= outcome.leaked_x() + 1);
+        assert!(fast.halts <= outcome.leaked_x() + 1);
     }
+}
 
-    #[test]
-    fn pattern_order_is_a_permutation(xmap in arb_xmap()) {
+#[test]
+fn pattern_order_is_a_permutation() {
+    let mut rng = XhcRng::seed_from_u64(0x5C02);
+    for _ in 0..48 {
+        let xmap = random_xmap(&mut rng);
         let outcome = PartitionEngine::new(XCancelConfig::new(10, 2)).run(&xmap);
         let order = pattern_order(&outcome);
         let mut sorted = order.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..xmap.num_patterns()).collect::<Vec<_>>());
+        assert_eq!(sorted, (0..xmap.num_patterns()).collect::<Vec<_>>());
         // Partition-contiguous ordering loads each mask exactly once.
-        prop_assert_eq!(mask_switches(&order, &outcome), outcome.partitions.len());
+        assert_eq!(mask_switches(&order, &outcome), outcome.partitions.len());
         // Any order needs at least that many loads.
         let ascending: Vec<usize> = (0..xmap.num_patterns()).collect();
-        prop_assert!(mask_switches(&ascending, &outcome) >= outcome.partitions.len());
+        assert!(mask_switches(&ascending, &outcome) >= outcome.partitions.len());
     }
+}
 
-    #[test]
-    fn toggle_accounting_balances(xmap in arb_xmap()) {
+#[test]
+fn toggle_accounting_balances() {
+    let mut rng = XhcRng::seed_from_u64(0x5C03);
+    for _ in 0..48 {
+        let xmap = random_xmap(&mut rng);
         let cancel = XCancelConfig::new(10, 2);
         for policy in [TogglePolicy::Conservative, TogglePolicy::Aggressive] {
             let r = toggle_masking(&xmap, cancel, policy);
-            prop_assert_eq!(r.masked_x + r.leaked_x, xmap.total_x());
+            assert_eq!(r.masked_x + r.leaked_x, xmap.total_x());
             if policy == TogglePolicy::Conservative {
-                prop_assert_eq!(r.lost_observability, 0);
+                assert_eq!(r.lost_observability, 0);
             }
         }
         // Aggressive masks at least as many X's as conservative.
         let safe = toggle_masking(&xmap, cancel, TogglePolicy::Conservative);
         let greedy = toggle_masking(&xmap, cancel, TogglePolicy::Aggressive);
-        prop_assert!(greedy.masked_x >= safe.masked_x);
+        assert!(greedy.masked_x >= safe.masked_x);
     }
+}
 
-    #[test]
-    fn toggle_control_bits_independent_of_x(xmap in arb_xmap()) {
-        // Toggle control volume is a pure function of the topology and
-        // pattern count — the interval *contents* change, not the bits.
+#[test]
+fn toggle_control_bits_independent_of_x() {
+    // Toggle control volume is a pure function of the topology and
+    // pattern count — the interval *contents* change, not the bits.
+    let mut rng = XhcRng::seed_from_u64(0x5C04);
+    for _ in 0..48 {
+        let xmap = random_xmap(&mut rng);
         let cancel = XCancelConfig::new(10, 2);
         let r = toggle_masking(&xmap, cancel, TogglePolicy::Conservative);
         let l = xmap.config().max_chain_len();
         let addr_bits = usize::BITS as usize - (l + 1).leading_zeros() as usize;
         let expect = (xmap.num_patterns() * xmap.config().num_chains() * 2 * addr_bits) as u128;
-        prop_assert_eq!(r.masking_bits, expect);
+        assert_eq!(r.masking_bits, expect);
     }
 }
