@@ -57,4 +57,25 @@ fn main() {
             )
         });
     }
+
+    // The scaled BestCost case: a weakly-correlated profile with many
+    // count classes, so every round evaluates many split candidates —
+    // the hot path the flat/incremental kernel targets.
+    let spec = WorkloadSpec {
+        total_cells: 6_000,
+        num_chains: 12,
+        num_patterns: 400,
+        x_density: 0.02,
+        correlated_fraction: 0.5,
+        num_groups: 10,
+        ..WorkloadSpec::default()
+    };
+    let xmap = spec.generate();
+    h.bench("strategy/best_cost_scaled", || {
+        black_box(
+            PartitionEngine::new(XCancelConfig::paper_default())
+                .with_strategy(SplitStrategy::BestCost)
+                .run(black_box(&xmap)),
+        )
+    });
 }

@@ -6,6 +6,11 @@
 //! wall-clock budget per case and reports min / median / mean, which is
 //! plenty for tracking the relative cost of the hot paths over time.
 //!
+//! Passing `--json <path>` additionally writes the collected samples as a
+//! machine-readable snapshot (one object per case with nanosecond
+//! min/median/mean), which `scripts/bench_snapshot.sh` uses to track the
+//! perf trajectory across PRs.
+//!
 //! # Examples
 //!
 //! ```
@@ -15,26 +20,46 @@
 //! h.bench("sum", || (0..1000u64).sum::<u64>());
 //! ```
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Re-export of the optimization barrier used around bench inputs/outputs.
 pub use std::hint::black_box;
+
+/// Timing summary of one finished bench case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseResult {
+    /// Case name within the group (e.g. `cells/500`).
+    pub name: String,
+    /// Timed iterations (excludes the calibration warmup).
+    pub iters: usize,
+    /// Fastest iteration, in nanoseconds.
+    pub min_ns: u128,
+    /// Median iteration, in nanoseconds.
+    pub median_ns: u128,
+    /// Mean iteration, in nanoseconds.
+    pub mean_ns: u128,
+}
 
 /// A named group of micro-benchmarks with a per-case time budget.
 pub struct Harness {
     group: String,
     filter: Option<String>,
     budget: Duration,
+    json_path: Option<PathBuf>,
+    results: Vec<CaseResult>,
 }
 
 impl Harness {
     /// A harness for `group` reading the standard bench argv: an optional
     /// positional substring filter (cargo passes `--bench`; it is
-    /// ignored) and `--budget-ms N` to change the per-case budget.
+    /// ignored), `--budget-ms N` to change the per-case budget, and
+    /// `--json PATH` to write a machine-readable snapshot on exit.
     pub fn from_args(group: &str) -> Self {
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut filter = None;
         let mut budget_ms = 300u64;
+        let mut json_path = None;
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -42,6 +67,12 @@ impl Harness {
                 "--budget-ms" => {
                     if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
                         budget_ms = v;
+                        i += 1;
+                    }
+                }
+                "--json" => {
+                    if let Some(p) = args.get(i + 1) {
+                        json_path = Some(PathBuf::from(p));
                         i += 1;
                     }
                 }
@@ -54,6 +85,8 @@ impl Harness {
             group: group.to_string(),
             filter,
             budget: Duration::from_millis(budget_ms),
+            json_path,
+            results: Vec::new(),
         }
     }
 
@@ -88,7 +121,63 @@ impl Harness {
             fmt_duration(median),
             fmt_duration(mean),
         );
+        self.results.push(CaseResult {
+            name: name.to_string(),
+            iters,
+            min_ns: min.as_nanos(),
+            median_ns: median.as_nanos(),
+            mean_ns: mean.as_nanos(),
+        });
     }
+
+    /// Results collected so far, in run order.
+    pub fn results(&self) -> &[CaseResult] {
+        &self.results
+    }
+
+    /// Renders the collected results as a JSON snapshot document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"group\": \"{}\",\n", escape(&self.group)));
+        out.push_str(&format!("  \"budget_ms\": {},\n", self.budget.as_millis()));
+        out.push_str("  \"cases\": [\n");
+        for (i, c) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"iters\": {}, \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}}}{}\n",
+                escape(&c.name),
+                c.iters,
+                c.min_ns,
+                c.median_ns,
+                c.mean_ns,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON snapshot to the `--json` path, if one was given.
+    /// Called automatically on drop; exposed for explicit flushing.
+    pub fn write_json(&self) -> std::io::Result<()> {
+        if let Some(path) = &self.json_path {
+            std::fs::write(path, self.to_json())?;
+            eprintln!("bench snapshot written to {}", path.display());
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Harness {
+    fn drop(&mut self) {
+        if let Err(e) = self.write_json() {
+            eprintln!("failed to write bench snapshot: {e}");
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -108,24 +197,42 @@ fn fmt_duration(d: Duration) -> String {
 mod tests {
     use super::*;
 
+    fn test_harness(filter: Option<&str>) -> Harness {
+        Harness {
+            group: "t".into(),
+            filter: filter.map(str::to_string),
+            budget: Duration::from_millis(1),
+            json_path: None,
+            results: Vec::new(),
+        }
+    }
+
     #[test]
     fn bench_runs_and_filters() {
-        let mut h = Harness {
-            group: "t".into(),
-            filter: Some("nomatch".into()),
-            budget: Duration::from_millis(1),
-        };
+        let mut h = test_harness(Some("nomatch"));
         let mut calls = 0u32;
         h.bench("case", || calls += 1);
         assert_eq!(calls, 0, "filtered-out case must not run");
+        assert!(h.results().is_empty());
 
-        let mut h = Harness {
-            group: "t".into(),
-            filter: None,
-            budget: Duration::from_millis(1),
-        };
+        let mut h = test_harness(None);
         h.bench("case", || calls += 1);
         assert!(calls >= 4, "warmup + >=3 samples, got {calls}");
+        assert_eq!(h.results().len(), 1);
+        assert_eq!(h.results()[0].name, "case");
+    }
+
+    #[test]
+    fn json_snapshot_shape() {
+        let mut h = test_harness(None);
+        h.bench("a/b", || 1 + 1);
+        h.bench("c", || 2 + 2);
+        let json = h.to_json();
+        assert!(json.contains("\"group\": \"t\""));
+        assert!(json.contains("\"name\": \"a/b\""));
+        assert!(json.contains("\"median_ns\":"));
+        // Exactly one trailing-comma-free last element: valid JSON shape.
+        assert_eq!(json.matches("\"name\"").count(), 2);
     }
 
     #[test]

@@ -69,6 +69,30 @@ impl BitVec {
         v
     }
 
+    /// Creates a bit vector of `len` bits backed by the given words
+    /// (little-endian bit order within each word). Bits beyond `len` in
+    /// the last word are cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` is not exactly `len.div_ceil(64)`.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(
+            words.len(),
+            len.div_ceil(WORD_BITS),
+            "word count must match bit length"
+        );
+        let mut v = BitVec { words, len };
+        v.mask_tail();
+        v
+    }
+
+    /// The backing words (64 bits each, little-endian bit order; bits
+    /// beyond `len` are zero). The word-level GF(2) kernels build on this.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Number of bits in the vector.
     pub fn len(&self) -> usize {
         self.len

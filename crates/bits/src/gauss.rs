@@ -34,6 +34,83 @@ impl Elimination {
     }
 }
 
+const WORD_BITS: usize = 64;
+
+/// The flat working form of the augmented matrix `[D | I]`: `m` rows of
+/// `stride` contiguous words (dependency part first, combination part
+/// after), reduced in place with word-level row operations.
+struct FlatElimination {
+    data: Vec<u64>,
+    stride: usize,
+    dep_words: usize,
+    rank: usize,
+}
+
+impl FlatElimination {
+    fn num_rows(&self) -> usize {
+        self.data.len().checked_div(self.stride).unwrap_or(0)
+    }
+
+    fn dep_row(&self, r: usize) -> &[u64] {
+        &self.data[r * self.stride..r * self.stride + self.dep_words]
+    }
+
+    fn comb_row(&self, r: usize) -> &[u64] {
+        &self.data[r * self.stride + self.dep_words..(r + 1) * self.stride]
+    }
+}
+
+/// Gauss–Jordan reduction of `[matrix | I]` with word-level pivot probes
+/// and one batched XOR per row update (dependency and combination parts
+/// share a cache-contiguous row, so a row operation is a single pass).
+fn eliminate_flat(matrix: &BitMatrix) -> FlatElimination {
+    let m = matrix.num_rows();
+    let cols = matrix.num_cols();
+    let dep_words = cols.div_ceil(WORD_BITS);
+    let comb_words = m.div_ceil(WORD_BITS);
+    let stride = dep_words + comb_words;
+    let mut data = vec![0u64; m * stride];
+    for (r, row) in matrix.iter_rows().enumerate() {
+        data[r * stride..r * stride + dep_words].copy_from_slice(row.as_words());
+        data[r * stride + dep_words + r / WORD_BITS] |= 1u64 << (r % WORD_BITS);
+    }
+
+    let mut rank = 0;
+    let mut pivot_buf = vec![0u64; stride];
+    for col in 0..cols {
+        let wi = col / WORD_BITS;
+        let mask = 1u64 << (col % WORD_BITS);
+        let Some(pivot) = (rank..m).find(|&r| data[r * stride + wi] & mask != 0) else {
+            continue;
+        };
+        if pivot != rank {
+            for k in 0..stride {
+                data.swap(rank * stride + k, pivot * stride + k);
+            }
+        }
+        pivot_buf.copy_from_slice(&data[rank * stride..(rank + 1) * stride]);
+        for r in 0..m {
+            if r != rank && data[r * stride + wi] & mask != 0 {
+                let row = &mut data[r * stride..(r + 1) * stride];
+                for (a, b) in row.iter_mut().zip(&pivot_buf) {
+                    *a ^= b;
+                }
+            }
+        }
+        rank += 1;
+        if rank == m {
+            break;
+        }
+    }
+
+    FlatElimination {
+        data,
+        stride,
+        dep_words,
+        rank,
+    }
+}
+
 /// Row-reduces `matrix` over GF(2), tracking row combinations.
 ///
 /// Returns the reduced matrix together with, for each reduced row, the set
@@ -58,32 +135,24 @@ impl Elimination {
 /// ```
 pub fn eliminate(matrix: &BitMatrix) -> Elimination {
     let m = matrix.num_rows();
-    let mut reduced = matrix.clone();
-    let mut combinations = BitMatrix::identity(m);
-    let mut rank = 0;
-
-    for col in 0..matrix.num_cols() {
-        let Some(pivot) = (rank..m).find(|&r| reduced.get(r, col)) else {
-            continue;
-        };
-        reduced.swap_rows(rank, pivot);
-        combinations.swap_rows(rank, pivot);
-        for r in 0..m {
-            if r != rank && reduced.get(r, col) {
-                reduced.xor_rows(r, rank);
-                combinations.xor_rows(r, rank);
-            }
-        }
-        rank += 1;
-        if rank == m {
-            break;
-        }
-    }
-
+    let cols = matrix.num_cols();
+    let flat = eliminate_flat(matrix);
+    let reduced = BitMatrix::from_sized_rows(
+        (0..m)
+            .map(|r| BitVec::from_words(flat.dep_row(r).to_vec(), cols))
+            .collect(),
+        cols,
+    );
+    let combinations = BitMatrix::from_sized_rows(
+        (0..m)
+            .map(|r| BitVec::from_words(flat.comb_row(r).to_vec(), m))
+            .collect(),
+        m,
+    );
     Elimination {
         reduced,
         combinations,
-        rank,
+        rank: flat.rank,
     }
 }
 
@@ -98,11 +167,28 @@ pub fn eliminate(matrix: &BitMatrix) -> Elimination {
 ///
 /// See the crate-level example, which reproduces the paper's Fig. 3.
 pub fn x_free_combinations(dependency: &BitMatrix) -> Vec<BitVec> {
-    let elim = eliminate(dependency);
-    elim.zero_rows()
-        .into_iter()
-        .map(|r| elim.combinations.row(r).clone())
-        .collect()
+    x_free_combinations_limited(dependency, usize::MAX)
+}
+
+/// Like [`x_free_combinations`] but stops after `max` combinations, in the
+/// same (reduction) order.
+///
+/// The time-multiplexed canceling session only streams `q` combinations
+/// per halt, so it never needs the full null-space basis materialised;
+/// this variant skips building the unused [`BitVec`] rows.
+pub fn x_free_combinations_limited(dependency: &BitMatrix, max: usize) -> Vec<BitVec> {
+    let flat = eliminate_flat(dependency);
+    let m = flat.num_rows();
+    let mut out = Vec::new();
+    for r in 0..m {
+        if out.len() >= max {
+            break;
+        }
+        if flat.dep_row(r).iter().all(|&w| w == 0) {
+            out.push(BitVec::from_words(flat.comb_row(r).to_vec(), m));
+        }
+    }
+    out
 }
 
 /// Verifies that `combination` (one bit per row of `dependency`) XORs to an

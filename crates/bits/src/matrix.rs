@@ -50,6 +50,16 @@ impl BitMatrix {
     /// Panics if the rows do not all have the same length.
     pub fn from_rows(rows: Vec<BitVec>) -> Self {
         let cols = rows.first().map_or(0, BitVec::len);
+        Self::from_sized_rows(rows, cols)
+    }
+
+    /// Builds a matrix from row bit vectors with an explicit column count
+    /// (needed to keep the width of a zero-row matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from `cols`.
+    pub fn from_sized_rows(rows: Vec<BitVec>, cols: usize) -> Self {
         assert!(
             rows.iter().all(|r| r.len() == cols),
             "all rows must have the same length"
@@ -172,23 +182,46 @@ impl BitMatrix {
 
     /// The rank of the matrix over GF(2).
     ///
-    /// Does not modify `self`; works on a scratch copy.
+    /// Does not modify `self`; works word-level on a flat scratch copy
+    /// (forward elimination only — rank needs no back-substitution).
     pub fn rank(&self) -> usize {
-        let mut work = self.clone();
+        const WORD_BITS: usize = 64;
+        let m = self.rows.len();
+        let stride = self.cols.div_ceil(WORD_BITS);
+        if m == 0 || stride == 0 {
+            return 0;
+        }
+        let mut data: Vec<u64> = Vec::with_capacity(m * stride);
+        for row in &self.rows {
+            data.extend_from_slice(row.as_words());
+        }
+
         let mut rank = 0;
-        for col in 0..work.cols {
-            // Find a pivot at or below `rank`.
-            let Some(pivot) = (rank..work.rows.len()).find(|&r| work.get(r, col)) else {
+        let mut pivot_buf = vec![0u64; stride];
+        for col in 0..self.cols {
+            let wi = col / WORD_BITS;
+            let mask = 1u64 << (col % WORD_BITS);
+            let Some(pivot) = (rank..m).find(|&r| data[r * stride + wi] & mask != 0) else {
                 continue;
             };
-            work.swap_rows(rank, pivot);
-            for r in 0..work.rows.len() {
-                if r != rank && work.get(r, col) {
-                    work.xor_rows(r, rank);
+            if pivot != rank {
+                for k in 0..stride {
+                    data.swap(rank * stride + k, pivot * stride + k);
+                }
+            }
+            pivot_buf.copy_from_slice(&data[rank * stride..(rank + 1) * stride]);
+            // Eliminate below the pivot only; rows above cannot regain
+            // this column, and rank is unaffected.
+            for r in rank + 1..m {
+                if data[r * stride + wi] & mask != 0 {
+                    let row = &mut data[r * stride..(r + 1) * stride];
+                    for (a, b) in row.iter_mut().zip(&pivot_buf) {
+                        *a ^= b;
+                    }
                 }
             }
             rank += 1;
-            if rank == work.rows.len() {
+            if rank == m {
                 break;
             }
         }

@@ -7,10 +7,21 @@
 //! by that count. The "largest number of scan cells having the same number
 //! of X's" (the biggest class) is where the paper looks for a partitioning
 //! pivot.
+//!
+//! The representation is columnar and allocation-lean: active cells and
+//! their counts live in flat parallel arrays, classes are materialised by
+//! a counting sort, and splitting a partition re-analyzes **only the
+//! cells that were X-active in the parent** (the delta path,
+//! [`CorrelationAnalysis::analyze_children`]) — a child's "without" count
+//! is derived as `parent − with`, so one subset intersection per active
+//! cell yields both children.
 
-use std::collections::BTreeMap;
 use xhc_bits::PatternSet;
 use xhc_scan::XMap;
+
+/// Minimum active-cell population before a child analysis fans out over
+/// the worker pool; below this the scoped-thread overhead dominates.
+const PAR_MIN_ACTIVE: usize = 4096;
 
 /// Per-cell X counts within a pattern subset, grouped into count classes.
 ///
@@ -34,10 +45,19 @@ use xhc_scan::XMap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct CorrelationAnalysis {
-    /// count -> linear cell indices with exactly that many X's (count > 0).
-    classes: BTreeMap<usize, Vec<usize>>,
-    /// linear cell index -> restricted X count (only X-capturing cells).
-    counts: BTreeMap<usize, usize>,
+    /// XMap entry positions of the active (count > 0) cells, ascending.
+    entries: Vec<u32>,
+    /// Parallel: linear cell index per active entry (ascending, since
+    /// entry positions are ascending by linear index).
+    cells: Vec<u32>,
+    /// Parallel: restricted X count per active entry.
+    counts: Vec<u32>,
+    /// Active cells regrouped by count (counting sort): ascending count,
+    /// ascending linear index within a class.
+    grouped: Vec<usize>,
+    /// One entry per non-empty class, ascending by count:
+    /// `(count, start, end)` delimiting its `grouped` slice.
+    class_ranges: Vec<(usize, usize, usize)>,
     /// Cardinality of the pattern subset analyzed.
     partition_card: usize,
     /// Total X's within the subset.
@@ -45,46 +65,175 @@ pub struct CorrelationAnalysis {
 }
 
 impl CorrelationAnalysis {
-    /// Analyzes `xmap` restricted to the `partition` pattern subset.
+    /// Analyzes `xmap` restricted to the `partition` pattern subset — a
+    /// full scan over every X-capturing cell of the map.
     ///
     /// # Panics
     ///
     /// Panics if the partition universe differs from the map's pattern
     /// count.
     pub fn analyze(xmap: &XMap, partition: &PatternSet) -> Self {
-        let mut classes: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-        let mut counts = BTreeMap::new();
-        let mut total_x = 0;
-        for (cell, xs) in xmap.iter() {
+        let n = xmap.num_x_cells();
+        let mut entries = Vec::new();
+        let mut cells = Vec::new();
+        let mut counts = Vec::new();
+        let mut total_x = 0usize;
+        for pos in 0..n {
+            let (idx, xs) = xmap.entry(pos);
             let c = xs.intersection_card(partition);
             if c > 0 {
-                let idx = xmap.config().linear_index(cell);
-                classes.entry(c).or_default().push(idx);
-                counts.insert(idx, c);
+                entries.push(pos as u32);
+                cells.push(idx as u32);
+                counts.push(c as u32);
                 total_x += c;
             }
         }
+        Self::build(entries, cells, counts, partition.card(), total_x)
+    }
+
+    /// The delta path: analyzes the two children of a binary split of
+    /// this partition without touching cells that were X-free here.
+    ///
+    /// `with` must be the child pattern set `self ∩ pivot` (the other
+    /// child is implicitly `parent \ with`): a cell's "without" count is
+    /// then `parent_count − with_count`, so the whole split costs one
+    /// subset intersection per *active* cell. For large active
+    /// populations the intersections fan out over up to `threads`
+    /// workers; the result is identical for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `with` has more patterns than the analyzed subset (it
+    /// must be a subset of it).
+    pub fn analyze_children(&self, xmap: &XMap, with: &PatternSet, threads: usize) -> (Self, Self) {
+        let with_card = with.card();
+        assert!(
+            with_card <= self.partition_card,
+            "`with` must be a subset of the analyzed partition"
+        );
+        let n = self.entries.len();
+
+        // One intersection per active cell, fanned out when worthwhile.
+        let with_counts: Vec<u32> = if n >= PAR_MIN_ACTIVE && threads > 1 {
+            let chunk = n.div_ceil(threads).max(1024);
+            xhc_par::par_chunks_threads(threads, &self.entries, chunk, |positions| {
+                positions
+                    .iter()
+                    .map(|&pos| xmap.entry(pos as usize).1.intersection_card(with) as u32)
+                    .collect::<Vec<u32>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        } else {
+            self.entries
+                .iter()
+                .map(|&pos| xmap.entry(pos as usize).1.intersection_card(with) as u32)
+                .collect()
+        };
+
+        let mut w = (Vec::new(), Vec::new(), Vec::new(), 0usize);
+        let mut wo = (Vec::new(), Vec::new(), Vec::new(), 0usize);
+        for (i, &cw) in with_counts.iter().enumerate() {
+            let cwo = self.counts[i] - cw;
+            if cw > 0 {
+                w.0.push(self.entries[i]);
+                w.1.push(self.cells[i]);
+                w.2.push(cw);
+                w.3 += cw as usize;
+            }
+            if cwo > 0 {
+                wo.0.push(self.entries[i]);
+                wo.1.push(self.cells[i]);
+                wo.2.push(cwo);
+                wo.3 += cwo as usize;
+            }
+        }
+        (
+            Self::build(w.0, w.1, w.2, with_card, w.3),
+            Self::build(wo.0, wo.1, wo.2, self.partition_card - with_card, wo.3),
+        )
+    }
+
+    /// Groups flat `(entry, cell, count)` triples into count classes by a
+    /// counting sort over the count domain.
+    fn build(
+        entries: Vec<u32>,
+        cells: Vec<u32>,
+        counts: Vec<u32>,
+        partition_card: usize,
+        total_x: usize,
+    ) -> Self {
+        let max_count = counts.iter().copied().max().unwrap_or(0) as usize;
+        let mut hist = vec![0u32; max_count + 1];
+        for &c in &counts {
+            hist[c as usize] += 1;
+        }
+        // Class ranges and placement cursors from the histogram.
+        let mut class_ranges = Vec::new();
+        let mut cursors = vec![0usize; max_count + 1];
+        let mut offset = 0usize;
+        for (count, &n) in hist.iter().enumerate().skip(1) {
+            if n > 0 {
+                class_ranges.push((count, offset, offset + n as usize));
+                cursors[count] = offset;
+                offset += n as usize;
+            }
+        }
+        // Stable placement: cells are visited in ascending linear-index
+        // order, so each class slice comes out ascending too.
+        let mut grouped = vec![0usize; cells.len()];
+        for (i, &c) in counts.iter().enumerate() {
+            let cur = &mut cursors[c as usize];
+            grouped[*cur] = cells[i] as usize;
+            *cur += 1;
+        }
         CorrelationAnalysis {
-            classes,
+            entries,
+            cells,
             counts,
-            partition_card: partition.card(),
+            grouped,
+            class_ranges,
+            partition_card,
             total_x,
         }
     }
 
+    /// Number of X-active cells in the analyzed subset.
+    pub fn num_active(&self) -> usize {
+        self.cells.len()
+    }
+
     /// The restricted X count of a cell by linear index (0 if X-free).
     pub fn count_of(&self, cell_index: usize) -> usize {
-        self.counts.get(&cell_index).copied().unwrap_or(0)
+        if cell_index > u32::MAX as usize {
+            return 0;
+        }
+        match self.cells.binary_search(&(cell_index as u32)) {
+            Ok(i) => self.counts[i] as usize,
+            Err(_) => 0,
+        }
     }
 
     /// The cells (linear indices, ascending) with exactly `count` X's.
     pub fn class(&self, count: usize) -> &[usize] {
-        self.classes.get(&count).map_or(&[], Vec::as_slice)
+        match self
+            .class_ranges
+            .binary_search_by_key(&count, |&(c, _, _)| c)
+        {
+            Ok(i) => {
+                let (_, start, end) = self.class_ranges[i];
+                &self.grouped[start..end]
+            }
+            Err(_) => &[],
+        }
     }
 
     /// All (count, class) pairs, ascending by count.
     pub fn classes(&self) -> impl Iterator<Item = (usize, &[usize])> {
-        self.classes.iter().map(|(&c, v)| (c, v.as_slice()))
+        self.class_ranges
+            .iter()
+            .map(|&(c, start, end)| (c, &self.grouped[start..end]))
     }
 
     /// Total X's in the analyzed subset.
@@ -104,11 +253,9 @@ impl CorrelationAnalysis {
     /// two cells — the partition is then unsplittable, matching the worked
     /// example where all-singleton classes stop the recursion.
     pub fn pivot_class(&self) -> Option<(usize, &[usize])> {
-        self.classes
-            .iter()
-            .filter(|&(&count, cells)| count < self.partition_card && cells.len() >= 2)
-            .max_by_key(|&(&count, cells)| (cells.len(), count))
-            .map(|(&count, cells)| (count, cells.as_slice()))
+        self.classes()
+            .filter(|&(count, cells)| count < self.partition_card && cells.len() >= 2)
+            .max_by_key(|&(count, cells)| (cells.len(), count))
     }
 
     /// Cells maskable over the whole analyzed subset: X count equals the

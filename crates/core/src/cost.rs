@@ -77,13 +77,15 @@ pub fn hybrid_cost_with_masks(
     cancel: XCancelConfig,
 ) -> (HybridCost, Vec<MaskWord>) {
     let total_x = xmap.total_x();
-    let mut masked_x = 0usize;
-    let mut masks = Vec::with_capacity(partitions.len());
-    for part in partitions {
+    // Per-partition mask extraction is independent; fan it out. Results
+    // come back in partition order, so the fold is deterministic.
+    let per: Vec<(MaskWord, usize)> = xhc_par::par_map(partitions, |part| {
         let mask = safe_mask(xmap, part);
-        masked_x += mask.x_removed(xmap, Some(part));
-        masks.push(mask);
-    }
+        let removed = mask.x_removed(xmap, Some(part));
+        (mask, removed)
+    });
+    let masked_x: usize = per.iter().map(|&(_, removed)| removed).sum();
+    let masks: Vec<MaskWord> = per.into_iter().map(|(mask, _)| mask).collect();
     let leaked_x = total_x - masked_x;
     let masking_bits = xmap.config().mask_word_bits() as u128 * partitions.len() as u128;
     let canceling_bits = cancel.control_bits(leaked_x);

@@ -88,33 +88,39 @@ impl PartitionOutcome {
 struct PartitionInfo {
     patterns: PatternSet,
     masked_x: usize,
-    /// `(class_size, class_count, pivot cells)` of the pivot class, if any.
-    candidate: Option<(usize, usize, Vec<usize>)>,
-    /// One representative per count class with `0 < count < |patterns|`:
-    /// `(count, representative cell, class size)`. Used by
-    /// [`SplitStrategy::BestCost`].
-    class_reps: Vec<(usize, usize, usize)>,
+    /// The partition's correlation analysis, retained whole so a split
+    /// only rescans this partition's X-active cells (the delta path,
+    /// [`CorrelationAnalysis::analyze_children`]) instead of the full map.
+    analysis: CorrelationAnalysis,
 }
 
 impl PartitionInfo {
-    fn compute(xmap: &XMap, patterns: PatternSet) -> Self {
-        let analysis = CorrelationAnalysis::analyze(xmap, &patterns);
+    fn from_analysis(patterns: PatternSet, analysis: CorrelationAnalysis) -> Self {
         let masked_x = analysis.fully_x_cells().len() * patterns.card();
-        let candidate = analysis
-            .pivot_class()
-            .map(|(count, cells)| (cells.len(), count, cells.to_vec()));
-        let card = patterns.card();
-        let class_reps = analysis
-            .classes()
-            .filter(|&(count, _)| count > 0 && count < card)
-            .map(|(count, cells)| (count, cells[0], cells.len()))
-            .collect();
         PartitionInfo {
             patterns,
             masked_x,
-            candidate,
-            class_reps,
+            analysis,
         }
+    }
+
+    fn compute(xmap: &XMap, patterns: PatternSet) -> Self {
+        let analysis = CorrelationAnalysis::analyze(xmap, &patterns);
+        Self::from_analysis(patterns, analysis)
+    }
+
+    /// Splits this partition on the pivot cell's X pattern set. Both
+    /// children are analyzed with one delta pass over this partition's
+    /// active cells.
+    fn split(&self, xmap: &XMap, pivot_cell: usize, threads: usize) -> (Self, Self) {
+        let xset = xmap.xset_linear(pivot_cell).expect("pivot cell captures X");
+        let (with_x, without_x) = self.patterns.split_by(xset);
+        debug_assert!(!with_x.is_empty() && !without_x.is_empty());
+        let (a_with, a_without) = self.analysis.analyze_children(xmap, &with_x, threads);
+        (
+            Self::from_analysis(with_x, a_with),
+            Self::from_analysis(without_x, a_without),
+        )
     }
 }
 
@@ -156,6 +162,7 @@ pub struct PartitionEngine {
     strategy: SplitStrategy,
     cost_stop: bool,
     max_rounds: Option<usize>,
+    threads: Option<usize>,
 }
 
 impl PartitionEngine {
@@ -168,7 +175,17 @@ impl PartitionEngine {
             strategy: SplitStrategy::LargestClass,
             cost_stop: true,
             max_rounds: None,
+            threads: None,
         }
+    }
+
+    /// Pins the worker-pool width for candidate evaluation and child
+    /// re-analysis. Defaults to [`xhc_par::max_threads`]. The outcome is
+    /// bit-identical for every width — this knob trades wall-clock only
+    /// (the equivalence suite runs it at 1, 2 and N).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
     }
 
     /// Sets the pivot-cell selection policy.
@@ -213,25 +230,28 @@ impl PartitionEngine {
         let num_patterns = xmap.num_patterns();
         let total_x = xmap.total_x();
         let word_bits = xmap.config().mask_word_bits() as u128;
+        let threads = self.threads.unwrap_or_else(xhc_par::max_threads);
         let mut rng = match self.policy {
             CellSelection::Seeded(seed) => Some(XhcRng::seed_from_u64(seed)),
             _ => None,
         };
 
-        let mut infos = vec![PartitionInfo::compute(xmap, PatternSet::all(num_patterns))];
-        let cost_of = |infos: &[PartitionInfo]| -> HybridCost {
-            let masked_x: usize = infos.iter().map(|i| i.masked_x).sum();
+        let cost_from = |masked_x: usize, num_partitions: usize| -> HybridCost {
             let leaked_x = total_x - masked_x;
             HybridCost {
-                masking_bits: word_bits * infos.len() as u128,
+                masking_bits: word_bits * num_partitions as u128,
                 canceling_bits: self.cancel.control_bits(leaked_x),
                 masked_x,
                 leaked_x,
-                num_partitions: infos.len(),
+                num_partitions,
             }
         };
 
-        let initial_cost = cost_of(&infos);
+        let mut infos = vec![PartitionInfo::compute(xmap, PatternSet::all(num_patterns))];
+        // Masked-X total, maintained incrementally: a split replaces one
+        // partition's contribution with its two children's.
+        let mut masked_total = infos[0].masked_x;
+        let initial_cost = cost_from(masked_total, 1);
         let mut cost = initial_cost.clone();
         let mut rounds = Vec::new();
 
@@ -241,22 +261,8 @@ impl PartitionEngine {
                     break;
                 }
             }
-            // Evaluate one split candidate: returns the successor infos
-            // and cost for splitting partition `pi` on `pivot_cell`.
-            let try_split = |infos: &[PartitionInfo], pi: usize, pivot_cell: usize| {
-                let cell = xmap.config().cell_at(pivot_cell);
-                let xset = xmap.xset(cell).expect("pivot cell captures X");
-                let (with_x, without_x) = infos[pi].patterns.split_by(xset);
-                debug_assert!(!with_x.is_empty() && !without_x.is_empty());
-                let info_x = PartitionInfo::compute(xmap, with_x);
-                let info_nx = PartitionInfo::compute(xmap, without_x);
-                let mut next_infos = infos.to_vec();
-                next_infos[pi] = info_x;
-                next_infos.insert(pi + 1, info_nx);
-                let next_cost = cost_of(&next_infos);
-                (next_infos, next_cost)
-            };
-
+            // `(pi, pivot_cell, class_count, class_size, child_with,
+            // child_without, next_cost)` of the accepted-candidate split.
             let chosen = match self.strategy {
                 SplitStrategy::LargestClass => {
                     // The paper's rule: largest pivot class wins.
@@ -264,9 +270,9 @@ impl PartitionEngine {
                         .iter()
                         .enumerate()
                         .filter_map(|(i, info)| {
-                            info.candidate
-                                .as_ref()
-                                .map(|(size, count, _)| (i, *size, *count))
+                            info.analysis
+                                .pivot_class()
+                                .map(|(count, cells)| (i, cells.len(), count))
                         })
                         .max_by(|a, b| {
                             (a.1, a.2, std::cmp::Reverse(a.0)).cmp(&(
@@ -278,11 +284,7 @@ impl PartitionEngine {
                     else {
                         break;
                     };
-                    let cells = infos[pi]
-                        .candidate
-                        .as_ref()
-                        .map(|(_, _, cells)| cells.clone())
-                        .expect("candidate present");
+                    let (_, cells) = infos[pi].analysis.pivot_class().expect("candidate present");
                     let pivot_cell = match self.policy {
                         CellSelection::First => cells[0],
                         CellSelection::Seeded(_) => *cells
@@ -297,42 +299,58 @@ impl PartitionEngine {
                             })
                             .expect("class is non-empty"),
                     };
-                    let (next_infos, next_cost) = try_split(&infos, pi, pivot_cell);
-                    Some((
-                        pi,
-                        pivot_cell,
-                        class_count,
-                        class_size,
-                        next_infos,
-                        next_cost,
-                    ))
+                    let (w, wo) = infos[pi].split(xmap, pivot_cell, threads);
+                    let next_cost = cost_from(
+                        masked_total - infos[pi].masked_x + w.masked_x + wo.masked_x,
+                        infos.len() + 1,
+                    );
+                    Some((pi, pivot_cell, class_count, class_size, w, wo, next_cost))
                 }
                 SplitStrategy::BestCost => {
-                    // Extension: evaluate every class representative and
-                    // keep the cheapest successor.
-                    let mut best: Option<(
-                        usize,
-                        usize,
-                        usize,
-                        usize,
-                        Vec<PartitionInfo>,
-                        HybridCost,
-                    )> = None;
-                    for (pi, info) in infos.iter().enumerate() {
-                        for &(count, rep, size) in &info.class_reps {
-                            let (next_infos, next_cost) = try_split(&infos, pi, rep);
-                            let better = best
-                                .as_ref()
-                                .is_none_or(|(_, _, _, _, _, c)| next_cost.total() < c.total());
-                            if better {
-                                best = Some((pi, rep, count, size, next_infos, next_cost));
-                            }
+                    // Extension: evaluate a representative of every count
+                    // class and keep the cheapest successor. Candidates
+                    // are independent, so they fan out over the pool;
+                    // selection folds sequentially in candidate order, so
+                    // the first strict minimum wins exactly as in the
+                    // sequential engine.
+                    let candidates: Vec<(usize, usize, usize, usize)> = infos
+                        .iter()
+                        .enumerate()
+                        .flat_map(|(pi, info)| {
+                            let card = info.patterns.card();
+                            info.analysis
+                                .classes()
+                                .filter(move |&(count, _)| count > 0 && count < card)
+                                .map(move |(count, cells)| (pi, count, cells[0], cells.len()))
+                        })
+                        .collect();
+                    let mut evals = xhc_par::par_map_threads(
+                        threads,
+                        &candidates,
+                        |&(pi, _count, rep, _size)| {
+                            let (w, wo) = infos[pi].split(xmap, rep, 1);
+                            let next_cost = cost_from(
+                                masked_total - infos[pi].masked_x + w.masked_x + wo.masked_x,
+                                infos.len() + 1,
+                            );
+                            (w, wo, next_cost)
+                        },
+                    );
+                    let mut best: Option<usize> = None;
+                    for (i, (_, _, next_cost)) in evals.iter().enumerate() {
+                        if best.is_none_or(|bi| next_cost.total() < evals[bi].2.total()) {
+                            best = Some(i);
                         }
                     }
-                    best
+                    best.map(|i| {
+                        let (pi, count, rep, size) = candidates[i];
+                        let (w, wo, next_cost) = evals.swap_remove(i);
+                        (pi, rep, count, size, w, wo, next_cost)
+                    })
                 }
             };
-            let Some((pi, pivot_cell, class_count, class_size, next_infos, next_cost)) = chosen
+            let Some((pi, pivot_cell, class_count, class_size, child_w, child_wo, next_cost)) =
+                chosen
             else {
                 break;
             };
@@ -348,7 +366,9 @@ impl PartitionEngine {
                 class_size,
                 cost_after: next_cost.clone(),
             });
-            infos = next_infos;
+            masked_total = masked_total - infos[pi].masked_x + child_w.masked_x + child_wo.masked_x;
+            infos[pi] = child_w;
+            infos.insert(pi + 1, child_wo);
             cost = next_cost;
         }
 

@@ -110,8 +110,9 @@ impl CancelSession {
                            cells: usize|
          -> BlockOutcome {
             let dep = x_dependency_matrix(sym.rows(), block_x);
-            let mut combos = gauss::x_free_combinations(&dep);
-            combos.truncate(q);
+            // Only q combinations are ever streamed per halt; skip
+            // materialising the rest of the null-space basis.
+            let combos = gauss::x_free_combinations_limited(&dep, q);
             let known = known_part_values(sym.rows(), |s| {
                 responses.get_linear(s / cells, s % cells).to_bool()
             });

@@ -1,0 +1,253 @@
+//! Dependency-free data parallelism for the `xhybrid` workspace.
+//!
+//! The partition engine's hot loops (candidate-split evaluation, child
+//! partition re-analysis, per-partition mask extraction) are
+//! embarrassingly parallel, but the workspace builds fully offline — no
+//! `rayon`. This crate provides the small slice of a work-stealing pool
+//! the engine actually needs, built on [`std::thread::scope`] (the same
+//! no-external-deps precedent as `xhc-prng`):
+//!
+//! * [`par_map`] / [`par_map_threads`] — map a function over a slice on a
+//!   scoped worker pool, returning results **in input order** regardless
+//!   of scheduling;
+//! * [`par_chunks`] / [`par_chunks_threads`] — the same over consecutive
+//!   sub-slices, for stages whose per-item cost is too small to amortise
+//!   a task each;
+//! * [`max_threads`] — the pool width: the `XHC_THREADS` environment
+//!   variable when set, otherwise [`std::thread::available_parallelism`].
+//!
+//! Determinism is the contract: every helper returns exactly what the
+//! sequential equivalent (`items.iter().map(f).collect()`) returns, in
+//! the same order, for every thread count. Callers that fold the results
+//! sequentially therefore produce bit-identical outputs at 1 and N
+//! threads — the property the partition engine's equivalence suite
+//! checks.
+//!
+//! Work distribution is an atomic index counter (dynamic self-scheduling)
+//! so unevenly-sized tasks — split candidates whose partitions differ
+//! wildly in X population — balance without a size oracle.
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = xhc_par::par_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//!
+//! let sums = xhc_par::par_chunks(&[1u64, 2, 3, 4, 5], 2, |c| c.iter().sum::<u64>());
+//! assert_eq!(sums, vec![3, 7, 5]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable overriding the worker-pool width.
+pub const THREADS_ENV: &str = "XHC_THREADS";
+
+/// The default pool width: `XHC_THREADS` when set to a positive integer,
+/// otherwise the machine's available parallelism (at least 1).
+///
+/// Read once and cached for the process lifetime; pass an explicit count
+/// to [`par_map_threads`] / [`par_chunks_threads`] to vary it at runtime
+/// (the equivalence tests do).
+pub fn max_threads() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        if let Ok(v) = std::env::var(THREADS_ENV) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, usize::from)
+    })
+}
+
+/// Maps `f` over `items` on the default pool (see [`max_threads`]),
+/// returning results in input order.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_threads(max_threads(), items, f)
+}
+
+/// Maps `f` over `items` on up to `threads` scoped workers, returning
+/// results in input order. `threads <= 1` (or a short input) runs
+/// sequentially on the caller's thread; the output is identical either
+/// way.
+pub fn par_map_threads<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    // Dynamic self-scheduling: workers claim the next unclaimed index, so
+    // uneven task costs balance. Each worker keeps `(index, result)`
+    // pairs; the pairs are re-placed by index afterwards, which makes the
+    // output order independent of scheduling.
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+
+    let buckets = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("xhc-par worker panicked"))
+            .collect::<Vec<_>>()
+    });
+
+    for (i, r) in buckets.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "index {i} claimed twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index processed"))
+        .collect()
+}
+
+/// Applies `f` to consecutive chunks of `items` (each of `chunk_size`
+/// elements, the last possibly shorter) on the default pool, returning
+/// one result per chunk in chunk order.
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0`.
+pub fn par_chunks<T, R, F>(items: &[T], chunk_size: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    par_chunks_threads(max_threads(), items, chunk_size, f)
+}
+
+/// Like [`par_chunks`] with an explicit worker count.
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0`.
+pub fn par_chunks_threads<T, R, F>(threads: usize, items: &[T], chunk_size: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+    par_map_threads(threads, &chunks, |c| f(c))
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+///
+/// A convenience for two-way forks (e.g. the two child partitions of a
+/// split). Sequential when the pool width is 1.
+pub fn join<RA, RB, A, B>(a: A, b: B) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+{
+    if max_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("xhc-par join worker panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential_for_every_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = par_map_threads(threads, &items, |&x| x * 3 + 1);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_singleton() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map_threads(4, &empty, |&x| x).is_empty());
+        assert_eq!(par_map_threads(4, &[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_handles_uneven_costs() {
+        // Tasks with wildly different costs still land in input order.
+        let items: Vec<usize> = (0..64).collect();
+        let got = par_map_threads(4, &items, |&i| {
+            let spin = if i % 7 == 0 { 10_000 } else { 10 };
+            let mut acc = i as u64;
+            for k in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            (i, acc)
+        });
+        for (i, (gi, _)) in got.iter().enumerate() {
+            assert_eq!(i, *gi);
+        }
+    }
+
+    #[test]
+    fn par_chunks_covers_all_items_in_order() {
+        let items: Vec<u32> = (0..103).collect();
+        for threads in [1, 4] {
+            let got = par_chunks_threads(threads, &items, 10, |c| c.to_vec());
+            let flat: Vec<u32> = got.into_iter().flatten().collect();
+            assert_eq!(flat, items, "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be positive")]
+    fn par_chunks_rejects_zero_chunk() {
+        par_chunks_threads(2, &[1u8, 2], 0, |c| c.len());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+}

@@ -13,6 +13,13 @@ use xhc_bits::PatternSet;
 /// (e.g. CKT-A: 505,050 cells × 3,000 patterns stays small because only
 /// X-capturing cells are stored).
 ///
+/// Storage is columnar: two parallel, linear-index-sorted arrays (cell
+/// indices and their X pattern sets). The correlation kernel walks them
+/// as flat slices — no tree traversal on the hot path — and addresses
+/// individual entries by *position* (see [`XMap::entry`]), which is what
+/// lets a partition split rescan only the cells that were X-active in the
+/// parent partition.
+///
 /// # Examples
 ///
 /// ```
@@ -30,8 +37,12 @@ use xhc_bits::PatternSet;
 pub struct XMap {
     config: ScanConfig,
     num_patterns: usize,
-    /// Linear cell index → X pattern set; only X-capturing cells present.
-    xsets: BTreeMap<usize, PatternSet>,
+    /// Linear indices of X-capturing cells, ascending.
+    cells: Vec<u32>,
+    /// X pattern set of `cells[i]`.
+    xsets: Vec<PatternSet>,
+    /// Cached `Σ xsets[i].card()`.
+    total_x: usize,
 }
 
 impl XMap {
@@ -68,12 +79,40 @@ impl XMap {
 
     /// Number of cells that capture at least one X.
     pub fn num_x_cells(&self) -> usize {
-        self.xsets.len()
+        self.cells.len()
     }
 
     /// Total number of X's over all cells and patterns.
     pub fn total_x(&self) -> usize {
-        self.xsets.values().map(PatternSet::card).sum()
+        self.total_x
+    }
+
+    /// The entry at `pos` (positions `0..num_x_cells()`, ascending by
+    /// linear cell index): the cell's linear index and its X pattern set.
+    ///
+    /// Positional addressing is the kernel-facing API: an analysis
+    /// records the entry positions that were active in a partition, and a
+    /// split re-reads exactly those.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= num_x_cells()`.
+    pub fn entry(&self, pos: usize) -> (usize, &PatternSet) {
+        (self.cells[pos] as usize, &self.xsets[pos])
+    }
+
+    /// The entry position of the cell with linear index `idx`, if it
+    /// captures any X (binary search).
+    pub fn find_entry(&self, idx: usize) -> Option<usize> {
+        if idx > u32::MAX as usize {
+            return None;
+        }
+        self.cells.binary_search(&(idx as u32)).ok()
+    }
+
+    /// The X pattern set of the cell with linear index `idx`, if any.
+    pub fn xset_linear(&self, idx: usize) -> Option<&PatternSet> {
+        self.find_entry(idx).map(|pos| &self.xsets[pos])
     }
 
     /// Fraction of response bits that are X.
@@ -91,8 +130,7 @@ impl XMap {
     ///
     /// Panics if the cell is out of range.
     pub fn x_count(&self, cell: CellId) -> usize {
-        self.xsets
-            .get(&self.config.linear_index(cell))
+        self.xset_linear(self.config.linear_index(cell))
             .map_or(0, PatternSet::card)
     }
 
@@ -102,7 +140,7 @@ impl XMap {
     ///
     /// Panics if the cell is out of range.
     pub fn xset(&self, cell: CellId) -> Option<&PatternSet> {
-        self.xsets.get(&self.config.linear_index(cell))
+        self.xset_linear(self.config.linear_index(cell))
     }
 
     /// Number of X's `cell` captures within the given pattern subset.
@@ -123,7 +161,7 @@ impl XMap {
     /// Panics if the subset universe differs from `num_patterns`.
     pub fn total_x_in(&self, patterns: &PatternSet) -> usize {
         self.xsets
-            .values()
+            .iter()
             .map(|xs| xs.intersection_card(patterns))
             .sum()
     }
@@ -144,15 +182,16 @@ impl XMap {
     /// Iterator over `(cell, X pattern set)` for X-capturing cells, in
     /// linear-index order.
     pub fn iter(&self) -> impl Iterator<Item = (CellId, &PatternSet)> {
-        self.xsets
+        self.cells
             .iter()
-            .map(|(&idx, xs)| (self.config.cell_at(idx), xs))
+            .zip(&self.xsets)
+            .map(|(&idx, xs)| (self.config.cell_at(idx as usize), xs))
     }
 
     /// Number of X's per pattern (indexed by pattern).
     pub fn x_per_pattern(&self) -> Vec<usize> {
         let mut counts = vec![0usize; self.num_patterns];
-        for xs in self.xsets.values() {
+        for xs in &self.xsets {
             for p in xs.iter() {
                 counts[p] += 1;
             }
@@ -226,14 +265,28 @@ impl XMapBuilder {
         }
     }
 
-    /// Finalises the map, dropping cells whose recorded set ended up empty.
+    /// Finalises the map into its columnar form, dropping cells whose
+    /// recorded set ended up empty.
     pub fn finish(self) -> XMap {
-        let mut xsets = self.xsets;
-        xsets.retain(|_, xs| !xs.is_empty());
+        let mut cells = Vec::with_capacity(self.xsets.len());
+        let mut xsets = Vec::with_capacity(self.xsets.len());
+        let mut total_x = 0;
+        // BTreeMap iteration is ascending by key, so the columnar arrays
+        // come out sorted by linear index.
+        for (idx, xs) in self.xsets {
+            if xs.is_empty() {
+                continue;
+            }
+            total_x += xs.card();
+            cells.push(u32::try_from(idx).expect("linear cell index fits in u32"));
+            xsets.push(xs);
+        }
         XMap {
             config: self.config,
             num_patterns: self.num_patterns,
+            cells,
             xsets,
+            total_x,
         }
     }
 }

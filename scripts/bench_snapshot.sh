@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Captures a machine-readable perf snapshot of the two kernel benches.
+#
+# Usage: scripts/bench_snapshot.sh [output-dir]
+#
+# Writes BENCH_partition.json and BENCH_gauss.json (min/median/mean ns
+# per case) to the output dir (default: repo root). Set BENCH_BUDGET_MS
+# to change the per-case budget (default 300; CI smoke uses 20).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-.}"
+budget="${BENCH_BUDGET_MS:-300}"
+mkdir -p "$out"
+# Cargo runs bench binaries with the package directory as cwd; hand the
+# harness an absolute path so snapshots land where the caller asked.
+out="$(cd "$out" && pwd)"
+
+cargo build --release -p xhc-bench --benches
+
+cargo bench -q -p xhc-bench --bench partition_engine -- \
+  --budget-ms "$budget" --json "$out/BENCH_partition.json"
+cargo bench -q -p xhc-bench --bench gauss_elimination -- \
+  --budget-ms "$budget" --json "$out/BENCH_gauss.json"
+
+echo "snapshots written to $out/BENCH_partition.json and $out/BENCH_gauss.json"

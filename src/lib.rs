@@ -20,6 +20,7 @@
 //! | [`misr`] | `xhc-misr` | MISR, symbolic simulation, X-masking, X-canceling |
 //! | [`core`] | `xhc-core` | **the paper's contribution**: correlation analysis, pattern partitioning, hybrid cost model, baselines |
 //! | [`workload`] | `xhc-workload` | synthetic CKT-A/B/C industrial X profiles |
+//! | [`par`] | `xhc-par` | scoped-thread work pool (deterministic `par_map`/`par_chunks`) |
 //!
 //! # Quickstart
 //!
@@ -60,5 +61,6 @@ pub use xhc_core as core;
 pub use xhc_fault as fault;
 pub use xhc_logic as logic;
 pub use xhc_misr as misr;
+pub use xhc_par as par;
 pub use xhc_scan as scan;
 pub use xhc_workload as workload;
