@@ -37,6 +37,8 @@ pub struct CaseResult {
     pub min_ns: u128,
     /// Median iteration, in nanoseconds.
     pub median_ns: u128,
+    /// 95th-percentile iteration (nearest-rank), in nanoseconds.
+    pub p95_ns: u128,
     /// Mean iteration, in nanoseconds.
     pub mean_ns: u128,
 }
@@ -114,11 +116,14 @@ impl Harness {
         samples.sort_unstable();
         let min = samples[0];
         let median = samples[samples.len() / 2];
+        // Nearest-rank p95: ceil(0.95 * n) as a 1-based rank.
+        let p95 = samples[(samples.len() * 95).div_ceil(100) - 1];
         let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
         println!(
-            "{full:<48} {iters:>6} iters   min {:>12}   median {:>12}   mean {:>12}",
+            "{full:<48} {iters:>6} iters   min {:>12}   median {:>12}   p95 {:>12}   mean {:>12}",
             fmt_duration(min),
             fmt_duration(median),
+            fmt_duration(p95),
             fmt_duration(mean),
         );
         self.results.push(CaseResult {
@@ -126,6 +131,7 @@ impl Harness {
             iters,
             min_ns: min.as_nanos(),
             median_ns: median.as_nanos(),
+            p95_ns: p95.as_nanos(),
             mean_ns: mean.as_nanos(),
         });
     }
@@ -144,11 +150,12 @@ impl Harness {
         out.push_str("  \"cases\": [\n");
         for (i, c) in self.results.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"iters\": {}, \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}}}{}\n",
+                "    {{\"name\": \"{}\", \"iters\": {}, \"min_ns\": {}, \"median_ns\": {}, \"p95_ns\": {}, \"mean_ns\": {}}}{}\n",
                 escape(&c.name),
                 c.iters,
                 c.min_ns,
                 c.median_ns,
+                c.p95_ns,
                 c.mean_ns,
                 if i + 1 < self.results.len() { "," } else { "" }
             ));
@@ -231,6 +238,7 @@ mod tests {
         assert!(json.contains("\"group\": \"t\""));
         assert!(json.contains("\"name\": \"a/b\""));
         assert!(json.contains("\"median_ns\":"));
+        assert!(json.contains("\"p95_ns\":"));
         // Exactly one trailing-comma-free last element: valid JSON shape.
         assert_eq!(json.matches("\"name\"").count(), 2);
     }

@@ -55,7 +55,11 @@ pub struct RoundRecord {
 }
 
 /// The result of running the partitioning engine.
-#[derive(Debug, Clone)]
+///
+/// Plain data end to end (pattern sets, mask words, cost records), so a
+/// plan can be serialized, content-addressed and compared bit-for-bit —
+/// `xhc-wire` round-trips it and `xhc-serve` caches it by content hash.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PartitionOutcome {
     /// Final partitions (each a set of pattern indices; disjoint, covering
     /// all patterns).

@@ -1,0 +1,134 @@
+//! A minimal blocking HTTP client for the daemon, used by the
+//! `xhybrid fetch` subcommand, the loopback tests and the latency bench.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A parsed HTTP response.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// The status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// The first value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Sends one request and reads the response (`Connection: close`
+/// framing; the body is read to EOF or `Content-Length`).
+///
+/// # Errors
+///
+/// Returns transport errors and malformed-response errors.
+pub fn request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path_and_query: &str,
+    content_type: Option<&str>,
+    body: &[u8],
+) -> io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    let mut head = format!("{method} {path_and_query} HTTP/1.1\r\nHost: xhc-serve\r\n");
+    if let Some(ct) = content_type {
+        head.push_str(&format!("Content-Type: {ct}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    head.push_str("Connection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let mut parts = status_line.split_ascii_whitespace();
+    let version = parts.next().ok_or_else(|| bad("empty response"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(format!("unexpected protocol `{version}`")));
+    }
+    let status: u16 = parts
+        .next()
+        .ok_or_else(|| bad("missing status code"))?
+        .parse()
+        .map_err(|_| bad("malformed status code"))?;
+
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad("truncated response headers"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok());
+    let body = match content_length {
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader.read_exact(&mut buf)?;
+            buf
+        }
+        None => {
+            let mut buf = Vec::new();
+            reader.read_to_end(&mut buf)?;
+            buf
+        }
+    };
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// `GET path` against the daemon at `addr`.
+///
+/// # Errors
+///
+/// Returns transport errors and malformed-response errors.
+pub fn get(addr: impl ToSocketAddrs, path_and_query: &str) -> io::Result<HttpResponse> {
+    request(addr, "GET", path_and_query, None, &[])
+}
+
+/// `POST path` with a body against the daemon at `addr`.
+///
+/// # Errors
+///
+/// Returns transport errors and malformed-response errors.
+pub fn post(
+    addr: impl ToSocketAddrs,
+    path_and_query: &str,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<HttpResponse> {
+    request(addr, "POST", path_and_query, Some(content_type), body)
+}

@@ -1,0 +1,294 @@
+//! A deliberately small HTTP/1.1 subset on top of `std::net`: enough for
+//! the daemon's five routes and its loopback clients, with hard limits on
+//! header and body sizes. One request per connection (`Connection:
+//! close` semantics) keeps the framing trivial and the worker pool
+//! honest.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request line plus all headers.
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+
+/// Upper bound on a request body (a CKT-A scale X map encodes well under
+/// this).
+pub const MAX_BODY_BYTES: usize = 256 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// The path component of the request target, without the query.
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The first value of a query parameter.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed off the wire.
+#[derive(Debug)]
+pub enum ReadRequestError {
+    /// The peer closed before sending a complete request.
+    Closed,
+    /// The request violates the subset this server speaks.
+    Bad(String),
+    /// A transport error.
+    Io(io::Error),
+}
+
+impl From<io::Error> for ReadRequestError {
+    fn from(e: io::Error) -> Self {
+        ReadRequestError::Io(e)
+    }
+}
+
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect()
+}
+
+/// Reads one request from the stream.
+///
+/// # Errors
+///
+/// [`ReadRequestError::Closed`] on EOF before any byte, `Bad` on
+/// malformed or oversized requests, `Io` on transport failures.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadRequestError> {
+    let mut reader = BufReader::new(stream);
+    let mut head = Vec::with_capacity(512);
+    // Read until CRLFCRLF without over-reading into the body.
+    loop {
+        let before = head.len();
+        reader.read_until(b'\n', &mut head)?;
+        if head.len() == before {
+            return if head.is_empty() {
+                Err(ReadRequestError::Closed)
+            } else {
+                Err(ReadRequestError::Bad("truncated header block".into()))
+            };
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(ReadRequestError::Bad("header block too large".into()));
+        }
+        if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+            break;
+        }
+        // A bare first CRLF means an empty line before any request line;
+        // tolerate nothing and keep reading until the blank line.
+    }
+    let head_str = String::from_utf8(head)
+        .map_err(|_| ReadRequestError::Bad("header block is not UTF-8".into()))?;
+    let mut lines = head_str.split("\r\n").flat_map(|l| l.split('\n'));
+    let request_line = lines
+        .next()
+        .ok_or_else(|| ReadRequestError::Bad("missing request line".into()))?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ReadRequestError::Bad("missing method".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| ReadRequestError::Bad("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| ReadRequestError::Bad("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadRequestError::Bad(format!(
+            "unsupported protocol {version}"
+        )));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target.to_string(), Vec::new()),
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ReadRequestError::Bad(format!("malformed header `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ReadRequestError::Bad(format!("bad content-length `{v}`")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(ReadRequestError::Bad(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// A response about to be written.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond the framing set (`(name, value)`).
+    pub headers: Vec<(&'static str, String)>,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with a content type and body.
+    pub fn new(status: u16, content_type: &'static str, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type", content_type.to_string())],
+            body,
+        }
+    }
+
+    /// A plaintext response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response::new(
+            status,
+            "text/plain; charset=utf-8",
+            body.into().into_bytes(),
+        )
+    }
+
+    /// Attaches an extra header.
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: String) -> Response {
+        self.headers.push((name, value));
+        self
+    }
+}
+
+/// The standard reason phrase for the status codes this server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        _ => "Response",
+    }
+}
+
+/// Writes `response` with `Connection: close` framing and flushes.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\n",
+        response.status,
+        reason_phrase(response.status)
+    );
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str(&format!("Content-Length: {}\r\n", response.body.len()));
+    head.push_str("Connection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::thread;
+
+    fn exchange(raw: &[u8]) -> Result<Request, ReadRequestError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let req = read_request(&mut stream);
+        writer.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let req = exchange(
+            b"POST /v1/plan?m=32&q=7&strategy=best-cost HTTP/1.1\r\n\
+              Host: x\r\nContent-Type: application/octet-stream\r\n\
+              Content-Length: 4\r\n\r\nBODY",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/plan");
+        assert_eq!(req.query_param("m"), Some("32"));
+        assert_eq!(req.query_param("strategy"), Some("best-cost"));
+        assert_eq!(req.header("content-type"), Some("application/octet-stream"));
+        assert_eq!(req.body, b"BODY");
+    }
+
+    #[test]
+    fn rejects_garbage_and_eof() {
+        assert!(matches!(exchange(b""), Err(ReadRequestError::Closed)));
+        assert!(matches!(
+            exchange(b"NOT A REQUEST\r\n\r\n"),
+            Err(ReadRequestError::Bad(_))
+        ));
+        assert!(matches!(
+            exchange(b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(ReadRequestError::Bad(_))
+        ));
+    }
+}

@@ -1,0 +1,137 @@
+//! The async-job registry behind `POST /v1/plan?mode=async` and
+//! `GET /v1/jobs/{id}`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use xhc_wire::hash_hex;
+
+/// Where an async planning job currently is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted, planning in progress.
+    Running,
+    /// Finished; the plan is in the store under `plan_hash`.
+    Done {
+        /// The content address of the finished plan.
+        plan_hash: u64,
+        /// Whether the job was answered by the cache.
+        cache_hit: bool,
+    },
+    /// Planning failed.
+    Failed {
+        /// The HTTP status the synchronous path would have returned.
+        status: u16,
+        /// Human-readable failure.
+        message: String,
+    },
+}
+
+impl JobStatus {
+    /// Renders the status as the one-line JSON body of `GET /v1/jobs/{id}`.
+    pub fn render(&self, id: u64) -> String {
+        match self {
+            JobStatus::Running => format!("{{\"id\":{id},\"status\":\"running\"}}\n"),
+            JobStatus::Done {
+                plan_hash,
+                cache_hit,
+            } => format!(
+                "{{\"id\":{id},\"status\":\"done\",\"plan\":\"{}\",\"cache\":\"{}\"}}\n",
+                hash_hex(*plan_hash),
+                if *cache_hit { "hit" } else { "miss" }
+            ),
+            JobStatus::Failed { status, message } => format!(
+                "{{\"id\":{id},\"status\":\"failed\",\"code\":{status},\"error\":{}}}\n",
+                json_string(message)
+            ),
+        }
+    }
+}
+
+/// Minimal JSON string escaping for error messages.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Tracks every async job the daemon has accepted.
+#[derive(Debug, Default)]
+pub struct JobRegistry {
+    next_id: AtomicU64,
+    jobs: Mutex<HashMap<u64, JobStatus>>,
+}
+
+impl JobRegistry {
+    /// Registers a new running job and returns its id.
+    pub fn submit(&self) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        self.jobs
+            .lock()
+            .expect("job registry poisoned")
+            .insert(id, JobStatus::Running);
+        id
+    }
+
+    /// Records the terminal status of a job.
+    pub fn finish(&self, id: u64, status: JobStatus) {
+        self.jobs
+            .lock()
+            .expect("job registry poisoned")
+            .insert(id, status);
+    }
+
+    /// Looks up a job.
+    pub fn get(&self, id: u64) -> Option<JobStatus> {
+        self.jobs
+            .lock()
+            .expect("job registry poisoned")
+            .get(&id)
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_and_rendering() {
+        let reg = JobRegistry::default();
+        let id = reg.submit();
+        assert_eq!(reg.get(id), Some(JobStatus::Running));
+        assert!(reg.get(id + 1).is_none());
+        reg.finish(
+            id,
+            JobStatus::Done {
+                plan_hash: 0xabcd,
+                cache_hit: false,
+            },
+        );
+        let rendered = reg.get(id).unwrap().render(id);
+        assert!(rendered.contains("\"done\""));
+        assert!(rendered.contains("000000000000abcd"));
+        assert!(rendered.contains("\"miss\""));
+
+        let failed = JobStatus::Failed {
+            status: 422,
+            message: "deny: \"XL0203\"\nline two".into(),
+        };
+        let rendered = failed.render(7);
+        assert!(rendered.contains("\\\"XL0203\\\""));
+        assert!(rendered.contains("\\n"));
+    }
+}

@@ -1,0 +1,565 @@
+//! `xhc-serve`: the planning daemon.
+//!
+//! A std-only HTTP/1.1 service that turns X maps (or workload specs)
+//! into partition plans, caches every plan in a content-addressed
+//! on-disk store keyed by [`xhc_wire::plan_request_hash`], and exposes
+//! plaintext metrics. Zero external dependencies: `std::net` sockets, a
+//! fixed worker pool, and the workspace's own crates for everything else.
+//!
+//! # Routes
+//!
+//! | Route | Method | Behaviour |
+//! |-------|--------|-----------|
+//! | `/v1/plan?m=&q=&strategy=&mode=` | POST | Body is a wire-encoded X map or workload spec, or `xmap v1` text. Lints it, plans it (or serves the cached plan) and returns the wire-encoded plan. `mode=async` returns `202` and a job id instead. |
+//! | `/v1/plan/{hash}` | GET | Fetches a cached plan by its 16-hex content address. |
+//! | `/v1/jobs/{id}` | GET | Status of an async job. |
+//! | `/healthz` | GET | Liveness probe. |
+//! | `/metrics` | GET | Plaintext counters and latency histograms. |
+//!
+//! Every plan response carries `X-Xhc-Plan-Hash` (the cache key) and
+//! `X-Xhc-Cache: hit|miss`. Identical concurrent submissions are
+//! *single-flighted*: one computes, the rest wait and read the store, so
+//! the cache-miss counter increments exactly once per distinct request.
+//!
+//! Decoded artifacts pass through the `xhc-lint` gate before planning —
+//! any `Deny` finding short-circuits into HTTP `422` with the rendered
+//! diagnostics, so the engine only ever sees inputs it cannot panic on.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use std::path::Path;
+//! use xhc_serve::{Server, ServerConfig};
+//!
+//! let config = ServerConfig::new(Path::new("/tmp/plans"));
+//! let server = Server::bind("127.0.0.1:0", config).unwrap();
+//! println!("listening on {}", server.local_addr());
+//! server.run().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod http;
+mod jobs;
+mod metrics;
+mod store;
+
+pub mod client;
+
+pub use http::{ReadRequestError, Request, Response, MAX_BODY_BYTES};
+pub use jobs::{JobRegistry, JobStatus};
+pub use metrics::{Histogram, Metrics};
+pub use store::PlanStore;
+
+use std::collections::HashSet;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Instant;
+
+use xhc_core::{PartitionEngine, SplitStrategy};
+use xhc_lint::{check_cancel_params, check_xmap, LintConfig, LintReport};
+use xhc_misr::XCancelConfig;
+use xhc_scan::{read_xmap, XMap};
+use xhc_wire::{
+    decode_workload_spec, decode_xmap, encode_plan, encode_xmap, hash_hex, parse_hash_hex,
+    peek_kind, plan_request_hash, Kind, MAGIC,
+};
+
+/// How the daemon is configured.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Directory of the content-addressed plan store.
+    pub store_dir: PathBuf,
+    /// Engine threads per plan (`0` = [`xhc_par::max_threads`]).
+    pub threads: usize,
+    /// HTTP worker threads.
+    pub workers: usize,
+}
+
+impl ServerConfig {
+    /// A config with defaults: engine threads from `XHC_THREADS`, four
+    /// HTTP workers.
+    pub fn new(store_dir: &Path) -> ServerConfig {
+        ServerConfig {
+            store_dir: store_dir.to_path_buf(),
+            threads: 0,
+            workers: 4,
+        }
+    }
+
+    /// Overrides the engine thread count (`0` = auto).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> ServerConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// Overrides the HTTP worker count (clamped to at least 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> ServerConfig {
+        self.workers = workers.max(1);
+        self
+    }
+}
+
+/// The stable wire code of a split strategy (persisted inside cache keys,
+/// so the mapping must never change).
+pub fn strategy_code(strategy: SplitStrategy) -> u8 {
+    match strategy {
+        SplitStrategy::LargestClass => 0,
+        SplitStrategy::BestCost => 1,
+    }
+}
+
+/// Parses the strategy names the CLI and the query string share.
+pub fn parse_strategy(s: &str) -> Option<SplitStrategy> {
+    match s {
+        "largest" => Some(SplitStrategy::LargestClass),
+        "best-cost" => Some(SplitStrategy::BestCost),
+        _ => None,
+    }
+}
+
+/// Shared mutable state behind every worker.
+struct ServerState {
+    config: ServerConfig,
+    metrics: Metrics,
+    store: PlanStore,
+    jobs: JobRegistry,
+    inflight: Mutex<HashSet<u64>>,
+    inflight_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A handle for observing and stopping a running [`Server`] from another
+/// thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the accept loop to stop. Idempotent; returns once the flag is
+    /// set (the accept loop observes it on its next wakeup).
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// The planning daemon: a bound listener plus its shared state.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds to `addr` and opens the plan store.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the bind or the store-open
+    /// fails.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let store = PlanStore::open(&config.store_dir)?;
+        let state = Arc::new(ServerState {
+            config,
+            metrics: Metrics::default(),
+            store,
+            jobs: JobRegistry::default(),
+            inflight: Mutex::new(HashSet::new()),
+            inflight_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        Ok(Server {
+            listener,
+            addr,
+            state,
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle for shutting the server down from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.addr,
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Runs the accept loop until [`ServerHandle::shutdown`] is called.
+    /// Connections are handed to a fixed pool of worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if `accept` fails.
+    pub fn run(self) -> io::Result<()> {
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(self.state.config.workers);
+        for _ in 0..self.state.config.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&self.state);
+            workers.push(thread::spawn(move || loop {
+                let stream = match rx.lock().expect("worker queue poisoned").recv() {
+                    Ok(s) => s,
+                    Err(_) => break, // accept loop gone
+                };
+                state.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                handle_connection(&state, stream);
+            }));
+        }
+        for incoming in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = incoming?;
+            self.state
+                .metrics
+                .queue_depth
+                .fetch_add(1, Ordering::Relaxed);
+            if tx.send(stream).is_err() {
+                break;
+            }
+        }
+        drop(tx);
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// A routing failure carrying the HTTP status it maps to.
+struct HandlerError {
+    status: u16,
+    message: String,
+}
+
+impl HandlerError {
+    fn new(status: u16, message: impl Into<String>) -> HandlerError {
+        HandlerError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
+    let request = match http::read_request(&mut stream) {
+        Ok(r) => r,
+        Err(http::ReadRequestError::Closed) => return,
+        Err(http::ReadRequestError::Bad(msg)) => {
+            state.metrics.count_status(400);
+            let _ = http::write_response(&mut stream, &Response::text(400, format!("{msg}\n")));
+            return;
+        }
+        Err(http::ReadRequestError::Io(_)) => return,
+    };
+    state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+    let started = Instant::now();
+    let response = match route(state, &request) {
+        Ok(r) => r,
+        Err(e) => Response::text(e.status, format!("{}\n", e.message.trim_end())),
+    };
+    state
+        .metrics
+        .total_ns
+        .record_ns(started.elapsed().as_nanos() as u64);
+    state.metrics.count_status(response.status);
+    let _ = http::write_response(&mut stream, &response);
+}
+
+fn route(state: &Arc<ServerState>, request: &Request) -> Result<Response, HandlerError> {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Ok(Response::text(200, "ok\n")),
+        ("GET", "/metrics") => Ok(Response::text(200, state.metrics.render())),
+        ("POST", "/v1/plan") => plan_endpoint(state, request),
+        ("GET", path) if path.starts_with("/v1/plan/") => {
+            fetch_endpoint(state, &path["/v1/plan/".len()..])
+        }
+        ("GET", path) if path.starts_with("/v1/jobs/") => {
+            jobs_endpoint(state, &path["/v1/jobs/".len()..])
+        }
+        (_, "/v1/plan") | (_, "/healthz") | (_, "/metrics") => {
+            Err(HandlerError::new(405, "method not allowed"))
+        }
+        _ => Err(HandlerError::new(404, "no such route")),
+    }
+}
+
+fn fetch_endpoint(state: &ServerState, hex: &str) -> Result<Response, HandlerError> {
+    let key = parse_hash_hex(hex)
+        .ok_or_else(|| HandlerError::new(400, format!("`{hex}` is not a 16-hex plan hash")))?;
+    let bytes = state
+        .store
+        .load(key)
+        .map_err(|e| HandlerError::new(500, format!("store read failed: {e}")))?
+        .ok_or_else(|| HandlerError::new(404, format!("no plan stored under {hex}")))?;
+    Ok(Response::new(200, "application/octet-stream", bytes)
+        .with_header("X-Xhc-Plan-Hash", hash_hex(key)))
+}
+
+fn jobs_endpoint(state: &ServerState, raw_id: &str) -> Result<Response, HandlerError> {
+    let id: u64 = raw_id
+        .parse()
+        .map_err(|_| HandlerError::new(400, format!("`{raw_id}` is not a job id")))?;
+    let status = state
+        .jobs
+        .get(id)
+        .ok_or_else(|| HandlerError::new(404, format!("no job {id}")))?;
+    Ok(Response::new(
+        200,
+        "application/json",
+        status.render(id).into_bytes(),
+    ))
+}
+
+/// The validated parameters of one plan request.
+struct PlanParams {
+    m: usize,
+    q: usize,
+    strategy: SplitStrategy,
+    asynchronous: bool,
+}
+
+fn parse_plan_params(request: &Request) -> Result<PlanParams, HandlerError> {
+    let parse_num = |name: &str, default: usize| -> Result<usize, HandlerError> {
+        match request.query_param(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| HandlerError::new(400, format!("`{raw}` is not a valid `{name}`"))),
+        }
+    };
+    let m = parse_num("m", 32)?;
+    let q = parse_num("q", 7)?;
+    let strategy = match request.query_param("strategy") {
+        None => SplitStrategy::LargestClass,
+        Some(raw) => parse_strategy(raw).ok_or_else(|| {
+            HandlerError::new(
+                400,
+                format!("`{raw}` is not a strategy (expected `largest` or `best-cost`)"),
+            )
+        })?,
+    };
+    let asynchronous = match request.query_param("mode") {
+        None | Some("sync") => false,
+        Some("async") => true,
+        Some(raw) => {
+            return Err(HandlerError::new(
+                400,
+                format!("`{raw}` is not a mode (expected `sync` or `async`)"),
+            ))
+        }
+    };
+    Ok(PlanParams {
+        m,
+        q,
+        strategy,
+        asynchronous,
+    })
+}
+
+/// Decodes a plan-request body into an X map: wire-encoded X map,
+/// wire-encoded workload spec (generated deterministically from its
+/// seed), or `xmap v1` text.
+fn decode_request_xmap(state: &ServerState, body: &[u8]) -> Result<XMap, HandlerError> {
+    let started = Instant::now();
+    let result = if body.starts_with(&MAGIC) {
+        match peek_kind(body) {
+            Ok(Kind::XMap) => decode_xmap(body)
+                .map_err(|e| HandlerError::new(400, format!("bad xmap buffer: {e}"))),
+            Ok(Kind::WorkloadSpec) => decode_workload_spec(body)
+                .map(|spec| spec.generate())
+                .map_err(|e| HandlerError::new(400, format!("bad workload-spec buffer: {e}"))),
+            Ok(kind) => Err(HandlerError::new(
+                400,
+                format!("cannot plan from a {kind} artifact"),
+            )),
+            Err(e) => Err(HandlerError::new(400, format!("bad wire buffer: {e}"))),
+        }
+    } else {
+        read_xmap(body).map_err(|e| HandlerError::new(400, format!("bad xmap text: {e}")))
+    };
+    state
+        .metrics
+        .decode_ns
+        .record_ns(started.elapsed().as_nanos() as u64);
+    result
+}
+
+/// Runs the lint gate; `Deny` findings become HTTP 422 with the rendered
+/// diagnostics as the body.
+fn lint_gate(state: &ServerState, xmap: &XMap, m: usize, q: usize) -> Result<(), HandlerError> {
+    let started = Instant::now();
+    let lint_config = LintConfig::default();
+    let mut report: LintReport = check_xmap(&lint_config, xmap);
+    report.merge(check_cancel_params(&lint_config, m, q));
+    state
+        .metrics
+        .lint_ns
+        .record_ns(started.elapsed().as_nanos() as u64);
+    if report.has_deny() {
+        return Err(HandlerError::new(422, report.render_human()));
+    }
+    Ok(())
+}
+
+fn plan_endpoint(state: &Arc<ServerState>, request: &Request) -> Result<Response, HandlerError> {
+    let params = parse_plan_params(request)?;
+    if request.body.is_empty() {
+        return Err(HandlerError::new(400, "empty request body"));
+    }
+    let xmap = decode_request_xmap(state, &request.body)?;
+    lint_gate(state, &xmap, params.m, params.q)?;
+
+    let canonical = encode_xmap(&xmap);
+    let key = plan_request_hash(
+        &canonical,
+        params.m,
+        params.q,
+        strategy_code(params.strategy),
+    );
+
+    if params.asynchronous {
+        let id = state.jobs.submit();
+        state.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        // The job thread owns its own handle to the shared state.
+        let state_ref = Arc::clone(state);
+        thread::spawn(move || {
+            let outcome = compute_plan(&state_ref, key, &xmap, &params);
+            let status = match outcome {
+                Ok((_, cache_hit)) => JobStatus::Done {
+                    plan_hash: key,
+                    cache_hit,
+                },
+                Err(e) => JobStatus::Failed {
+                    status: e.status,
+                    message: e.message,
+                },
+            };
+            state_ref.jobs.finish(id, status);
+            state_ref
+                .metrics
+                .jobs_completed
+                .fetch_add(1, Ordering::Relaxed);
+        });
+        return Ok(Response::new(
+            202,
+            "application/json",
+            format!("{{\"id\":{id},\"status\":\"running\"}}\n").into_bytes(),
+        )
+        .with_header("X-Xhc-Plan-Hash", hash_hex(key))
+        .with_header("X-Xhc-Job", id.to_string()));
+    }
+
+    let (bytes, cache_hit) = compute_plan(state, key, &xmap, &params)?;
+    Ok(Response::new(200, "application/octet-stream", bytes)
+        .with_header("X-Xhc-Plan-Hash", hash_hex(key))
+        .with_header(
+            "X-Xhc-Cache",
+            if cache_hit { "hit" } else { "miss" }.to_string(),
+        ))
+}
+
+/// Plans (or fetches) the request with single-flight dedup: for any key,
+/// exactly one caller runs the engine while concurrent identical
+/// requests block and then read the store. Returns the wire-encoded plan
+/// and whether it came from the cache.
+fn compute_plan(
+    state: &ServerState,
+    key: u64,
+    xmap: &XMap,
+    params: &PlanParams,
+) -> Result<(Vec<u8>, bool), HandlerError> {
+    let store_err = |e: io::Error| HandlerError::new(500, format!("plan store failed: {e}"));
+    // Fast path: already cached.
+    if let Some(bytes) = state.store.load(key).map_err(store_err)? {
+        state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        return Ok((bytes, true));
+    }
+    // Claim the key or wait for whoever holds it.
+    {
+        let mut inflight = state.inflight.lock().expect("inflight set poisoned");
+        loop {
+            if !inflight.contains(&key) {
+                // Re-check the store under the lock: a racing computer may
+                // have finished between our miss above and this claim.
+                if let Some(bytes) = state.store.load(key).map_err(store_err)? {
+                    state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((bytes, true));
+                }
+                inflight.insert(key);
+                break;
+            }
+            inflight = state
+                .inflight_cv
+                .wait(inflight)
+                .expect("inflight set poisoned");
+        }
+    }
+    // We own the computation; always release the claim, even on panic.
+    let result = run_engine(state, xmap, params);
+    {
+        let mut inflight = state.inflight.lock().expect("inflight set poisoned");
+        inflight.remove(&key);
+    }
+    state.inflight_cv.notify_all();
+    let bytes = result?;
+    state.store.save(key, &bytes).map_err(store_err)?;
+    state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+    Ok((bytes, false))
+}
+
+/// Runs the partition engine and encodes the plan, converting panics into
+/// HTTP 500 instead of poisoning the worker.
+fn run_engine(
+    state: &ServerState,
+    xmap: &XMap,
+    params: &PlanParams,
+) -> Result<Vec<u8>, HandlerError> {
+    let threads = if state.config.threads == 0 {
+        xhc_par::max_threads()
+    } else {
+        state.config.threads
+    };
+    let engine = PartitionEngine::new(XCancelConfig::new(params.m, params.q))
+        .with_strategy(params.strategy)
+        .with_threads(threads);
+    let plan_started = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| engine.run(xmap)))
+        .map_err(|_| HandlerError::new(500, "partition engine panicked"))?;
+    state
+        .metrics
+        .plan_ns
+        .record_ns(plan_started.elapsed().as_nanos() as u64);
+    let encode_started = Instant::now();
+    let bytes = encode_plan(&outcome, xmap.num_patterns());
+    state
+        .metrics
+        .encode_ns
+        .record_ns(encode_started.elapsed().as_nanos() as u64);
+    Ok(bytes)
+}

@@ -1,0 +1,212 @@
+//! Lock-free daemon counters and fixed-bucket latency histograms,
+//! rendered as a plaintext exposition page at `GET /metrics`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bucket bounds in nanoseconds; the final implicit bucket is
+/// `+Inf`. Spans 10 µs to 5 s, which covers decode-only requests through
+/// cold plans on the paper-scale workloads.
+const BOUNDS_NS: [u64; 12] = [
+    10_000,
+    50_000,
+    100_000,
+    500_000,
+    1_000_000,
+    5_000_000,
+    10_000_000,
+    50_000_000,
+    100_000_000,
+    500_000_000,
+    1_000_000_000,
+    5_000_000_000,
+];
+
+/// A fixed-bucket latency histogram with atomic counters.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BOUNDS_NS.len() + 1],
+    sum_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        let idx = BOUNDS_NS
+            .iter()
+            .position(|&b| ns <= b)
+            .unwrap_or(BOUNDS_NS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn render(&self, out: &mut String, stage: &str) {
+        use std::fmt::Write;
+        let mut cumulative = 0u64;
+        for (idx, bound) in BOUNDS_NS.iter().enumerate() {
+            cumulative += self.buckets[idx].load(Ordering::Relaxed);
+            let _ = writeln!(
+                out,
+                "xhc_stage_latency_ns_bucket{{stage=\"{stage}\",le=\"{bound}\"}} {cumulative}"
+            );
+        }
+        cumulative += self.buckets[BOUNDS_NS.len()].load(Ordering::Relaxed);
+        let _ = writeln!(
+            out,
+            "xhc_stage_latency_ns_bucket{{stage=\"{stage}\",le=\"+Inf\"}} {cumulative}"
+        );
+        let _ = writeln!(
+            out,
+            "xhc_stage_latency_ns_sum{{stage=\"{stage}\"}} {}",
+            self.sum_ns.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "xhc_stage_latency_ns_count{{stage=\"{stage}\"}} {cumulative}"
+        );
+    }
+}
+
+/// HTTP status classes the daemon tracks individually.
+const TRACKED_STATUS: [u16; 7] = [200, 202, 400, 404, 405, 422, 500];
+
+/// Every counter the daemon exposes.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests accepted off the socket (before routing).
+    pub requests_total: AtomicU64,
+    /// Responses, bucketed by status code (same order as `TRACKED_STATUS`;
+    /// the extra slot counts everything else).
+    responses: [AtomicU64; TRACKED_STATUS.len() + 1],
+    /// Plan requests answered from the content-addressed store.
+    pub cache_hits: AtomicU64,
+    /// Plan requests that ran the partition engine.
+    pub cache_misses: AtomicU64,
+    /// Connections accepted but not yet picked up by a worker.
+    pub queue_depth: AtomicU64,
+    /// Async jobs submitted.
+    pub jobs_submitted: AtomicU64,
+    /// Async jobs finished (successfully or not).
+    pub jobs_completed: AtomicU64,
+    /// Wall time spent decoding request bodies.
+    pub decode_ns: Histogram,
+    /// Wall time spent in the lint gate.
+    pub lint_ns: Histogram,
+    /// Wall time spent in the partition engine (cache misses only).
+    pub plan_ns: Histogram,
+    /// Wall time spent encoding responses.
+    pub encode_ns: Histogram,
+    /// End-to-end request handling time.
+    pub total_ns: Histogram,
+}
+
+impl Metrics {
+    /// Counts one response with the given status code.
+    pub fn count_status(&self, status: u16) {
+        let idx = TRACKED_STATUS
+            .iter()
+            .position(|&s| s == status)
+            .unwrap_or(TRACKED_STATUS.len());
+        self.responses[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the full plaintext exposition page.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(4096);
+        let _ = writeln!(
+            out,
+            "xhc_requests_total {}",
+            self.requests_total.load(Ordering::Relaxed)
+        );
+        for (idx, status) in TRACKED_STATUS.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "xhc_responses_total{{status=\"{status}\"}} {}",
+                self.responses[idx].load(Ordering::Relaxed)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "xhc_responses_total{{status=\"other\"}} {}",
+            self.responses[TRACKED_STATUS.len()].load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "xhc_cache_hits_total {}",
+            self.cache_hits.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "xhc_cache_misses_total {}",
+            self.cache_misses.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "xhc_queue_depth {}",
+            self.queue_depth.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "xhc_jobs_submitted_total {}",
+            self.jobs_submitted.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "xhc_jobs_completed_total {}",
+            self.jobs_completed.load(Ordering::Relaxed)
+        );
+        for (stage, hist) in [
+            ("decode", &self.decode_ns),
+            ("lint", &self.lint_ns),
+            ("plan", &self.plan_ns),
+            ("encode", &self.encode_ns),
+            ("total", &self.total_ns),
+        ] {
+            hist.render(&mut out, stage);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::default();
+        h.record_ns(5_000); // first bucket
+        h.record_ns(40_000_000); // le 50ms
+        h.record_ns(u64::MAX / 2); // +Inf
+        assert_eq!(h.count(), 3);
+        let mut page = String::new();
+        h.render(&mut page, "t");
+        assert!(page.contains("le=\"10000\"} 1"));
+        assert!(page.contains("le=\"50000000\"} 2"));
+        assert!(page.contains("le=\"+Inf\"} 3"));
+        assert!(page.contains("xhc_stage_latency_ns_count{stage=\"t\"} 3"));
+    }
+
+    #[test]
+    fn render_includes_every_counter() {
+        let m = Metrics::default();
+        m.requests_total.fetch_add(2, Ordering::Relaxed);
+        m.count_status(200);
+        m.count_status(418);
+        m.cache_hits.fetch_add(1, Ordering::Relaxed);
+        let page = m.render();
+        assert!(page.contains("xhc_requests_total 2"));
+        assert!(page.contains("xhc_responses_total{status=\"200\"} 1"));
+        assert!(page.contains("xhc_responses_total{status=\"other\"} 1"));
+        assert!(page.contains("xhc_cache_hits_total 1"));
+        assert!(page.contains("xhc_cache_misses_total 0"));
+        assert!(page.contains("stage=\"plan\""));
+    }
+}

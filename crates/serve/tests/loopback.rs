@@ -1,0 +1,367 @@
+//! End-to-end loopback tests: a real daemon on 127.0.0.1, real sockets,
+//! concurrent clients, and bit-identical agreement with the offline
+//! engine at every thread count.
+
+use std::fs;
+use std::path::PathBuf;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use xhc_core::{PartitionEngine, SplitStrategy};
+use xhc_misr::XCancelConfig;
+use xhc_scan::write_xmap;
+use xhc_serve::{client, Server, ServerConfig};
+use xhc_wire::{encode_plan, encode_workload_spec, encode_xmap, hash_hex, plan_request_hash};
+use xhc_workload::WorkloadSpec;
+
+/// A small but nontrivial workload (a few hundred X's).
+fn test_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        total_cells: 300,
+        num_chains: 6,
+        num_patterns: 48,
+        seed: 0xCAFE,
+        ..WorkloadSpec::default()
+    }
+}
+
+struct TestServer {
+    addr: std::net::SocketAddr,
+    handle: xhc_serve::ServerHandle,
+    join: Option<thread::JoinHandle<std::io::Result<()>>>,
+    store_dir: PathBuf,
+}
+
+impl TestServer {
+    fn start(tag: &str, engine_threads: usize) -> TestServer {
+        let store_dir = std::env::temp_dir().join(format!(
+            "xhc-loopback-{tag}-{}-{engine_threads}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&store_dir);
+        let config = ServerConfig::new(&store_dir)
+            .with_threads(engine_threads)
+            .with_workers(8);
+        let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let join = thread::spawn(move || server.run());
+        TestServer {
+            addr,
+            handle,
+            join: Some(join),
+            store_dir,
+        }
+    }
+
+    fn metric(&self, name: &str) -> u64 {
+        let page = client::get(self.addr, "/metrics").expect("scrape metrics");
+        assert_eq!(page.status, 200);
+        page.body_text()
+            .lines()
+            .find(|l| l.starts_with(name) && l[name.len()..].starts_with(' '))
+            .unwrap_or_else(|| panic!("metric {name} missing"))
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .expect("metric value")
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.handle.shutdown();
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+        let _ = fs::remove_dir_all(&self.store_dir);
+    }
+}
+
+#[test]
+fn concurrent_identical_submissions_single_flight() {
+    // The acceptance criterion: at every engine thread count, N
+    // concurrent clients submitting the same workload get byte-identical
+    // wire-encoded plans matching the offline engine, with exactly one
+    // cache miss recorded.
+    let spec = test_spec();
+    let xmap = spec.generate();
+    let offline = PartitionEngine::new(XCancelConfig::new(32, 7))
+        .with_strategy(SplitStrategy::LargestClass)
+        .run(&xmap);
+    let expected_plan = encode_plan(&offline, xmap.num_patterns());
+    let expected_key = plan_request_hash(&encode_xmap(&xmap), 32, 7, 0);
+
+    for engine_threads in [1, 2, 8] {
+        let server = TestServer::start("single-flight", engine_threads);
+        let body = encode_xmap(&xmap);
+        const CLIENTS: usize = 4;
+        let results: Vec<_> = thread::scope(|scope| {
+            let mut joins = Vec::new();
+            for _ in 0..CLIENTS {
+                let body = body.clone();
+                let addr = server.addr;
+                joins.push(scope.spawn(move || {
+                    client::post(
+                        addr,
+                        "/v1/plan?m=32&q=7&strategy=largest",
+                        "application/octet-stream",
+                        &body,
+                    )
+                    .expect("post plan")
+                }));
+            }
+            joins.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+
+        let mut misses = 0;
+        for response in &results {
+            assert_eq!(response.status, 200, "{}", response.body_text());
+            assert_eq!(
+                response.body, expected_plan,
+                "daemon plan differs from offline engine at {engine_threads} threads"
+            );
+            assert_eq!(
+                response.header("x-xhc-plan-hash"),
+                Some(hash_hex(expected_key).as_str())
+            );
+            match response.header("x-xhc-cache") {
+                Some("miss") => misses += 1,
+                Some("hit") => {}
+                other => panic!("unexpected cache header {other:?}"),
+            }
+        }
+        assert_eq!(misses, 1, "expected exactly one computing client");
+        assert_eq!(server.metric("xhc_cache_misses_total"), 1);
+        assert_eq!(server.metric("xhc_cache_hits_total"), (CLIENTS - 1) as u64);
+
+        // A resubmission is a pure cache hit.
+        let again = client::post(
+            server.addr,
+            "/v1/plan?m=32&q=7",
+            "application/octet-stream",
+            &body,
+        )
+        .unwrap();
+        assert_eq!(again.status, 200);
+        assert_eq!(again.header("x-xhc-cache"), Some("hit"));
+        assert_eq!(again.body, expected_plan);
+        assert_eq!(server.metric("xhc_cache_misses_total"), 1);
+
+        // And the plan is addressable by its content hash.
+        let fetched =
+            client::get(server.addr, &format!("/v1/plan/{}", hash_hex(expected_key))).unwrap();
+        assert_eq!(fetched.status, 200);
+        assert_eq!(fetched.body, expected_plan);
+    }
+}
+
+#[test]
+fn text_and_wire_submissions_share_a_cache_entry() {
+    let spec = test_spec();
+    let xmap = spec.generate();
+    let server = TestServer::start("text-vs-wire", 2);
+
+    let mut text = Vec::new();
+    write_xmap(&mut text, &xmap).unwrap();
+    let first = client::post(server.addr, "/v1/plan", "text/plain", &text).unwrap();
+    assert_eq!(first.status, 200, "{}", first.body_text());
+    assert_eq!(first.header("x-xhc-cache"), Some("miss"));
+
+    // The same X map in wire form hits the same cache entry: the key is
+    // computed over the canonical wire bytes, not the submitted ones.
+    let wire = encode_xmap(&xmap);
+    let second = client::post(server.addr, "/v1/plan", "application/octet-stream", &wire).unwrap();
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("x-xhc-cache"), Some("hit"));
+    assert_eq!(second.body, first.body);
+    assert_eq!(
+        first.header("x-xhc-plan-hash"),
+        second.header("x-xhc-plan-hash")
+    );
+}
+
+#[test]
+fn workload_spec_submissions_plan_the_generated_xmap() {
+    let spec = test_spec();
+    let server = TestServer::start("spec-body", 2);
+    let body = encode_workload_spec(&spec);
+    let response = client::post(
+        server.addr,
+        "/v1/plan?m=16&q=3",
+        "application/octet-stream",
+        &body,
+    )
+    .unwrap();
+    assert_eq!(response.status, 200, "{}", response.body_text());
+
+    let xmap = spec.generate();
+    let offline = PartitionEngine::new(XCancelConfig::new(16, 3)).run(&xmap);
+    assert_eq!(response.body, encode_plan(&offline, xmap.num_patterns()));
+}
+
+#[test]
+fn bad_inputs_map_to_http_errors() {
+    let server = TestServer::start("errors", 1);
+
+    // Empty body.
+    let r = client::post(server.addr, "/v1/plan", "text/plain", b"").unwrap();
+    assert_eq!(r.status, 400);
+
+    // Garbage text.
+    let r = client::post(server.addr, "/v1/plan", "text/plain", b"not an xmap").unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.body_text().contains("bad xmap text"));
+
+    // Wire garbage behind a valid magic.
+    let r = client::post(
+        server.addr,
+        "/v1/plan",
+        "application/octet-stream",
+        b"XHCW\xFF\xFF\x00\x00",
+    )
+    .unwrap();
+    assert_eq!(r.status, 400);
+
+    // Bad (m, q): lint gate denies q >= m with rendered diagnostics.
+    let spec = test_spec();
+    let body = encode_xmap(&spec.generate());
+    let r = client::post(
+        server.addr,
+        "/v1/plan?m=8&q=8",
+        "application/octet-stream",
+        &body,
+    )
+    .unwrap();
+    assert_eq!(r.status, 422);
+    assert!(
+        r.body_text().contains("XL0305"),
+        "expected the (m, q) design rule in: {}",
+        r.body_text()
+    );
+
+    // Bad query parameter.
+    let r = client::post(
+        server.addr,
+        "/v1/plan?m=zebra",
+        "application/octet-stream",
+        &body,
+    )
+    .unwrap();
+    assert_eq!(r.status, 400);
+
+    // Unknown plan hash.
+    let r = client::get(server.addr, "/v1/plan/0000000000000000").unwrap();
+    assert_eq!(r.status, 404);
+
+    // Malformed plan hash.
+    let r = client::get(server.addr, "/v1/plan/zzz").unwrap();
+    assert_eq!(r.status, 400);
+
+    // Unknown route and wrong method.
+    assert_eq!(client::get(server.addr, "/nope").unwrap().status, 404);
+    assert_eq!(client::get(server.addr, "/v1/plan").unwrap().status, 405);
+
+    // Health check still fine after all that.
+    let r = client::get(server.addr, "/healthz").unwrap();
+    assert_eq!(r.status, 200);
+    assert_eq!(r.body_text(), "ok\n");
+}
+
+#[test]
+fn async_jobs_complete_and_report_their_hash() {
+    let spec = test_spec();
+    let xmap = spec.generate();
+    let server = TestServer::start("async", 2);
+    let body = encode_xmap(&xmap);
+
+    let accepted = client::post(
+        server.addr,
+        "/v1/plan?mode=async",
+        "application/octet-stream",
+        &body,
+    )
+    .unwrap();
+    assert_eq!(accepted.status, 202, "{}", accepted.body_text());
+    let job_id = accepted
+        .header("x-xhc-job")
+        .expect("job id header")
+        .to_string();
+    let plan_hash = accepted
+        .header("x-xhc-plan-hash")
+        .expect("plan hash header")
+        .to_string();
+
+    // Poll until done (bounded).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let final_status = loop {
+        let status = client::get(server.addr, &format!("/v1/jobs/{job_id}")).unwrap();
+        assert_eq!(status.status, 200);
+        let text = status.body_text();
+        if text.contains("\"done\"") || text.contains("\"failed\"") {
+            break text;
+        }
+        assert!(Instant::now() < deadline, "job never finished: {text}");
+        thread::sleep(Duration::from_millis(20));
+    };
+    assert!(final_status.contains("\"done\""), "{final_status}");
+    assert!(final_status.contains(&plan_hash), "{final_status}");
+
+    // The finished plan is fetchable and matches the offline engine.
+    let fetched = client::get(server.addr, &format!("/v1/plan/{plan_hash}")).unwrap();
+    assert_eq!(fetched.status, 200);
+    let offline = PartitionEngine::new(XCancelConfig::new(32, 7)).run(&xmap);
+    assert_eq!(fetched.body, encode_plan(&offline, xmap.num_patterns()));
+
+    // Unknown job id 404s.
+    let missing = client::get(server.addr, "/v1/jobs/999999").unwrap();
+    assert_eq!(missing.status, 404);
+}
+
+#[test]
+fn distinct_params_get_distinct_cache_entries() {
+    let spec = test_spec();
+    let xmap = spec.generate();
+    let server = TestServer::start("params", 1);
+    let body = encode_xmap(&xmap);
+
+    let a = client::post(
+        server.addr,
+        "/v1/plan?m=32&q=7",
+        "application/octet-stream",
+        &body,
+    )
+    .unwrap();
+    let b = client::post(
+        server.addr,
+        "/v1/plan?m=16&q=3",
+        "application/octet-stream",
+        &body,
+    )
+    .unwrap();
+    let c = client::post(
+        server.addr,
+        "/v1/plan?m=32&q=7&strategy=best-cost",
+        "application/octet-stream",
+        &body,
+    )
+    .unwrap();
+    assert_eq!(a.status, 200);
+    assert_eq!(b.status, 200);
+    assert_eq!(c.status, 200);
+    for r in [&a, &b, &c] {
+        assert_eq!(r.header("x-xhc-cache"), Some("miss"));
+    }
+    assert_ne!(
+        a.header("x-xhc-plan-hash"),
+        b.header("x-xhc-plan-hash"),
+        "(m, q) must be part of the cache key"
+    );
+    assert_ne!(
+        a.header("x-xhc-plan-hash"),
+        c.header("x-xhc-plan-hash"),
+        "the strategy must be part of the cache key"
+    );
+    assert_eq!(server.metric("xhc_cache_misses_total"), 3);
+}

@@ -1,0 +1,130 @@
+//! Fuzz-shaped robustness tests: every decoder is fed truncated and
+//! bit-flipped buffers in a seeded loop and must return a typed
+//! [`WireError`] — never panic, never hang, never allocate absurdly.
+
+use xhc_core::PartitionEngine;
+use xhc_misr::XCancelConfig;
+use xhc_prng::XhcRng;
+use xhc_scan::{CellId, ScanConfig, XMapBuilder};
+use xhc_wire::{
+    decode_plan, decode_scan_config, decode_session_summary, decode_workload_spec, decode_xmap,
+    encode_plan, encode_scan_config, encode_session_summary, encode_workload_spec, encode_xmap,
+    peek_kind, CancelBlockSummary, CancelSummary,
+};
+use xhc_workload::WorkloadSpec;
+
+/// A decoder under test, type-erased to `bytes -> ok?`.
+type Decoder = (&'static str, fn(&[u8]) -> bool);
+
+/// Every decoder under test.
+fn decoders() -> Vec<Decoder> {
+    vec![
+        ("scan_config", |b| decode_scan_config(b).is_ok()),
+        ("xmap", |b| decode_xmap(b).is_ok()),
+        ("workload_spec", |b| decode_workload_spec(b).is_ok()),
+        ("plan", |b| decode_plan(b).is_ok()),
+        ("session_summary", |b| decode_session_summary(b).is_ok()),
+        ("peek_kind", |b| peek_kind(b).is_ok()),
+    ]
+}
+
+/// One valid buffer of every artifact kind, as mutation seeds.
+fn seed_buffers() -> Vec<Vec<u8>> {
+    let config = ScanConfig::new(vec![3, 1, 4]);
+    let mut b = XMapBuilder::new(config.clone(), 12);
+    b.add_x(CellId::new(0, 0), 0);
+    b.add_x(CellId::new(0, 0), 7);
+    b.add_x(CellId::new(2, 3), 11);
+    let xmap = b.finish();
+    let outcome = PartitionEngine::new(XCancelConfig::new(8, 2)).run(&xmap);
+    let summary = CancelSummary {
+        halts: 2,
+        total_control_bits: 48,
+        total_x: 3,
+        blocks: vec![CancelBlockSummary {
+            patterns: (0, 12),
+            num_x: 3,
+            control_bits: 48,
+            combinations: 1,
+        }],
+    };
+    vec![
+        encode_scan_config(&config),
+        encode_xmap(&xmap),
+        encode_workload_spec(&WorkloadSpec::default()),
+        encode_plan(&outcome, xmap.num_patterns()),
+        encode_session_summary(&summary),
+    ]
+}
+
+#[test]
+fn truncations_never_panic() {
+    for seed in seed_buffers() {
+        for cut in 0..seed.len() {
+            for (name, decode) in decoders() {
+                // Either a clean decode (only at full length for the
+                // matching kind) or a typed error — the call returning at
+                // all is the property under test.
+                let _ok = decode(&seed[..cut]);
+                let _ = name;
+            }
+        }
+    }
+}
+
+#[test]
+fn bit_flips_never_panic() {
+    let mut rng = XhcRng::seed_from_u64(0xF1AB_0001);
+    let seeds = seed_buffers();
+    for round in 0..400 {
+        let seed = &seeds[round % seeds.len()];
+        let mut buf = seed.clone();
+        // Flip 1..=8 random bits.
+        let flips = 1 + rng.gen_index(8);
+        for _ in 0..flips {
+            let byte = rng.gen_index(buf.len());
+            let bit = rng.gen_index(8);
+            buf[byte] ^= 1 << bit;
+        }
+        for (_, decode) in decoders() {
+            let _ = decode(&buf);
+        }
+    }
+}
+
+#[test]
+fn random_garbage_never_panics() {
+    let mut rng = XhcRng::seed_from_u64(0xF1AB_0002);
+    for _ in 0..200 {
+        let len = rng.gen_index(256);
+        let mut buf = vec![0u8; len];
+        for byte in &mut buf {
+            *byte = (rng.next_u64() & 0xFF) as u8;
+        }
+        // Half the time, plant a valid header so parsing reaches the
+        // section table and payload logic.
+        if rng.gen_bool(0.5) && buf.len() >= 8 {
+            buf[..4].copy_from_slice(b"XHCW");
+            buf[4..6].copy_from_slice(&1u16.to_le_bytes());
+            let kind = 1 + (rng.gen_index(5) as u16);
+            buf[6..8].copy_from_slice(&kind.to_le_bytes());
+        }
+        for (_, decode) in decoders() {
+            let _ = decode(&buf);
+        }
+    }
+}
+
+#[test]
+fn truncated_buffers_always_fail() {
+    // Sharper than "no panic": a strict prefix of a valid buffer must
+    // never decode successfully (the length accounting has no slack).
+    let config = ScanConfig::new(vec![3, 1, 4]);
+    let bytes = encode_scan_config(&config);
+    for cut in 0..bytes.len() {
+        assert!(
+            decode_scan_config(&bytes[..cut]).is_err(),
+            "prefix of length {cut} decoded"
+        );
+    }
+}

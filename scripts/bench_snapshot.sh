@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Captures a machine-readable perf snapshot of the two kernel benches.
+# Captures a machine-readable perf snapshot of the kernel benches and
+# the planning-daemon latency bench.
 #
 # Usage: scripts/bench_snapshot.sh [output-dir]
 #
-# Writes BENCH_partition.json and BENCH_gauss.json (min/median/mean ns
-# per case) to the output dir (default: repo root). Set BENCH_BUDGET_MS
-# to change the per-case budget (default 300; CI smoke uses 20).
+# Writes BENCH_partition.json, BENCH_gauss.json, and BENCH_serve.json
+# (min/median/p95/mean ns per case) to the output dir (default: repo
+# root). Set BENCH_BUDGET_MS to change the per-case budget (default
+# 300; CI smoke uses 20).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 out="${1:-.}"
@@ -21,5 +23,7 @@ cargo bench -q -p xhc-bench --bench partition_engine -- \
   --budget-ms "$budget" --json "$out/BENCH_partition.json"
 cargo bench -q -p xhc-bench --bench gauss_elimination -- \
   --budget-ms "$budget" --json "$out/BENCH_gauss.json"
+cargo bench -q -p xhc-bench --bench serve_latency -- \
+  --budget-ms "$budget" --json "$out/BENCH_serve.json"
 
-echo "snapshots written to $out/BENCH_partition.json and $out/BENCH_gauss.json"
+echo "snapshots written to $out/BENCH_{partition,gauss,serve}.json"

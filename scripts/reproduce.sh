@@ -32,3 +32,8 @@ for bin in "${bins[@]}"; do
 done
 
 echo "reports written to $out/"
+echo
+echo "For perf snapshots (incl. daemon plan latency) run:"
+echo "  scripts/bench_snapshot.sh"
+echo "For an end-to-end daemon smoke test run:"
+echo "  scripts/serve_smoke.sh"

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the planning daemon: start `xhybrid serve` on
+# a loopback socket, submit the demo workload twice through `xhybrid
+# fetch`, assert the second submission is a cache hit, and scrape
+# /metrics to confirm the daemon counted exactly one miss.
+#
+# Usage: scripts/serve_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/xhc-serve-smoke.XXXXXX")"
+daemon_pid=""
+cleanup() {
+  [[ -n "$daemon_pid" ]] && kill "$daemon_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+cargo build -q --release --bin xhybrid
+xhybrid=target/release/xhybrid
+
+"$xhybrid" gen --profile demo --out "$work/demo.xmap"
+
+"$xhybrid" serve --addr 127.0.0.1:0 --store "$work/store" > "$work/serve.log" &
+daemon_pid=$!
+# The daemon prints `listening on ADDR` once bound.
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/^listening on //p' "$work/serve.log")"
+  [[ -n "$addr" ]] && break
+  sleep 0.1
+done
+[[ -n "${addr:-}" ]] || { echo "daemon never bound"; cat "$work/serve.log"; exit 1; }
+echo "daemon up on $addr"
+
+"$xhybrid" fetch --addr "$addr" "$work/demo.xmap" --m 16 --q 3 | tee "$work/first.txt"
+grep -q 'cache            : miss' "$work/first.txt"
+
+"$xhybrid" fetch --addr "$addr" "$work/demo.xmap" --m 16 --q 3 | tee "$work/second.txt"
+grep -q 'cache            : hit' "$work/second.txt"
+
+# Both submissions must agree on the content hash.
+hash1="$(sed -n 's/^plan hash.*: //p' "$work/first.txt")"
+hash2="$(sed -n 's/^plan hash.*: //p' "$work/second.txt")"
+[[ -n "$hash1" && "$hash1" == "$hash2" ]] || { echo "hash mismatch: '$hash1' vs '$hash2'"; exit 1; }
+
+# The daemon's own counters tell the same story: one miss, one hit.
+metrics="$(exec 3<>"/dev/tcp/${addr%:*}/${addr##*:}"; \
+  printf 'GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n' >&3; cat <&3)"
+echo "$metrics" | grep -q '^xhc_cache_misses_total 1$' || { echo "bad miss count"; echo "$metrics"; exit 1; }
+echo "$metrics" | grep -q '^xhc_cache_hits_total 1$' || { echo "bad hit count"; echo "$metrics"; exit 1; }
+
+echo "serve smoke OK: one miss, one hit, stable hash $hash1"

@@ -5,19 +5,28 @@
 //! xhybrid analyze FILE
 //! xhybrid partition FILE [--m 32] [--q 7] [--strategy largest|best-cost]
 //! xhybrid schedule FILE [--m 32] [--q 7] [--channels 32]
+//! xhybrid serve [--addr 127.0.0.1:7878] [--store DIR] [--threads N]
+//! xhybrid fetch --addr HOST:PORT (FILE | --hash HASH) [--out FILE]
 //! ```
 //!
-//! Files use the `xmap v1` text format (see `xhybrid::scan::write_xmap`).
+//! Files use the `xmap v1` text format (see `xhybrid::scan::write_xmap`)
+//! or the binary wire format (see `xhybrid::wire`). Exit codes follow the
+//! `xhc-lint` convention: `0` success, `1` runtime failure, `2` usage
+//! error. Every subcommand answers `--help`.
 
 use std::fs::File;
+use std::io::Write as _;
+use std::path::Path;
 use std::process::ExitCode;
 
 use xhybrid::core::{
     inter_correlation_stats, intra_correlation_stats, schedule_hybrid, PartitionEngine,
-    ScheduleOptions, SplitStrategy,
+    ScheduleOptions,
 };
 use xhybrid::misr::XCancelConfig;
 use xhybrid::scan::{read_xmap, write_xmap, AteConfig, XMap};
+use xhybrid::serve::{client, parse_strategy, Server, ServerConfig};
+use xhybrid::wire::{decode_plan, parse_hash_hex, peek_kind};
 use xhybrid::workload::WorkloadSpec;
 
 fn usage() -> &'static str {
@@ -25,8 +34,99 @@ fn usage() -> &'static str {
   xhybrid gen --profile <ckt-a|ckt-b|ckt-c|demo> [--scale N] [--seed S] --out FILE
   xhybrid analyze FILE
   xhybrid partition FILE [--m 32] [--q 7] [--strategy largest|best-cost]
-  xhybrid schedule FILE [--m 32] [--q 7] [--channels 32]"
+  xhybrid schedule FILE [--m 32] [--q 7] [--channels 32]
+  xhybrid serve [--addr 127.0.0.1:7878] [--store DIR] [--threads N] [--workers N]
+  xhybrid fetch --addr HOST:PORT (FILE | --hash HASH) [--m 32] [--q 7]
+                [--strategy largest|best-cost] [--out FILE]
+
+run `xhybrid <command> --help` for per-command details"
 }
+
+fn command_help(cmd: &str) -> Option<&'static str> {
+    match cmd {
+        "gen" => Some(
+            "xhybrid gen --profile <ckt-a|ckt-b|ckt-c|demo> [--scale N] [--seed S] --out FILE
+
+Generates a synthetic X map in the `xmap v1` text format.
+
+  --profile  workload preset (paper circuits or the small demo)
+  --scale    divide cells/chains/patterns by N (default 1)
+  --seed     override the preset's PRNG seed
+  --out      output file (required)",
+        ),
+        "analyze" => Some(
+            "xhybrid analyze FILE
+
+Prints density and correlation statistics for an X map.",
+        ),
+        "partition" => Some(
+            "xhybrid partition FILE [--m 32] [--q 7] [--strategy largest|best-cost]
+
+Runs the pattern-partitioning engine on an X map and reports the
+hybrid control-bit cost against the masking-only and canceling-only
+baselines.
+
+  --m         MISR length (default 32)
+  --q         X-cancel quotient, 0 < q < m (default 7)
+  --strategy  partition split heuristic (default largest)",
+        ),
+        "schedule" => Some(
+            "xhybrid schedule FILE [--m 32] [--q 7] [--channels 32]
+
+Schedules the hybrid plan on an ATE model and reports cycle counts.
+
+  --m         MISR length (default 32)
+  --q         X-cancel quotient (default 7)
+  --channels  ATE channel count (default 32)",
+        ),
+        "serve" => Some(
+            "xhybrid serve [--addr 127.0.0.1:7878] [--store DIR] [--threads N] [--workers N]
+
+Runs the planning daemon. POST an X map (text or wire format) to
+/v1/plan and receive the wire-encoded partition plan; plans are cached
+on disk keyed by content hash. See README `Running as a service`.
+
+  --addr     listen address (port 0 picks a free port; the bound
+             address is printed on startup)
+  --store    plan cache directory (default plan-store)
+  --threads  engine threads per plan, 0 = auto (default 0)
+  --workers  HTTP worker threads (default 4)",
+        ),
+        "fetch" => Some(
+            "xhybrid fetch --addr HOST:PORT (FILE | --hash HASH) [--m 32] [--q 7]
+              [--strategy largest|best-cost] [--out FILE]
+
+Client for a running `xhybrid serve`. With FILE, submits the X map
+(text or wire format) to /v1/plan and prints the plan summary; with
+--hash, fetches an already-cached plan by content address.
+
+  --addr      daemon address (required)
+  --hash      16-hex plan hash from a previous submission
+  --m, --q    cancel parameters sent with FILE (defaults 32, 7)
+  --strategy  split heuristic sent with FILE (default largest)
+  --out       also write the wire-encoded plan to FILE",
+        ),
+        _ => None,
+    }
+}
+
+/// A CLI failure: usage errors exit 2, runtime failures exit 1 (matching
+/// the `xhc-lint` binary convention).
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> CliError {
+        CliError::Usage(msg.into())
+    }
+    fn runtime(msg: impl Into<String>) -> CliError {
+        CliError::Runtime(msg.into())
+    }
+}
+
+type CmdResult = Result<(), CliError>;
 
 /// Minimal flag parser: `--name value` pairs plus positional arguments.
 struct Args {
@@ -71,40 +171,46 @@ impl Args {
     }
 }
 
-fn load(path: &str) -> Result<XMap, String> {
-    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    read_xmap(file).map_err(|e| format!("cannot parse {path}: {e}"))
+fn load(path: &str) -> Result<XMap, CliError> {
+    let file =
+        File::open(path).map_err(|e| CliError::runtime(format!("cannot open {path}: {e}")))?;
+    read_xmap(file).map_err(|e| CliError::runtime(format!("cannot parse {path}: {e}")))
 }
 
-fn cancel_config(args: &Args) -> Result<XCancelConfig, String> {
-    let m: usize = args.flag_parse("m", 32)?;
-    let q: usize = args.flag_parse("q", 7)?;
+fn cancel_config(args: &Args) -> Result<XCancelConfig, CliError> {
+    let m: usize = args.flag_parse("m", 32).map_err(CliError::Usage)?;
+    let q: usize = args.flag_parse("q", 7).map_err(CliError::Usage)?;
     if q == 0 || q >= m {
-        return Err(format!("need 0 < q < m, got m={m} q={q}"));
+        return Err(CliError::usage(format!("need 0 < q < m, got m={m} q={q}")));
     }
     Ok(XCancelConfig::new(m, q))
 }
 
-fn cmd_gen(args: &Args) -> Result<(), String> {
+fn cmd_gen(args: &Args) -> CmdResult {
     let profile = args.flag("profile").unwrap_or("demo");
     let mut spec = match profile {
         "ckt-a" => WorkloadSpec::ckt_a(),
         "ckt-b" => WorkloadSpec::ckt_b(),
         "ckt-c" => WorkloadSpec::ckt_c(),
         "demo" => WorkloadSpec::default(),
-        other => return Err(format!("unknown profile `{other}`")),
+        other => return Err(CliError::usage(format!("unknown profile `{other}`"))),
     };
-    let scale: usize = args.flag_parse("scale", 1)?;
+    let scale: usize = args.flag_parse("scale", 1).map_err(CliError::Usage)?;
     if scale > 1 {
         spec.total_cells = (spec.total_cells / scale).max(spec.num_chains.max(4));
         spec.num_chains = (spec.num_chains / scale).max(4);
         spec.num_patterns = (spec.num_patterns / scale).max(20);
     }
-    spec.seed = args.flag_parse("seed", spec.seed)?;
-    let out = args.flag("out").ok_or("gen needs --out FILE")?;
+    spec.seed = args
+        .flag_parse("seed", spec.seed)
+        .map_err(CliError::Usage)?;
+    let out = args
+        .flag("out")
+        .ok_or_else(|| CliError::usage("gen needs --out FILE"))?;
     let xmap = spec.generate();
-    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
-    write_xmap(file, &xmap).map_err(|e| format!("cannot write {out}: {e}"))?;
+    let file =
+        File::create(out).map_err(|e| CliError::runtime(format!("cannot create {out}: {e}")))?;
+    write_xmap(file, &xmap).map_err(|e| CliError::runtime(format!("cannot write {out}: {e}")))?;
     eprintln!(
         "wrote {out}: {} cells / {} chains / {} patterns, {} X's ({:.3}%)",
         xmap.config().total_cells(),
@@ -116,8 +222,11 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_analyze(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("analyze needs a FILE")?;
+fn cmd_analyze(args: &Args) -> CmdResult {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("analyze needs a FILE"))?;
     let xmap = load(path)?;
     let inter = inter_correlation_stats(&xmap);
     let intra = intra_correlation_stats(&xmap);
@@ -154,15 +263,19 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_partition(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("partition needs a FILE")?;
-    let xmap = load(path)?;
+fn split_strategy(args: &Args) -> Result<xhybrid::core::SplitStrategy, CliError> {
+    let raw = args.flag("strategy").unwrap_or("largest");
+    parse_strategy(raw).ok_or_else(|| CliError::usage(format!("unknown strategy `{raw}`")))
+}
+
+fn cmd_partition(args: &Args) -> CmdResult {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("partition needs a FILE"))?;
     let cancel = cancel_config(args)?;
-    let strategy = match args.flag("strategy").unwrap_or("largest") {
-        "largest" => SplitStrategy::LargestClass,
-        "best-cost" => SplitStrategy::BestCost,
-        other => return Err(format!("unknown strategy `{other}`")),
-    };
+    let strategy = split_strategy(args)?;
+    let xmap = load(path)?;
     let outcome = PartitionEngine::new(cancel)
         .with_strategy(strategy)
         .run(&xmap);
@@ -193,11 +306,14 @@ fn cmd_partition(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_schedule(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("schedule needs a FILE")?;
-    let xmap = load(path)?;
+fn cmd_schedule(args: &Args) -> CmdResult {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("schedule needs a FILE"))?;
     let cancel = cancel_config(args)?;
-    let channels: usize = args.flag_parse("channels", 32)?;
+    let channels: usize = args.flag_parse("channels", 32).map_err(CliError::Usage)?;
+    let xmap = load(path)?;
     let outcome = PartitionEngine::new(cancel).run(&xmap);
     let schedule = schedule_hybrid(
         xmap.config(),
@@ -222,31 +338,158 @@ fn cmd_schedule(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn run() -> Result<(), String> {
+fn cmd_serve(args: &Args) -> CmdResult {
+    let addr = args.flag("addr").unwrap_or("127.0.0.1:7878");
+    let store = args.flag("store").unwrap_or("plan-store");
+    let threads: usize = args.flag_parse("threads", 0).map_err(CliError::Usage)?;
+    let workers: usize = args.flag_parse("workers", 4).map_err(CliError::Usage)?;
+    let config = ServerConfig::new(Path::new(store))
+        .with_threads(threads)
+        .with_workers(workers);
+    let server = Server::bind(addr, config)
+        .map_err(|e| CliError::runtime(format!("cannot bind {addr}: {e}")))?;
+    println!("listening on {}", server.local_addr());
+    std::io::stdout()
+        .flush()
+        .map_err(|e| CliError::runtime(e.to_string()))?;
+    server
+        .run()
+        .map_err(|e| CliError::runtime(format!("server failed: {e}")))
+}
+
+fn cmd_fetch(args: &Args) -> CmdResult {
+    let addr = args
+        .flag("addr")
+        .ok_or_else(|| CliError::usage("fetch needs --addr HOST:PORT"))?;
+    let response = if let Some(hex) = args.flag("hash") {
+        if parse_hash_hex(hex).is_none() {
+            return Err(CliError::usage(format!(
+                "`{hex}` is not a 16-hex plan hash"
+            )));
+        }
+        client::get(addr, &format!("/v1/plan/{hex}"))
+            .map_err(|e| CliError::runtime(format!("cannot reach {addr}: {e}")))?
+    } else {
+        let path = args
+            .positional
+            .first()
+            .ok_or_else(|| CliError::usage("fetch needs a FILE or --hash HASH"))?;
+        let body = std::fs::read(path)
+            .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+        let m: usize = args.flag_parse("m", 32).map_err(CliError::Usage)?;
+        let q: usize = args.flag_parse("q", 7).map_err(CliError::Usage)?;
+        let strategy = args.flag("strategy").unwrap_or("largest");
+        if parse_strategy(strategy).is_none() {
+            return Err(CliError::usage(format!("unknown strategy `{strategy}`")));
+        }
+        let content_type = if peek_kind(&body).is_ok() {
+            "application/octet-stream"
+        } else {
+            "text/plain"
+        };
+        client::post(
+            addr,
+            &format!("/v1/plan?m={m}&q={q}&strategy={strategy}"),
+            content_type,
+            &body,
+        )
+        .map_err(|e| CliError::runtime(format!("cannot reach {addr}: {e}")))?
+    };
+
+    if response.status != 200 {
+        return Err(CliError::runtime(format!(
+            "daemon answered {}: {}",
+            response.status,
+            response.body_text().trim_end()
+        )));
+    }
+    let (outcome, num_patterns) = decode_plan(&response.body)
+        .map_err(|e| CliError::runtime(format!("daemon sent an undecodable plan: {e}")))?;
+    if let Some(hash) = response.header("x-xhc-plan-hash") {
+        println!("plan hash        : {hash}");
+    }
+    if let Some(cache) = response.header("x-xhc-cache") {
+        println!("cache            : {cache}");
+    }
+    println!(
+        "partitions       : {} over {} patterns (after {} rounds)",
+        outcome.partitions.len(),
+        num_patterns,
+        outcome.rounds.len()
+    );
+    println!(
+        "control bits     : mask {} + cancel {:.1}",
+        outcome.cost.masking_bits, outcome.cost.canceling_bits
+    );
+    println!(
+        "X's              : {} masked + {} leaked",
+        outcome.cost.masked_x, outcome.cost.leaked_x
+    );
+    if let Some(out) = args.flag("out") {
+        std::fs::write(out, &response.body)
+            .map_err(|e| CliError::runtime(format!("cannot write {out}: {e}")))?;
+        let key = response.header("x-xhc-plan-hash").unwrap_or("").to_string();
+        eprintln!(
+            "wrote {out}: {} bytes{}",
+            response.body.len(),
+            if key.is_empty() {
+                String::new()
+            } else {
+                format!(" ({key})")
+            }
+        );
+    }
+    Ok(())
+}
+
+fn run() -> CmdResult {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
-        return Err(usage().to_string());
+        return Err(CliError::usage(usage()));
     };
-    let args = Args::parse(rest)?;
+    if matches!(cmd.as_str(), "help" | "--help" | "-h") {
+        println!("{}", usage());
+        return Ok(());
+    }
+    if rest.iter().any(|a| a == "--help" || a == "-h") {
+        match command_help(cmd) {
+            Some(help) => {
+                println!("{help}");
+                return Ok(());
+            }
+            None => {
+                return Err(CliError::usage(format!(
+                    "unknown command `{cmd}`\n{}",
+                    usage()
+                )))
+            }
+        }
+    }
+    let args = Args::parse(rest).map_err(CliError::Usage)?;
     match cmd.as_str() {
         "gen" => cmd_gen(&args),
         "analyze" => cmd_analyze(&args),
         "partition" => cmd_partition(&args),
         "schedule" => cmd_schedule(&args),
-        "help" | "--help" | "-h" => {
-            println!("{}", usage());
-            Ok(())
-        }
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+        "serve" => cmd_serve(&args),
+        "fetch" => cmd_fetch(&args),
+        other => Err(CliError::usage(format!(
+            "unknown command `{other}`\n{}",
+            usage()
+        ))),
     }
 }
 
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Runtime(msg)) => {
             eprintln!("{msg}");
             ExitCode::FAILURE
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
         }
     }
 }
@@ -281,6 +524,14 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         let args = Args::parse(&argv).unwrap();
-        assert!(cancel_config(&args).is_err());
+        assert!(matches!(cancel_config(&args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn every_command_has_help() {
+        for cmd in ["gen", "analyze", "partition", "schedule", "serve", "fetch"] {
+            assert!(command_help(cmd).is_some(), "{cmd} lacks help text");
+        }
+        assert!(command_help("bogus").is_none());
     }
 }

@@ -21,6 +21,8 @@
 //! | [`core`] | `xhc-core` | **the paper's contribution**: correlation analysis, pattern partitioning, hybrid cost model, baselines |
 //! | [`workload`] | `xhc-workload` | synthetic CKT-A/B/C industrial X profiles |
 //! | [`par`] | `xhc-par` | scoped-thread work pool (deterministic `par_map`/`par_chunks`) |
+//! | [`wire`] | `xhc-wire` | versioned binary wire format + content addressing for artifacts |
+//! | [`serve`] | `xhc-serve` | HTTP planning daemon with a content-addressed plan cache |
 //!
 //! # Quickstart
 //!
@@ -63,4 +65,6 @@ pub use xhc_logic as logic;
 pub use xhc_misr as misr;
 pub use xhc_par as par;
 pub use xhc_scan as scan;
+pub use xhc_serve as serve;
+pub use xhc_wire as wire;
 pub use xhc_workload as workload;

@@ -1,0 +1,222 @@
+//! Integration tests that shell out to the `xhybrid` binary: exit-code
+//! conventions (0 success, 1 runtime failure, 2 usage error),
+//! per-subcommand `--help`, and the serve/fetch loop over a real socket.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+fn xhybrid() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_xhybrid"))
+}
+
+fn run(args: &[&str]) -> (i32, String, String) {
+    let output = xhybrid().args(args).output().expect("spawn xhybrid");
+    (
+        output.status.code().expect("exit code"),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("xhc-cli-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn no_args_is_a_usage_error() {
+    let (code, _, err) = run(&[]);
+    assert_eq!(code, 2);
+    assert!(err.contains("usage:"));
+}
+
+#[test]
+fn unknown_command_is_a_usage_error() {
+    let (code, _, err) = run(&["frobnicate"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn top_level_help_exits_zero() {
+    let (code, out, _) = run(&["--help"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("usage:"));
+    assert!(out.contains("serve"));
+    assert!(out.contains("fetch"));
+}
+
+#[test]
+fn every_subcommand_answers_help() {
+    for cmd in ["gen", "analyze", "partition", "schedule", "serve", "fetch"] {
+        let (code, out, _) = run(&[cmd, "--help"]);
+        assert_eq!(code, 0, "{cmd} --help should exit 0");
+        assert!(out.contains(cmd), "{cmd} help should mention itself");
+    }
+}
+
+#[test]
+fn missing_flag_value_is_a_usage_error() {
+    let (code, _, err) = run(&["partition", "file.xmap", "--m"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("needs a value"));
+}
+
+#[test]
+fn bad_cancel_params_are_a_usage_error() {
+    let (code, _, err) = run(&["partition", "file.xmap", "--m", "8", "--q", "8"]);
+    assert_eq!(code, 2, "{err}");
+    assert!(err.contains("0 < q < m"));
+}
+
+#[test]
+fn missing_file_is_a_runtime_error() {
+    let (code, _, err) = run(&["analyze", "/nonexistent/path.xmap"]);
+    assert_eq!(code, 1);
+    assert!(err.contains("cannot open"));
+}
+
+#[test]
+fn gen_partition_pipeline_succeeds() {
+    let xmap_path = temp_path("pipeline.xmap");
+    let (code, _, err) = run(&[
+        "gen",
+        "--profile",
+        "demo",
+        "--out",
+        xmap_path.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{err}");
+
+    let (code, out, err) = run(&["partition", xmap_path.to_str().unwrap()]);
+    assert_eq!(code, 0, "{err}");
+    assert!(out.contains("partitions"));
+    assert!(out.contains("control bits"));
+    let _ = std::fs::remove_file(&xmap_path);
+}
+
+#[test]
+fn fetch_without_addr_is_a_usage_error() {
+    let (code, _, err) = run(&["fetch", "some.xmap"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("--addr"));
+}
+
+#[test]
+fn fetch_against_a_dead_daemon_is_a_runtime_error() {
+    let hash = "0000000000000000";
+    // Port 1 on loopback is essentially never listening.
+    let (code, _, err) = run(&["fetch", "--addr", "127.0.0.1:1", "--hash", hash]);
+    assert_eq!(code, 1);
+    assert!(err.contains("cannot reach"));
+}
+
+/// Kills the daemon child on drop so failed asserts don't leak processes.
+struct DaemonGuard(Child);
+
+impl Drop for DaemonGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn serve_and_fetch_roundtrip_over_a_socket() {
+    let store = temp_path("cli-store");
+    let xmap_path = temp_path("served.xmap");
+    let (code, _, err) = run(&[
+        "gen",
+        "--profile",
+        "demo",
+        "--out",
+        xmap_path.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{err}");
+
+    let child = xhybrid()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--store",
+            store.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn daemon");
+    let mut guard = DaemonGuard(child);
+
+    // The daemon prints `listening on ADDR` once bound.
+    let stdout = guard.0.stdout.take().expect("daemon stdout");
+    let mut first_line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut first_line)
+        .expect("read bind line");
+    let addr = first_line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected bind line: {first_line}"))
+        .to_string();
+
+    // First fetch submits and plans (cache miss)...
+    let (code, out, err) = run(&[
+        "fetch",
+        "--addr",
+        &addr,
+        xmap_path.to_str().unwrap(),
+        "--m",
+        "16",
+        "--q",
+        "3",
+    ]);
+    assert_eq!(code, 0, "{err}");
+    assert!(out.contains("cache            : miss"), "{out}");
+    assert!(out.contains("partitions"), "{out}");
+    let hash_line = out
+        .lines()
+        .find(|l| l.starts_with("plan hash"))
+        .expect("hash line");
+    let hash = hash_line.rsplit(' ').next().unwrap().to_string();
+
+    // ...the second is a cache hit with the same plan hash.
+    let (code, out, _) = run(&[
+        "fetch",
+        "--addr",
+        &addr,
+        xmap_path.to_str().unwrap(),
+        "--m",
+        "16",
+        "--q",
+        "3",
+    ]);
+    assert_eq!(code, 0);
+    assert!(out.contains("cache            : hit"), "{out}");
+    assert!(out.contains(&hash), "{out}");
+
+    // Content-addressed retrieval works and can write the wire plan out.
+    let plan_path = temp_path("fetched.plan");
+    let (code, out, err) = run(&[
+        "fetch",
+        "--addr",
+        &addr,
+        "--hash",
+        &hash,
+        "--out",
+        plan_path.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{err}");
+    assert!(out.contains(&hash));
+    let plan_bytes = std::fs::read(&plan_path).expect("plan file written");
+    assert!(plan_bytes.starts_with(b"XHCW"));
+
+    // A bogus hash is a runtime failure (404 from the daemon).
+    let (code, _, err) = run(&["fetch", "--addr", &addr, "--hash", "00000000000000ff"]);
+    assert_eq!(code, 1);
+    assert!(err.contains("404"), "{err}");
+
+    let _ = std::fs::remove_file(&xmap_path);
+    let _ = std::fs::remove_file(&plan_path);
+    let _ = std::fs::remove_dir_all(&store);
+}
