@@ -1,0 +1,260 @@
+//! A packed, read-only bit matrix for word-sweep superset counting.
+//!
+//! The partition engine's cost-only candidate evaluator views the X map
+//! as an incidence matrix — one row per X-capturing cell, one column per
+//! test pattern — and answers, for a candidate binary split `(A, B)` of a
+//! partition, *how many rows are supersets of `A`* and *how many are
+//! supersets of `B`*, using nothing but word-level `AND`/`ANDNOT` and
+//! early-exit compares. That pair of counts is exactly what the paper's
+//! cost function `L·C·#partitions + m·q·leakedX/(m−q)` needs (a child's
+//! masked X total is `#superset-rows × |child|`), so a split candidate
+//! can be priced without materialising any partition state.
+
+use crate::bitvec::BitVec;
+
+const WORD_BITS: usize = 64;
+
+/// A dense rows × universe bit matrix packed into `u64` words, row-major.
+///
+/// Rows are immutable once built; the matrix is constructed once per
+/// engine run from the X map's columnar pattern sets and then shared
+/// read-only across worker threads.
+///
+/// # Examples
+///
+/// ```
+/// use xhc_bits::{BitVec, XBitMatrix};
+///
+/// let rows = [
+///     BitVec::from_indices(70, [0, 1, 65]),
+///     BitVec::from_indices(70, [0, 65]),
+///     BitVec::from_indices(70, [3]),
+/// ];
+/// let m = XBitMatrix::from_rows(70, rows.iter());
+/// assert_eq!(m.num_rows(), 3);
+/// assert_eq!(m.stride(), 2);
+///
+/// // Rows 0 and 1 are supersets of {0, 65}; row 2 is a superset of {3}.
+/// let a = BitVec::from_indices(70, [0, 65]);
+/// let b = BitVec::from_indices(70, [3]);
+/// let word_ids = [0u32, 1];
+/// let (na, nb) = m.count_supersets_pair(
+///     &[0, 1, 2],
+///     &word_ids,
+///     a.as_words(),
+///     b.as_words(),
+/// );
+/// assert_eq!((na, nb), (2, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct XBitMatrix {
+    words: Vec<u64>,
+    stride: usize,
+    rows: usize,
+    universe: usize,
+}
+
+impl XBitMatrix {
+    /// Packs an iterator of equal-length rows (each a [`BitVec`] over
+    /// `universe` bits) into a row-major matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from `universe`.
+    pub fn from_rows<'a, I>(universe: usize, rows: I) -> Self
+    where
+        I: IntoIterator<Item = &'a BitVec>,
+    {
+        let stride = universe.div_ceil(WORD_BITS);
+        let mut words = Vec::new();
+        let mut n = 0usize;
+        for row in rows {
+            assert_eq!(
+                row.len(),
+                universe,
+                "row length must match the matrix universe"
+            );
+            words.extend_from_slice(row.as_words());
+            n += 1;
+        }
+        XBitMatrix {
+            words,
+            stride,
+            rows: n,
+            universe,
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Bits per row.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Words per row. Scratch buffers passed to the sweep kernels must
+    /// hold at least this many words.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The backing words of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= num_rows()`.
+    pub fn row(&self, r: usize) -> &[u64] {
+        &self.words[r * self.stride..(r + 1) * self.stride]
+    }
+
+    /// Counts, over the listed rows, how many are supersets of `a` and
+    /// how many are supersets of `b` — the two children of a candidate
+    /// binary split.
+    ///
+    /// `word_ids` must list every word index at which `a` or `b` has a
+    /// set bit (indices may be a superset of that; each must be
+    /// `< stride()`). Words outside `word_ids` are never read, so `a`
+    /// and `b` may be scratch buffers holding garbage there — the
+    /// no-zeroing contract that makes per-candidate evaluation
+    /// allocation-free.
+    ///
+    /// The subset test per row is `a[w] & !row[w] == 0` over `word_ids`
+    /// with early exit once both tests have failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row id or word id is out of range (by slice indexing).
+    pub fn count_supersets_pair(
+        &self,
+        row_ids: &[u32],
+        word_ids: &[u32],
+        a: &[u64],
+        b: &[u64],
+    ) -> (usize, usize) {
+        let mut na = 0usize;
+        let mut nb = 0usize;
+        for &r in row_ids {
+            let row = self.row(r as usize);
+            let mut a_sub = true;
+            let mut b_sub = true;
+            for &w in word_ids {
+                let w = w as usize;
+                let not_row = !row[w];
+                a_sub &= a[w] & not_row == 0;
+                b_sub &= b[w] & not_row == 0;
+                if !(a_sub || b_sub) {
+                    break;
+                }
+            }
+            na += usize::from(a_sub);
+            nb += usize::from(b_sub);
+        }
+        (na, nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_supersets(rows: &[BitVec], x: &BitVec) -> usize {
+        rows.iter().filter(|r| x.is_subset_of(r)).count()
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = XBitMatrix::from_rows(10, std::iter::empty());
+        assert_eq!(m.num_rows(), 0);
+        assert_eq!(m.stride(), 1);
+        let a = BitVec::zeros(10);
+        let (na, nb) = m.count_supersets_pair(&[], &[0], a.as_words(), a.as_words());
+        assert_eq!((na, nb), (0, 0));
+    }
+
+    #[test]
+    fn row_roundtrip() {
+        let rows = [
+            BitVec::from_indices(130, [0, 64, 129]),
+            BitVec::from_indices(130, [63, 64, 65]),
+        ];
+        let m = XBitMatrix::from_rows(130, rows.iter());
+        assert_eq!(m.stride(), 3);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(m.row(i), r.as_words());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row length must match")]
+    fn mismatched_row_length_panics() {
+        let bad = BitVec::zeros(65);
+        XBitMatrix::from_rows(64, std::iter::once(&bad));
+    }
+
+    #[test]
+    fn superset_counts_match_naive_across_word_boundaries() {
+        // Universes straddling the word boundary, the kernel's edge zone.
+        for universe in [63usize, 64, 65, 127, 128, 129] {
+            let mut state = 0x9E3779B97F4A7C15u64 ^ universe as u64;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let rows: Vec<BitVec> = (0..40)
+                .map(|_| BitVec::from_indices(universe, (0..universe).filter(|_| next() % 3 == 0)))
+                .collect();
+            let m = XBitMatrix::from_rows(universe, rows.iter());
+            let word_ids: Vec<u32> = (0..m.stride() as u32).collect();
+            let row_ids: Vec<u32> = (0..rows.len() as u32).collect();
+            for trial in 0..8 {
+                let a = BitVec::from_indices(
+                    universe,
+                    (0..universe).filter(|_| next() % (3 + trial) == 0),
+                );
+                let mut b = a.clone();
+                b.negate();
+                let (na, nb) =
+                    m.count_supersets_pair(&row_ids, &word_ids, a.as_words(), b.as_words());
+                assert_eq!(na, naive_supersets(&rows, &a), "universe {universe}");
+                assert_eq!(nb, naive_supersets(&rows, &b), "universe {universe}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_garbage_outside_word_ids_is_ignored() {
+        // The no-zeroing contract: words not listed in word_ids may hold
+        // arbitrary garbage without affecting the counts.
+        let rows = [
+            BitVec::from_indices(192, [1, 70]),
+            BitVec::from_indices(192, [1]),
+        ];
+        let m = XBitMatrix::from_rows(192, rows.iter());
+        let mut a = vec![!0u64; 3];
+        let mut b = vec![!0u64; 3];
+        // Only word 0 carries real query bits: a = {1}, b = {}.
+        a[0] = 1 << 1;
+        b[0] = 0;
+        let (na, nb) = m.count_supersets_pair(&[0, 1], &[0], &a, &b);
+        assert_eq!((na, nb), (2, 2));
+    }
+
+    #[test]
+    fn restricted_row_ids_only_count_listed_rows() {
+        let rows = [
+            BitVec::from_indices(64, [5]),
+            BitVec::from_indices(64, [5]),
+            BitVec::from_indices(64, [5]),
+        ];
+        let m = XBitMatrix::from_rows(64, rows.iter());
+        let a = BitVec::from_indices(64, [5]);
+        let empty = BitVec::zeros(64);
+        let (na, nb) = m.count_supersets_pair(&[0, 2], &[0], a.as_words(), empty.as_words());
+        assert_eq!((na, nb), (2, 2));
+    }
+}

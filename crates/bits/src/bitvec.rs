@@ -93,6 +93,25 @@ impl BitVec {
         &self.words
     }
 
+    /// Number of backing words (`len.div_ceil(64)`).
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Iterator over the indices of nonzero backing words, ascending.
+    ///
+    /// A partition's word mask: the sweep kernels of
+    /// [`XBitMatrix`](crate::XBitMatrix) restrict their per-row subset
+    /// tests to these indices, since any subset of this vector is zero
+    /// everywhere else.
+    pub fn nonzero_word_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| w != 0)
+            .map(|(i, _)| i)
+    }
+
     /// Number of bits in the vector.
     pub fn len(&self) -> usize {
         self.len

@@ -10,6 +10,9 @@
 //!   test-pattern universe, the currency of the pattern-partitioning
 //!   algorithm;
 //! * [`BitMatrix`] — a dense GF(2) matrix with row XOR operations;
+//! * [`XBitMatrix`] — a packed cells × patterns incidence matrix with
+//!   word-sweep superset-counting kernels, the substrate of the partition
+//!   engine's cost-only split evaluator;
 //! * [`gauss`] — Gaussian elimination over GF(2) with combination tracking,
 //!   used by the X-canceling MISR to find X-free signature combinations
 //!   (the paper's Fig. 3).
@@ -52,12 +55,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bitmatrix;
 mod bitvec;
 mod matrix;
 mod pattern_set;
 
 pub mod gauss;
 
+pub use bitmatrix::XBitMatrix;
 pub use bitvec::BitVec;
 pub use matrix::BitMatrix;
 pub use pattern_set::PatternSet;

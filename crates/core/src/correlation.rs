@@ -204,6 +204,14 @@ impl CorrelationAnalysis {
         self.cells.len()
     }
 
+    /// XMap entry positions of the active cells, ascending. These double
+    /// as row ids into the matrix built by `XMap::to_bitmatrix`, which is
+    /// how the cost-only split evaluator restricts its word sweeps to the
+    /// cells that can possibly become fully-X in a child partition.
+    pub fn active_entries(&self) -> &[u32] {
+        &self.entries
+    }
+
     /// The restricted X count of a cell by linear index (0 if X-free).
     pub fn count_of(&self, cell_index: usize) -> usize {
         if cell_index > u32::MAX as usize {

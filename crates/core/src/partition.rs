@@ -2,7 +2,7 @@
 
 use crate::correlation::CorrelationAnalysis;
 use crate::cost::{hybrid_cost_with_masks, HybridCost};
-use xhc_bits::PatternSet;
+use xhc_bits::{PatternSet, XBitMatrix};
 use xhc_misr::{MaskWord, XCancelConfig};
 use xhc_prng::{SliceRandom, XhcRng};
 use xhc_scan::XMap;
@@ -125,6 +125,73 @@ impl PartitionInfo {
             Self::from_analysis(with_x, a_with),
             Self::from_analysis(without_x, a_without),
         )
+    }
+}
+
+/// Reusable per-worker word buffers for the cost-only split evaluator.
+///
+/// The superset-counting kernel only reads words at a partition's
+/// nonzero word indices, and the evaluator only writes those same
+/// indices, so the buffers are never zeroed between candidates — they
+/// just need capacity. One `SplitScratch` per worker lives in a pool
+/// owned by [`PartitionEngine::run`] and is reused across rounds.
+#[derive(Debug, Default)]
+struct SplitScratch {
+    child_a: Vec<u64>,
+    child_b: Vec<u64>,
+}
+
+impl SplitScratch {
+    fn ensure(&mut self, stride: usize) {
+        if self.child_a.len() < stride {
+            self.child_a.resize(stride, 0);
+            self.child_b.resize(stride, 0);
+        }
+    }
+}
+
+/// Per-round, per-partition context shared by all of that partition's
+/// split candidates: the partition's word mask and a suffix histogram of
+/// active-cell counts for the pruning bound.
+struct PartCtx {
+    /// Nonzero word indices of the partition's pattern set.
+    word_ids: Vec<u32>,
+    /// Distinct restricted X counts, ascending (one per count class).
+    counts: Vec<u32>,
+    /// `suffix[i]` = number of active cells with count >= `counts[i]`.
+    suffix: Vec<usize>,
+}
+
+impl PartCtx {
+    fn build(info: &PartitionInfo) -> Self {
+        let word_ids: Vec<u32> = info
+            .patterns
+            .as_bits()
+            .nonzero_word_indices()
+            .map(|w| w as u32)
+            .collect();
+        let mut counts = Vec::new();
+        let mut suffix = Vec::new();
+        for (count, cells) in info.analysis.classes() {
+            counts.push(count as u32);
+            suffix.push(cells.len());
+        }
+        let mut acc = 0usize;
+        for s in suffix.iter_mut().rev() {
+            acc += *s;
+            *s = acc;
+        }
+        PartCtx {
+            word_ids,
+            counts,
+            suffix,
+        }
+    }
+
+    /// Number of active cells whose restricted count is at least `k`.
+    fn cells_with_count_ge(&self, k: usize) -> usize {
+        let i = self.counts.partition_point(|&c| (c as usize) < k);
+        self.suffix.get(i).copied().unwrap_or(0)
     }
 }
 
@@ -255,6 +322,14 @@ impl PartitionEngine {
         // Masked-X total, maintained incrementally: a split replaces one
         // partition's contribution with its two children's.
         let mut masked_total = infos[0].masked_x;
+        // The packed cells × patterns matrix drives the cost-only
+        // candidate evaluator; only the BestCost strategy prices
+        // candidates, so only it pays for the build.
+        let matrix: Option<XBitMatrix> = match self.strategy {
+            SplitStrategy::BestCost => Some(xmap.to_bitmatrix()),
+            SplitStrategy::LargestClass => None,
+        };
+        let mut scratch_pool: Vec<SplitScratch> = Vec::new();
         let initial_cost = cost_from(masked_total, 1);
         let mut cost = initial_cost.clone();
         let mut rounds = Vec::new();
@@ -311,12 +386,18 @@ impl PartitionEngine {
                     Some((pi, pivot_cell, class_count, class_size, w, wo, next_cost))
                 }
                 SplitStrategy::BestCost => {
-                    // Extension: evaluate a representative of every count
+                    // Extension: price a representative of every count
                     // class and keep the cheapest successor. Candidates
-                    // are independent, so they fan out over the pool;
-                    // selection folds sequentially in candidate order, so
-                    // the first strict minimum wins exactly as in the
-                    // sequential engine.
+                    // are evaluated cost-only on the packed matrix — the
+                    // masked-X total of each child is (#active cells
+                    // whose X row covers the child) × |child| — and only
+                    // the winner is materialised via `split()`. Bound
+                    // pruning and the parallel fan-out are arranged so
+                    // the selected pivot is exactly the one the original
+                    // sequential fold over all candidates would pick.
+                    let matrix = matrix.as_ref().expect("matrix built for BestCost");
+                    let stride = matrix.stride();
+                    let num_next = infos.len() + 1;
                     let candidates: Vec<(usize, usize, usize, usize)> = infos
                         .iter()
                         .enumerate()
@@ -328,27 +409,118 @@ impl PartitionEngine {
                                 .map(move |(count, cells)| (pi, count, cells[0], cells.len()))
                         })
                         .collect();
-                    let mut evals = xhc_par::par_map_threads(
-                        threads,
-                        &candidates,
-                        |&(pi, _count, rep, _size)| {
-                            let (w, wo) = infos[pi].split(xmap, rep, 1);
-                            let next_cost = cost_from(
-                                masked_total - infos[pi].masked_x + w.masked_x + wo.masked_x,
-                                infos.len() + 1,
-                            );
-                            (w, wo, next_cost)
-                        },
-                    );
-                    let mut best: Option<usize> = None;
-                    for (i, (_, _, next_cost)) in evals.iter().enumerate() {
-                        if best.is_none_or(|bi| next_cost.total() < evals[bi].2.total()) {
-                            best = Some(i);
+                    let ctx: Vec<PartCtx> = infos.iter().map(PartCtx::build).collect();
+
+                    // Cost-only evaluation: the exact masked-X total the
+                    // materialised split would produce, without building
+                    // it. A cell is fully-X in a child iff its X row is a
+                    // superset of the child; such a cell is necessarily
+                    // active in the parent, so the sweep is restricted to
+                    // the parent's active entries and the parent's
+                    // nonzero words.
+                    let eval = |scratch: &mut SplitScratch,
+                                &(pi, count, rep, _size): &(usize, usize, usize, usize)|
+                     -> usize {
+                        let info = &infos[pi];
+                        let pc = &ctx[pi];
+                        scratch.ensure(stride);
+                        let part_words = info.patterns.as_bits().as_words();
+                        let pivot_pos = xmap.find_entry(rep).expect("pivot cell captures X");
+                        let pivot_row = matrix.row(pivot_pos);
+                        for &w in &pc.word_ids {
+                            let w = w as usize;
+                            let p = part_words[w];
+                            let v = pivot_row[w];
+                            scratch.child_a[w] = p & v;
+                            scratch.child_b[w] = p & !v;
+                        }
+                        let (na, nb) = matrix.count_supersets_pair(
+                            info.analysis.active_entries(),
+                            &pc.word_ids,
+                            &scratch.child_a,
+                            &scratch.child_b,
+                        );
+                        let card = info.patterns.card();
+                        masked_total - info.masked_x + na * count + nb * (card - count)
+                    };
+
+                    // Monotone lower bound per candidate: at most
+                    // suffix(k) active cells can cover a child of size k
+                    // (covering needs restricted count >= k), and the
+                    // children's masked X's cannot exceed the parent's
+                    // total X. More masked X never raises the cost, so
+                    // pricing the bound's masked total bounds the true
+                    // cost from below — in f64 too, since control_bits is
+                    // nondecreasing in leaked X.
+                    let bounds: Vec<f64> = candidates
+                        .iter()
+                        .map(|&(pi, count, _, _)| {
+                            let info = &infos[pi];
+                            let card = info.patterns.card();
+                            let pc = &ctx[pi];
+                            let ub_children = (pc.cells_with_count_ge(count) * count
+                                + pc.cells_with_count_ge(card - count) * (card - count))
+                                .min(info.analysis.total_x());
+                            cost_from(masked_total - info.masked_x + ub_children, num_next).total()
+                        })
+                        .collect();
+
+                    // Seed with the lowest-bound candidate (first on
+                    // ties), evaluate it exactly, then prune every
+                    // candidate whose bound strictly exceeds the seed's
+                    // exact cost: such a candidate's cost is > the final
+                    // minimum, so the original fold could never have
+                    // selected it. All of this is sequential or
+                    // order-preserving, so the outcome is identical at
+                    // every thread count.
+                    let mut seed: Option<usize> = None;
+                    for (i, &b) in bounds.iter().enumerate() {
+                        if seed.is_none_or(|s| b < bounds[s]) {
+                            seed = Some(i);
                         }
                     }
-                    best.map(|i| {
+                    seed.map(|seed| {
+                        if scratch_pool.is_empty() {
+                            scratch_pool.push(SplitScratch::default());
+                        }
+                        let seed_masked = eval(&mut scratch_pool[0], &candidates[seed]);
+                        let seed_cost = cost_from(seed_masked, num_next).total();
+
+                        let retained: Vec<usize> = (0..candidates.len())
+                            .filter(|&i| i != seed && bounds[i] <= seed_cost)
+                            .collect();
+                        let evald = xhc_par::par_map_scratch_threads(
+                            threads,
+                            &mut scratch_pool,
+                            &retained,
+                            |scratch, &i| eval(scratch, &candidates[i]),
+                        );
+                        let mut masked_vals: Vec<Option<usize>> = vec![None; candidates.len()];
+                        masked_vals[seed] = Some(seed_masked);
+                        for (&i, m) in retained.iter().zip(evald) {
+                            masked_vals[i] = Some(m);
+                        }
+
+                        // Sequential fold in candidate order: the first
+                        // strict minimum wins, exactly as the unpruned
+                        // fold over all candidates would.
+                        let mut best: Option<(usize, usize, f64)> = None;
+                        for (i, m) in masked_vals.iter().enumerate() {
+                            let Some(m) = *m else { continue };
+                            let t = cost_from(m, num_next).total();
+                            if best.is_none_or(|(_, _, bt)| t < bt) {
+                                best = Some((i, m, t));
+                            }
+                        }
+                        let (i, masked_next, _) = best.expect("seed always evaluated");
                         let (pi, count, rep, size) = candidates[i];
-                        let (w, wo, next_cost) = evals.swap_remove(i);
+                        let (w, wo) = infos[pi].split(xmap, rep, threads);
+                        debug_assert_eq!(
+                            masked_total - infos[pi].masked_x + w.masked_x + wo.masked_x,
+                            masked_next,
+                            "cost-only evaluation must match the materialised split"
+                        );
+                        let next_cost = cost_from(masked_next, num_next);
                         (pi, rep, count, size, w, wo, next_cost)
                     })
                 }

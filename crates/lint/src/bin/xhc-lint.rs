@@ -61,6 +61,7 @@ fn describe(code: LintCode) -> &'static str {
         LintCode::CostMismatch => "cost accounting disagrees with recomputation",
         LintCode::DegenerateMisr => "degenerate / non-primitive MISR feedback",
         LintCode::BadCancelConfig => "inconsistent X-canceling (m, q)",
+        LintCode::BestCostLatency => "BestCost planning latency above budget",
     }
 }
 

@@ -63,11 +63,14 @@ pub enum LintCode {
     DegenerateMisr,
     /// XL0305: inconsistent X-canceling `(m, q)` configuration.
     BadCancelConfig,
+    /// XL0306: workload shape puts estimated BestCost planning latency
+    /// above the interactive budget.
+    BestCostLatency,
 }
 
 impl LintCode {
     /// All rules, in code order.
-    pub const ALL: [LintCode; 13] = [
+    pub const ALL: [LintCode; 14] = [
         LintCode::CombLoop,
         LintCode::FloatingNet,
         LintCode::DeadLogic,
@@ -81,6 +84,7 @@ impl LintCode {
         LintCode::CostMismatch,
         LintCode::DegenerateMisr,
         LintCode::BadCancelConfig,
+        LintCode::BestCostLatency,
     ];
 
     /// The stable `XLxxxx` identifier.
@@ -99,6 +103,7 @@ impl LintCode {
             LintCode::CostMismatch => "XL0303",
             LintCode::DegenerateMisr => "XL0304",
             LintCode::BadCancelConfig => "XL0305",
+            LintCode::BestCostLatency => "XL0306",
         }
     }
 
@@ -118,6 +123,7 @@ impl LintCode {
             LintCode::CostMismatch => "cost-mismatch",
             LintCode::DegenerateMisr => "degenerate-misr",
             LintCode::BadCancelConfig => "bad-cancel-config",
+            LintCode::BestCostLatency => "best-cost-latency",
         }
     }
 
@@ -136,7 +142,8 @@ impl LintCode {
             | LintCode::UnreachableFlop
             | LintCode::ChainImbalance
             | LintCode::DuplicateX
-            | LintCode::DegenerateMisr => Severity::Warn,
+            | LintCode::DegenerateMisr
+            | LintCode::BestCostLatency => Severity::Warn,
         }
     }
 

@@ -3,14 +3,14 @@
 //!
 //! The crate checks the artifacts the workspace produces and consumes —
 //! netlists, scan topologies, X maps, partition plans, mask words, cost
-//! accounting and MISR configurations — against thirteen rules grouped by
+//! accounting and MISR configurations — against fourteen rules grouped by
 //! pipeline stage:
 //!
 //! | Codes | Stage | Rules |
 //! |-------|-------|-------|
 //! | `XL01xx` | netlist | combinational loops, floating nets, dead logic, gate arity, unreachable flops |
 //! | `XL02xx` | scan / X map | chain imbalance, out-of-range X entries, duplicate X entries |
-//! | `XL03xx` | hybrid | partition cover, unsafe masks, cost accounting, MISR feedback, `(m, q)` sanity |
+//! | `XL03xx` | hybrid | partition cover, unsafe masks, cost accounting, MISR feedback, `(m, q)` sanity, BestCost planning latency |
 //!
 //! Each rule carries a default [`Severity`] (`Deny` for correctness
 //! violations, `Warn` for quality findings) that a [`LintConfig`] can
@@ -51,7 +51,7 @@ pub use diag::{Diagnostic, LintCode, LintConfig, LintReport, Severity};
 pub use graph::nontrivial_sccs;
 pub use hybrid_rules::{
     check_cancel_params, check_cost_accounting, check_masks_safe, check_misr_taps,
-    check_partition_cover,
+    check_partition_cover, check_plan_latency,
 };
 pub use netlist_rules::{check_netlist, check_netlist_facts, NetlistFacts, NodeFact};
 pub use poly::taps_primitive;
@@ -88,17 +88,19 @@ pub fn check_outcome(
     report
 }
 
-/// Lints a workload end to end: generates its X map, checks the scan
-/// topology and X entries, runs the [`PartitionEngine`], and checks the
-/// resulting plan plus the MISR/cancel configuration.
+/// Lints a workload end to end: estimates the planning-latency budget
+/// (XL0306), generates its X map, checks the scan topology and X
+/// entries, runs the [`PartitionEngine`], and checks the resulting plan
+/// plus the MISR/cancel configuration.
 pub fn lint_workload(
     config: &LintConfig,
     spec: &WorkloadSpec,
     cancel: XCancelConfig,
     taps: &Taps,
 ) -> LintReport {
+    let mut report = check_plan_latency(config, spec);
     let xmap = spec.generate();
-    let mut report = check_xmap(config, &xmap);
+    report.merge(check_xmap(config, &xmap));
     report.merge(check_cancel_params(config, cancel.m(), cancel.q()));
     report.merge(check_misr_taps(config, cancel.m(), taps));
     let outcome = PartitionEngine::new(cancel).run(&xmap);

@@ -5,12 +5,14 @@ use xhc_bits::PatternSet;
 use xhc_core::PartitionEngine;
 use xhc_lint::{
     check_cancel_params, check_cost_accounting, check_masks_safe, check_misr_taps, check_netlist,
-    check_netlist_facts, check_outcome, check_partition_cover, check_scan_config, check_xmap,
-    check_xmap_facts, LintCode, LintConfig, LintReport, NetlistFacts, NodeFact, XMapFacts,
+    check_netlist_facts, check_outcome, check_partition_cover, check_plan_latency,
+    check_scan_config, check_xmap, check_xmap_facts, LintCode, LintConfig, LintReport,
+    NetlistFacts, NodeFact, XMapFacts,
 };
 use xhc_logic::{FlopInit, GateKind, NetlistBuilder};
 use xhc_misr::{MaskWord, Taps, XCancelConfig};
 use xhc_scan::{CellId, ScanConfig, XMap, XMapBuilder};
+use xhc_workload::WorkloadSpec;
 
 fn codes(report: &LintReport) -> Vec<LintCode> {
     let mut codes: Vec<LintCode> = report.diagnostics.iter().map(|d| d.code).collect();
@@ -404,6 +406,43 @@ fn xl0305_paper_config_passes() {
     let cancel = XCancelConfig::paper_default();
     let report = check_cancel_params(&LintConfig::default(), cancel.m(), cancel.q());
     assert!(report.is_empty(), "{}", report.render_human());
+}
+
+// ---------------------------------------------------------------- XL0306
+
+#[test]
+fn xl0306_heavy_best_cost_spec_fires() {
+    // The bench suite's scaled BestCost shape, grown past the budget:
+    // a weakly-correlated profile with a large active-cell pool and a
+    // wide pattern set makes the candidate search quadratic-ish.
+    let spec = WorkloadSpec {
+        name: "scaled-up",
+        total_cells: 40_000,
+        num_chains: 40,
+        num_patterns: 3000,
+        x_density: 0.03,
+        ..WorkloadSpec::default()
+    };
+    let report = check_plan_latency(&LintConfig::default(), &spec);
+    assert_eq!(codes(&report), vec![LintCode::BestCostLatency]);
+    assert!(!report.has_deny(), "XL0306 is warn-level by default");
+    let text = report.render_human();
+    assert!(text.contains("largest-class"), "{text}");
+    assert!(text.contains("3000 patterns"), "{text}");
+}
+
+#[test]
+fn xl0306_interactive_specs_pass() {
+    let lc = LintConfig::default();
+    assert!(check_plan_latency(&lc, &WorkloadSpec::default()).is_empty());
+    // The small end-to-end workload other suites lint must stay clean.
+    let spec = WorkloadSpec {
+        total_cells: 200,
+        num_chains: 4,
+        num_patterns: 40,
+        ..WorkloadSpec::default()
+    };
+    assert!(check_plan_latency(&lc, &spec).is_empty());
 }
 
 // ------------------------------------------------------- severity plumbing

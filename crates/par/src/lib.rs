@@ -13,6 +13,9 @@
 //! * [`par_chunks`] / [`par_chunks_threads`] — the same over consecutive
 //!   sub-slices, for stages whose per-item cost is too small to amortise
 //!   a task each;
+//! * [`par_map_scratch_threads`] — `par_map` with a caller-owned pool of
+//!   per-worker scratch objects, for kernels that would otherwise
+//!   allocate working buffers on every item;
 //! * [`max_threads`] — the pool width: the `XHC_THREADS` environment
 //!   variable when set, otherwise [`std::thread::available_parallelism`].
 //!
@@ -132,6 +135,84 @@ where
         .collect()
 }
 
+/// Maps `f` over `items` on up to `threads` scoped workers, handing each
+/// worker exclusive `&mut` access to one scratch object from `pool`.
+///
+/// The pool is grown with [`Default`] scratch objects up to the worker
+/// count and retained by the caller, so buffers allocated by one call
+/// (e.g. the partition engine's per-candidate word buffers) are reused by
+/// every later call — the steady state allocates nothing. Results come
+/// back in input order; `threads <= 1` (or a short input) runs
+/// sequentially on the caller's thread with `pool[0]`, and the output is
+/// identical either way for any `f` whose result does not depend on the
+/// scratch contents it inherits.
+pub fn par_map_scratch_threads<T, R, S, F>(
+    threads: usize,
+    pool: &mut Vec<S>,
+    items: &[T],
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    S: Default + Send,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        if pool.is_empty() {
+            pool.push(S::default());
+        }
+        let scratch = &mut pool[0];
+        return items.iter().map(|t| f(scratch, t)).collect();
+    }
+    while pool.len() < workers {
+        pool.push(S::default());
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+
+    let buckets = std::thread::scope(|scope| {
+        let handles: Vec<_> = pool
+            .iter_mut()
+            .take(workers)
+            .map(|scratch| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(scratch, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("xhc-par worker panicked"))
+            .collect::<Vec<_>>()
+    });
+
+    for (i, r) in buckets.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "index {i} claimed twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index processed"))
+        .collect()
+}
+
 /// Applies `f` to consecutive chunks of `items` (each of `chunk_size`
 /// elements, the last possibly shorter) on the default pool, returning
 /// one result per chunk in chunk order.
@@ -221,6 +302,43 @@ mod tests {
         for (i, (gi, _)) in got.iter().enumerate() {
             assert_eq!(i, *gi);
         }
+    }
+
+    #[test]
+    fn par_map_scratch_matches_sequential_and_reuses_pool() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8] {
+            let mut pool: Vec<Vec<u64>> = Vec::new();
+            let got = par_map_scratch_threads(threads, &mut pool, &items, |scratch, &x| {
+                // Use the scratch as a working buffer without assuming
+                // anything about its prior contents.
+                scratch.clear();
+                scratch.push(x);
+                scratch[0] * 3 + 1
+            });
+            assert_eq!(got, expect, "threads={threads}");
+            assert!(!pool.is_empty());
+            assert!(pool.len() <= threads.max(1));
+            // A second call reuses the same pool without growing it.
+            let before = pool.len();
+            let again = par_map_scratch_threads(threads, &mut pool, &items, |scratch, &x| {
+                scratch.clear();
+                scratch.push(x);
+                scratch[0] * 3 + 1
+            });
+            assert_eq!(again, expect);
+            assert_eq!(pool.len(), before);
+        }
+    }
+
+    #[test]
+    fn par_map_scratch_empty_input_leaves_pool_unchanged() {
+        let mut pool: Vec<u8> = Vec::new();
+        let empty: Vec<u32> = vec![];
+        let got = par_map_scratch_threads(4, &mut pool, &empty, |_, &x| x);
+        assert!(got.is_empty());
+        assert!(pool.is_empty());
     }
 
     #[test]

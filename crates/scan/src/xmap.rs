@@ -188,6 +188,18 @@ impl XMap {
             .map(|(&idx, xs)| (self.config.cell_at(idx as usize), xs))
     }
 
+    /// Packs the map into a cells × patterns [`xhc_bits::XBitMatrix`]:
+    /// row `pos` is the X pattern set of [`XMap::entry`]`(pos)`, so the
+    /// matrix's row ids coincide with the map's entry positions and with
+    /// the active-entry lists a correlation analysis records.
+    ///
+    /// Built once per partition-engine run; the cost-only split
+    /// evaluator then prices every candidate with word sweeps over these
+    /// rows instead of materialising child partitions.
+    pub fn to_bitmatrix(&self) -> xhc_bits::XBitMatrix {
+        xhc_bits::XBitMatrix::from_rows(self.num_patterns, self.xsets.iter().map(|xs| xs.as_bits()))
+    }
+
     /// Number of X's per pattern (indexed by pattern).
     pub fn x_per_pattern(&self) -> Vec<usize> {
         let mut counts = vec![0usize; self.num_patterns];

@@ -17,7 +17,10 @@
 //! | `/metrics` | GET | Plaintext counters and latency histograms. |
 //!
 //! Every plan response carries `X-Xhc-Plan-Hash` (the cache key) and
-//! `X-Xhc-Cache: hit|miss`. Identical concurrent submissions are
+//! `X-Xhc-Cache: hit|miss`; a miss additionally carries
+//! `X-Xhc-Engine-Ns`, the partition-engine wall time of that cold plan
+//! (the cumulative figure is `xhc_plan_engine_seconds` on `/metrics`).
+//! Identical concurrent submissions are
 //! *single-flighted*: one computes, the rest wait and read the store, so
 //! the cache-miss counter increments exactly once per distinct request.
 //!
@@ -451,9 +454,9 @@ fn plan_endpoint(state: &Arc<ServerState>, request: &Request) -> Result<Response
         thread::spawn(move || {
             let outcome = compute_plan(&state_ref, key, &xmap, &params);
             let status = match outcome {
-                Ok((_, cache_hit)) => JobStatus::Done {
+                Ok((_, engine_ns)) => JobStatus::Done {
                     plan_hash: key,
-                    cache_hit,
+                    cache_hit: engine_ns.is_none(),
                 },
                 Err(e) => JobStatus::Failed {
                     status: e.status,
@@ -475,30 +478,37 @@ fn plan_endpoint(state: &Arc<ServerState>, request: &Request) -> Result<Response
         .with_header("X-Xhc-Job", id.to_string()));
     }
 
-    let (bytes, cache_hit) = compute_plan(state, key, &xmap, &params)?;
-    Ok(Response::new(200, "application/octet-stream", bytes)
+    let (bytes, engine_ns) = compute_plan(state, key, &xmap, &params)?;
+    let mut response = Response::new(200, "application/octet-stream", bytes)
         .with_header("X-Xhc-Plan-Hash", hash_hex(key))
         .with_header(
             "X-Xhc-Cache",
-            if cache_hit { "hit" } else { "miss" }.to_string(),
-        ))
+            if engine_ns.is_none() { "hit" } else { "miss" }.to_string(),
+        );
+    if let Some(ns) = engine_ns {
+        // Engine time of this cold plan, so clients can decompose
+        // cold-vs-hit latency without scraping /metrics.
+        response = response.with_header("X-Xhc-Engine-Ns", ns.to_string());
+    }
+    Ok(response)
 }
 
 /// Plans (or fetches) the request with single-flight dedup: for any key,
 /// exactly one caller runs the engine while concurrent identical
 /// requests block and then read the store. Returns the wire-encoded plan
-/// and whether it came from the cache.
+/// and, for a cache miss, the engine wall time in nanoseconds (`None`
+/// means the plan came from the cache).
 fn compute_plan(
     state: &ServerState,
     key: u64,
     xmap: &XMap,
     params: &PlanParams,
-) -> Result<(Vec<u8>, bool), HandlerError> {
+) -> Result<(Vec<u8>, Option<u64>), HandlerError> {
     let store_err = |e: io::Error| HandlerError::new(500, format!("plan store failed: {e}"));
     // Fast path: already cached.
     if let Some(bytes) = state.store.load(key).map_err(store_err)? {
         state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-        return Ok((bytes, true));
+        return Ok((bytes, None));
     }
     // Claim the key or wait for whoever holds it.
     {
@@ -509,7 +519,7 @@ fn compute_plan(
                 // have finished between our miss above and this claim.
                 if let Some(bytes) = state.store.load(key).map_err(store_err)? {
                     state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok((bytes, true));
+                    return Ok((bytes, None));
                 }
                 inflight.insert(key);
                 break;
@@ -527,19 +537,21 @@ fn compute_plan(
         inflight.remove(&key);
     }
     state.inflight_cv.notify_all();
-    let bytes = result?;
+    let (bytes, engine_ns) = result?;
     state.store.save(key, &bytes).map_err(store_err)?;
     state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
-    Ok((bytes, false))
+    Ok((bytes, Some(engine_ns)))
 }
 
 /// Runs the partition engine and encodes the plan, converting panics into
-/// HTTP 500 instead of poisoning the worker.
+/// HTTP 500 instead of poisoning the worker. Returns the wire-encoded
+/// plan and the engine wall time in nanoseconds (also accumulated into
+/// `xhc_plan_engine_seconds`).
 fn run_engine(
     state: &ServerState,
     xmap: &XMap,
     params: &PlanParams,
-) -> Result<Vec<u8>, HandlerError> {
+) -> Result<(Vec<u8>, u64), HandlerError> {
     let threads = if state.config.threads == 0 {
         xhc_par::max_threads()
     } else {
@@ -551,15 +563,14 @@ fn run_engine(
     let plan_started = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| engine.run(xmap)))
         .map_err(|_| HandlerError::new(500, "partition engine panicked"))?;
-    state
-        .metrics
-        .plan_ns
-        .record_ns(plan_started.elapsed().as_nanos() as u64);
+    let engine_ns = plan_started.elapsed().as_nanos() as u64;
+    state.metrics.plan_ns.record_ns(engine_ns);
+    state.metrics.record_engine_ns(engine_ns);
     let encode_started = Instant::now();
     let bytes = encode_plan(&outcome, xmap.num_patterns());
     state
         .metrics
         .encode_ns
         .record_ns(encode_started.elapsed().as_nanos() as u64);
-    Ok(bytes)
+    Ok((bytes, engine_ns))
 }

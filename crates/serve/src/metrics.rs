@@ -104,9 +104,26 @@ pub struct Metrics {
     pub encode_ns: Histogram,
     /// End-to-end request handling time.
     pub total_ns: Histogram,
+    /// Cumulative wall time spent inside `PartitionEngine::run` (cache
+    /// misses only), in nanoseconds; exposed as a Prometheus
+    /// summary-style `xhc_plan_engine_seconds_sum`.
+    pub plan_engine_ns_sum: AtomicU64,
+    /// Number of engine runs behind `plan_engine_ns_sum`
+    /// (`xhc_plan_engine_seconds_count`).
+    pub plan_engine_runs: AtomicU64,
 }
 
 impl Metrics {
+    /// Records one partition-engine run of `ns` nanoseconds.
+    ///
+    /// The sum + count pair lets dashboards decompose cold-plan latency
+    /// into engine time vs everything else (decode, lint, encode, store
+    /// I/O) without bucket-resolution loss.
+    pub fn record_engine_ns(&self, ns: u64) {
+        self.plan_engine_ns_sum.fetch_add(ns, Ordering::Relaxed);
+        self.plan_engine_runs.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Counts one response with the given status code.
     pub fn count_status(&self, status: u16) {
         let idx = TRACKED_STATUS
@@ -162,6 +179,16 @@ impl Metrics {
             "xhc_jobs_completed_total {}",
             self.jobs_completed.load(Ordering::Relaxed)
         );
+        let _ = writeln!(
+            out,
+            "xhc_plan_engine_seconds_sum {:.9}",
+            self.plan_engine_ns_sum.load(Ordering::Relaxed) as f64 / 1e9
+        );
+        let _ = writeln!(
+            out,
+            "xhc_plan_engine_seconds_count {}",
+            self.plan_engine_runs.load(Ordering::Relaxed)
+        );
         for (stage, hist) in [
             ("decode", &self.decode_ns),
             ("lint", &self.lint_ns),
@@ -201,7 +228,11 @@ mod tests {
         m.count_status(200);
         m.count_status(418);
         m.cache_hits.fetch_add(1, Ordering::Relaxed);
+        m.record_engine_ns(1_500_000_000);
+        m.record_engine_ns(500_000_000);
         let page = m.render();
+        assert!(page.contains("xhc_plan_engine_seconds_sum 2.000000000"));
+        assert!(page.contains("xhc_plan_engine_seconds_count 2"));
         assert!(page.contains("xhc_requests_total 2"));
         assert!(page.contains("xhc_responses_total{status=\"200\"} 1"));
         assert!(page.contains("xhc_responses_total{status=\"other\"} 1"));

@@ -127,14 +127,28 @@ fn concurrent_identical_submissions_single_flight() {
                 Some(hash_hex(expected_key).as_str())
             );
             match response.header("x-xhc-cache") {
-                Some("miss") => misses += 1,
-                Some("hit") => {}
+                Some("miss") => {
+                    misses += 1;
+                    // A cold plan reports its engine wall time.
+                    let ns: u64 = response
+                        .header("x-xhc-engine-ns")
+                        .expect("miss carries engine time")
+                        .parse()
+                        .expect("engine ns is an integer");
+                    assert!(ns > 0);
+                }
+                Some("hit") => {
+                    assert_eq!(response.header("x-xhc-engine-ns"), None);
+                }
                 other => panic!("unexpected cache header {other:?}"),
             }
         }
         assert_eq!(misses, 1, "expected exactly one computing client");
         assert_eq!(server.metric("xhc_cache_misses_total"), 1);
         assert_eq!(server.metric("xhc_cache_hits_total"), (CLIENTS - 1) as u64);
+        // The engine-seconds summary counts one run per miss, and its sum
+        // is consistent with the reported per-response engine time.
+        assert_eq!(server.metric("xhc_plan_engine_seconds_count"), 1);
 
         // A resubmission is a pure cache hit.
         let again = client::post(

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Regression gate over the committed kernel bench snapshots.
+#
+# Reruns the partition and gauss benches and fails if any case's median
+# regresses by more than BENCH_GATE_TOLERANCE_PCT percent (default 30 —
+# tolerant of CI noise, still catches order-of-magnitude slips) against
+# the committed BENCH_partition.json / BENCH_gauss.json. Cases present
+# on only one side (added or retired benches) are reported and skipped.
+#
+# BENCH_GATE_INJECT_SLOWDOWN (a multiplier, default 1) scales the fresh
+# medians before comparison; CI runs the gate a second time with 2 to
+# prove it really fails on a 2x slip.
+#
+# Usage: scripts/bench_gate.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+budget="${BENCH_BUDGET_MS:-300}"
+tol="${BENCH_GATE_TOLERANCE_PCT:-30}"
+inject="${BENCH_GATE_INJECT_SLOWDOWN:-1}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+cargo build --release -p xhc-bench --benches
+
+cargo bench -q -p xhc-bench --bench partition_engine -- \
+  --budget-ms "$budget" --json "$tmp/BENCH_partition.json"
+cargo bench -q -p xhc-bench --bench gauss_elimination -- \
+  --budget-ms "$budget" --json "$tmp/BENCH_gauss.json"
+
+python3 - "$tol" "$inject" "$tmp" <<'EOF'
+import json, sys
+
+tol = float(sys.argv[1])
+inject = float(sys.argv[2])
+tmp = sys.argv[3]
+failed = False
+for name in ("partition", "gauss"):
+    committed = {c["name"]: c for c in json.load(open(f"BENCH_{name}.json"))["cases"]}
+    fresh = {c["name"]: c for c in json.load(open(f"{tmp}/BENCH_{name}.json"))["cases"]}
+    for case, ref in sorted(committed.items()):
+        if case not in fresh:
+            print(f"[gate] {name}/{case}: missing from fresh run (skipped)")
+            continue
+        base = ref["median_ns"]
+        now = fresh[case]["median_ns"] * inject
+        limit = base * (1 + tol / 100.0)
+        ratio = now / base if base else float("inf")
+        verdict = "FAIL" if now > limit else "ok"
+        print(f"[gate] {name}/{case}: committed {base} ns, fresh {now:.0f} ns "
+              f"({ratio:.2f}x) [{verdict}]")
+        if now > limit:
+            failed = True
+    for case in sorted(set(fresh) - set(committed)):
+        print(f"[gate] {name}/{case}: new case, no committed baseline (skipped)")
+if failed:
+    print(f"[gate] FAILED: at least one median regressed more than {tol}% "
+          f"vs the committed snapshot")
+    sys.exit(1)
+print(f"[gate] ok: no median regressed more than {tol}%")
+EOF
