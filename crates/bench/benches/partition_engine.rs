@@ -2,7 +2,7 @@
 //! X-density (the algorithmic cost of the paper's Algorithm 1).
 
 use xhc_bench::timing::{black_box, Harness};
-use xhc_core::{PartitionEngine, SplitStrategy};
+use xhc_core::{PartitionEngine, PlanOptions, SplitStrategy};
 use xhc_misr::XCancelConfig;
 use xhc_workload::WorkloadSpec;
 
@@ -49,10 +49,13 @@ fn main() {
         ("largest_class", SplitStrategy::LargestClass),
         ("best_cost", SplitStrategy::BestCost),
     ] {
+        let opts = PlanOptions {
+            strategy,
+            ..PlanOptions::default()
+        };
         h.bench(&format!("strategy/{name}"), || {
             black_box(
-                PartitionEngine::new(XCancelConfig::paper_default())
-                    .with_strategy(strategy)
+                PartitionEngine::with_options(XCancelConfig::paper_default(), opts)
                     .run(black_box(&xmap)),
             )
         });
@@ -71,10 +74,13 @@ fn main() {
         ..WorkloadSpec::default()
     };
     let xmap = spec.generate();
+    let best_cost = PlanOptions {
+        strategy: SplitStrategy::BestCost,
+        ..PlanOptions::default()
+    };
     h.bench("strategy/best_cost_scaled", || {
         black_box(
-            PartitionEngine::new(XCancelConfig::paper_default())
-                .with_strategy(SplitStrategy::BestCost)
+            PartitionEngine::with_options(XCancelConfig::paper_default(), best_cost)
                 .run(black_box(&xmap)),
         )
     });

@@ -31,7 +31,14 @@ fn main() {
             ..WorkloadSpec::ckt_b()
         };
         let xmap = spec.generate();
-        let outcome = PartitionEngine::new(cancel).with_policy(policy).run(&xmap);
+        let outcome = PartitionEngine::with_options(
+            cancel,
+            xhc_core::PlanOptions {
+                policy,
+                ..xhc_core::PlanOptions::default()
+            },
+        )
+        .run(&xmap);
         println!(
             "{:<22} {:>11} {:>12.0} {:>10} {:>10}",
             label,

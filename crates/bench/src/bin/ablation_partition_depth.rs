@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release -p xhc-bench --bin ablation_partition_depth`
 
-use xhc_core::PartitionEngine;
+use xhc_core::{PartitionEngine, PlanOptions};
 use xhc_misr::XCancelConfig;
 use xhc_workload::WorkloadSpec;
 
@@ -21,7 +21,11 @@ fn main() {
     let cancel = XCancelConfig::paper_default();
 
     // Full run without the cost stop to learn the maximum depth.
-    let exhaustive = PartitionEngine::new(cancel).without_cost_stop().run(&xmap);
+    let no_stop = PlanOptions {
+        cost_stop: false,
+        ..PlanOptions::default()
+    };
+    let exhaustive = PartitionEngine::with_options(cancel, no_stop).run(&xmap);
     let max_rounds = exhaustive.rounds.len();
     let stopped = PartitionEngine::new(cancel).run(&xmap);
 
@@ -37,10 +41,14 @@ fn main() {
         "rounds", "partitions", "mask bits", "cancel bits", "total bits", "masked-X"
     );
     for rounds in 0..=max_rounds {
-        let outcome = PartitionEngine::new(cancel)
-            .without_cost_stop()
-            .with_max_rounds(rounds)
-            .run(&xmap);
+        let outcome = PartitionEngine::with_options(
+            cancel,
+            PlanOptions {
+                max_rounds: Some(rounds),
+                ..no_stop
+            },
+        )
+        .run(&xmap);
         let marker = if rounds == stopped.rounds.len() {
             "  <- cost-function stop"
         } else {

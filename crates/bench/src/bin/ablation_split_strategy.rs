@@ -38,9 +38,14 @@ fn main() {
             ("LargestClass", SplitStrategy::LargestClass),
             ("BestCost", SplitStrategy::BestCost),
         ] {
-            let outcome = PartitionEngine::new(cancel)
-                .with_strategy(strategy)
-                .run(&xmap);
+            let outcome = PartitionEngine::with_options(
+                cancel,
+                xhc_core::PlanOptions {
+                    strategy,
+                    ..xhc_core::PlanOptions::default()
+                },
+            )
+            .run(&xmap);
             println!(
                 "{:<28} {:<13} {:>11} {:>7} {:>13.0} {:>10}",
                 label,

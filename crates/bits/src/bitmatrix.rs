@@ -134,6 +134,8 @@ impl XBitMatrix {
         a: &[u64],
         b: &[u64],
     ) -> (usize, usize) {
+        xhc_trace::counter_add("xbm.superset_calls", 1);
+        xhc_trace::counter_add("xbm.rows_tested", row_ids.len() as u64);
         let mut na = 0usize;
         let mut nb = 0usize;
         for &r in row_ids {

@@ -60,10 +60,26 @@ impl FlatElimination {
     }
 }
 
+/// Traced entry point for the flat reduction. The span lives in this
+/// thin wrapper (not in the hot loop) so the guard's drop glue never
+/// pessimizes the reduction kernel's codegen when tracing is off.
+fn eliminate_flat(matrix: &BitMatrix) -> FlatElimination {
+    let mut span = xhc_trace::span("gauss.eliminate")
+        .arg("rows", matrix.num_rows() as u64)
+        .arg("cols", matrix.num_cols() as u64);
+    let flat = eliminate_flat_kernel(matrix);
+    span.set_arg("rank", flat.rank as u64);
+    flat
+}
+
 /// Gauss–Jordan reduction of `[matrix | I]` with word-level pivot probes
 /// and one batched XOR per row update (dependency and combination parts
 /// share a cache-contiguous row, so a row operation is a single pass).
-fn eliminate_flat(matrix: &BitMatrix) -> FlatElimination {
+///
+/// Kept out-of-line so the traced wrapper's span guard (a `Drop` type)
+/// cannot leak unwind edges into this loop's codegen.
+#[inline(never)]
+fn eliminate_flat_kernel(matrix: &BitMatrix) -> FlatElimination {
     let m = matrix.num_rows();
     let cols = matrix.num_cols();
     let dep_words = cols.div_ceil(WORD_BITS);

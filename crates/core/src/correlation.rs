@@ -34,9 +34,9 @@ const PAR_MIN_ACTIVE: usize = 4096;
 ///
 /// let cfg = ScanConfig::uniform(2, 2);
 /// let mut b = XMapBuilder::new(cfg, 4);
-/// b.add_x(CellId::new(0, 0), 0);
-/// b.add_x(CellId::new(0, 0), 1);
-/// b.add_x(CellId::new(1, 1), 2);
+/// b.add_x(CellId::new(0, 0), 0).unwrap();
+/// b.add_x(CellId::new(0, 0), 1).unwrap();
+/// b.add_x(CellId::new(1, 1), 2).unwrap();
 /// let xmap = b.finish();
 ///
 /// let analysis = CorrelationAnalysis::analyze(&xmap, &PatternSet::all(4));
@@ -444,20 +444,20 @@ mod tests {
         let cfg = ScanConfig::uniform(5, 3);
         let mut b = XMapBuilder::new(cfg, 8);
         for p in [0, 3, 4, 5] {
-            b.add_x(CellId::new(0, 0), p);
-            b.add_x(CellId::new(1, 0), p);
-            b.add_x(CellId::new(2, 0), p);
+            b.add_x(CellId::new(0, 0), p).unwrap();
+            b.add_x(CellId::new(1, 0), p).unwrap();
+            b.add_x(CellId::new(2, 0), p).unwrap();
         }
         for p in [0, 4] {
-            b.add_x(CellId::new(1, 2), p);
+            b.add_x(CellId::new(1, 2), p).unwrap();
         }
         for p in [0, 1, 2, 3, 4, 6, 7] {
-            b.add_x(CellId::new(3, 2), p);
+            b.add_x(CellId::new(3, 2), p).unwrap();
         }
         for p in [0, 1, 3, 4, 6, 7] {
-            b.add_x(CellId::new(4, 1), p);
+            b.add_x(CellId::new(4, 1), p).unwrap();
         }
-        b.add_x(CellId::new(4, 2), 5);
+        b.add_x(CellId::new(4, 2), 5).unwrap();
         b.finish()
     }
 
@@ -536,11 +536,11 @@ mod tests {
         let cfg = ScanConfig::uniform(1, 6);
         let mut b = XMapBuilder::new(cfg, 4);
         for p in [0, 1] {
-            b.add_x(CellId::new(0, 0), p);
-            b.add_x(CellId::new(0, 1), p);
+            b.add_x(CellId::new(0, 0), p).unwrap();
+            b.add_x(CellId::new(0, 1), p).unwrap();
         }
-        b.add_x(CellId::new(0, 2), 3);
-        b.add_x(CellId::new(0, 4), 2);
+        b.add_x(CellId::new(0, 2), 3).unwrap();
+        b.add_x(CellId::new(0, 4), 2).unwrap();
         let xmap = b.finish();
         let s = intra_correlation_stats(&xmap);
         assert_eq!(s.x_cells, 4);
@@ -568,8 +568,8 @@ mod tests {
         // linear index but NOT in any chain.
         let cfg = ScanConfig::uniform(2, 2);
         let mut b = XMapBuilder::new(cfg, 2);
-        b.add_x(CellId::new(0, 1), 0);
-        b.add_x(CellId::new(1, 0), 0);
+        b.add_x(CellId::new(0, 1), 0).unwrap();
+        b.add_x(CellId::new(1, 0), 0).unwrap();
         let xmap = b.finish();
         let s = intra_correlation_stats(&xmap);
         assert_eq!(s.runs, 2);

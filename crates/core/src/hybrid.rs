@@ -52,7 +52,7 @@ pub struct HybridReport {
 ///
 /// let cfg = ScanConfig::uniform(5, 3);
 /// let mut b = XMapBuilder::new(cfg, 8);
-/// for p in [0, 3, 4, 5] { b.add_x(CellId::new(0, 0), p); }
+/// for p in [0, 3, 4, 5] { b.add_x(CellId::new(0, 0), p).unwrap(); }
 /// let xmap = b.finish();
 ///
 /// let report = evaluate_hybrid(&xmap, XCancelConfig::new(10, 2), CellSelection::First);
@@ -60,7 +60,11 @@ pub struct HybridReport {
 /// assert!(report.impv_over_masking >= 1.0);
 /// ```
 pub fn evaluate_hybrid(xmap: &XMap, cancel: XCancelConfig, policy: CellSelection) -> HybridReport {
-    let outcome = PartitionEngine::new(cancel).with_policy(policy).run(xmap);
+    let opts = crate::PlanOptions {
+        policy,
+        ..crate::PlanOptions::default()
+    };
+    let outcome = PartitionEngine::with_options(cancel, opts).run(xmap);
     report_for_outcome(xmap, cancel, outcome)
 }
 
@@ -151,20 +155,20 @@ mod tests {
         let cfg = ScanConfig::uniform(5, 3);
         let mut b = XMapBuilder::new(cfg, 8);
         for p in [0, 3, 4, 5] {
-            b.add_x(CellId::new(0, 0), p);
-            b.add_x(CellId::new(1, 0), p);
-            b.add_x(CellId::new(2, 0), p);
+            b.add_x(CellId::new(0, 0), p).unwrap();
+            b.add_x(CellId::new(1, 0), p).unwrap();
+            b.add_x(CellId::new(2, 0), p).unwrap();
         }
         for p in [0, 4] {
-            b.add_x(CellId::new(1, 2), p);
+            b.add_x(CellId::new(1, 2), p).unwrap();
         }
         for p in [0, 1, 2, 3, 4, 6, 7] {
-            b.add_x(CellId::new(3, 2), p);
+            b.add_x(CellId::new(3, 2), p).unwrap();
         }
         for p in [0, 1, 3, 4, 6, 7] {
-            b.add_x(CellId::new(4, 1), p);
+            b.add_x(CellId::new(4, 1), p).unwrap();
         }
-        b.add_x(CellId::new(4, 2), 5);
+        b.add_x(CellId::new(4, 2), 5).unwrap();
         b.finish()
     }
 

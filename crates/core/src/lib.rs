@@ -36,8 +36,8 @@
 //! let cfg = ScanConfig::uniform(4, 4);
 //! let mut b = XMapBuilder::new(cfg, 16);
 //! for p in [0, 2, 4, 6, 8, 10] {
-//!     b.add_x(CellId::new(0, 0), p);
-//!     b.add_x(CellId::new(1, 1), p);
+//!     b.add_x(CellId::new(0, 0), p).unwrap();
+//!     b.add_x(CellId::new(1, 1), p).unwrap();
 //! }
 //! let xmap = b.finish();
 //!
@@ -66,6 +66,8 @@ pub use correlation::{
 };
 pub use cost::{hybrid_cost, hybrid_cost_with_masks, HybridCost};
 pub use hybrid::{apply_partition_masks, evaluate_hybrid, report_for_outcome, HybridReport};
-pub use partition::{CellSelection, PartitionEngine, PartitionOutcome, RoundRecord, SplitStrategy};
+pub use partition::{
+    CellSelection, PartitionEngine, PartitionOutcome, PlanOptions, RoundRecord, SplitStrategy,
+};
 pub use schedule::{mask_switches, pattern_order, schedule_hybrid, ScheduleOptions, TestSchedule};
 pub use toggle::{toggle_masking, ToggleMaskReport, TogglePolicy};

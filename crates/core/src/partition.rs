@@ -195,6 +195,56 @@ impl PartCtx {
     }
 }
 
+/// Every knob of a partitioning run in one plain-data struct.
+///
+/// This is the single options type shared by [`PartitionEngine`], the
+/// wire `PlanRequest` and the `xhybrid` CLI flags — construct it with
+/// struct-update syntax over [`Default`]:
+///
+/// ```
+/// use xhc_core::{PlanOptions, SplitStrategy};
+///
+/// let opts = PlanOptions {
+///     strategy: SplitStrategy::BestCost,
+///     threads: 2,
+///     ..PlanOptions::default()
+/// };
+/// assert!(opts.cost_stop);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanOptions {
+    /// How the engine chooses which split to attempt each round.
+    pub strategy: SplitStrategy,
+    /// How the engine picks the pivot cell within the chosen class.
+    pub policy: CellSelection,
+    /// Worker-pool width for candidate evaluation and child re-analysis.
+    /// `0` means [`xhc_par::max_threads`]. The outcome is bit-identical
+    /// for every width — this knob trades wall-clock only (the
+    /// equivalence suite runs it at 1, 2 and 8).
+    pub threads: usize,
+    /// Caps the number of accepted rounds (`None` = unbounded).
+    pub max_rounds: Option<usize>,
+    /// Whether the paper's cost-function stop rule is active; disabling
+    /// it runs partitioning until no partition is splittable (the
+    /// depth-sweep ablation).
+    pub cost_stop: bool,
+}
+
+impl Default for PlanOptions {
+    /// The paper's defaults: largest-class splits, deterministic
+    /// first-cell selection, automatic thread count, no round cap, cost
+    /// stop active.
+    fn default() -> PlanOptions {
+        PlanOptions {
+            strategy: SplitStrategy::LargestClass,
+            policy: CellSelection::First,
+            threads: 0,
+            max_rounds: None,
+            cost_stop: true,
+        }
+    }
+}
+
 /// The paper's partitioning engine: iterative binary splits on
 /// inter-correlated scan cells, gated by the control-bit cost function.
 ///
@@ -210,14 +260,14 @@ impl PartCtx {
 /// let cfg = ScanConfig::uniform(5, 3);
 /// let mut b = XMapBuilder::new(cfg, 8);
 /// for p in [0, 3, 4, 5] {
-///     b.add_x(CellId::new(0, 0), p);
-///     b.add_x(CellId::new(1, 0), p);
-///     b.add_x(CellId::new(2, 0), p);
+///     b.add_x(CellId::new(0, 0), p).unwrap();
+///     b.add_x(CellId::new(1, 0), p).unwrap();
+///     b.add_x(CellId::new(2, 0), p).unwrap();
 /// }
-/// for p in [0, 4] { b.add_x(CellId::new(1, 2), p); }
-/// for p in [0, 1, 2, 3, 4, 6, 7] { b.add_x(CellId::new(3, 2), p); }
-/// for p in [0, 1, 3, 4, 6, 7] { b.add_x(CellId::new(4, 1), p); }
-/// b.add_x(CellId::new(4, 2), 5);
+/// for p in [0, 4] { b.add_x(CellId::new(1, 2), p).unwrap(); }
+/// for p in [0, 1, 2, 3, 4, 6, 7] { b.add_x(CellId::new(3, 2), p).unwrap(); }
+/// for p in [0, 1, 3, 4, 6, 7] { b.add_x(CellId::new(4, 1), p).unwrap(); }
+/// b.add_x(CellId::new(4, 2), 5).unwrap();
 /// let xmap = b.finish();
 ///
 /// let outcome = PartitionEngine::new(XCancelConfig::new(10, 2)).run(&xmap);
@@ -229,58 +279,74 @@ impl PartCtx {
 #[derive(Debug, Clone)]
 pub struct PartitionEngine {
     cancel: XCancelConfig,
-    policy: CellSelection,
-    strategy: SplitStrategy,
-    cost_stop: bool,
-    max_rounds: Option<usize>,
-    threads: Option<usize>,
+    opts: PlanOptions,
 }
 
 impl PartitionEngine {
-    /// An engine with the paper's defaults: deterministic first-cell
-    /// selection, largest-class splits and the cost-function stop rule.
+    /// An engine with the paper's defaults ([`PlanOptions::default`]).
     pub fn new(cancel: XCancelConfig) -> Self {
-        PartitionEngine {
-            cancel,
-            policy: CellSelection::First,
-            strategy: SplitStrategy::LargestClass,
-            cost_stop: true,
-            max_rounds: None,
-            threads: None,
-        }
+        PartitionEngine::with_options(cancel, PlanOptions::default())
     }
 
-    /// Pins the worker-pool width for candidate evaluation and child
-    /// re-analysis. Defaults to [`xhc_par::max_threads`]. The outcome is
-    /// bit-identical for every width — this knob trades wall-clock only
-    /// (the equivalence suite runs it at 1, 2 and N).
+    /// An engine with explicit options — the preferred constructor; the
+    /// same [`PlanOptions`] travels through the wire format and the CLI.
+    pub fn with_options(cancel: XCancelConfig, opts: PlanOptions) -> Self {
+        PartitionEngine { cancel, opts }
+    }
+
+    /// The options this engine runs with.
+    pub fn options(&self) -> PlanOptions {
+        self.opts
+    }
+
+    /// Pins the worker-pool width (clamped to at least 1).
+    #[deprecated(
+        since = "0.1.0",
+        note = "set `PlanOptions::threads` and use `PartitionEngine::with_options`"
+    )]
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = Some(threads.max(1));
+        self.opts.threads = threads.max(1);
         self
     }
 
     /// Sets the pivot-cell selection policy.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set `PlanOptions::policy` and use `PartitionEngine::with_options`"
+    )]
     pub fn with_policy(mut self, policy: CellSelection) -> Self {
-        self.policy = policy;
+        self.opts.policy = policy;
         self
     }
 
     /// Sets the split-selection strategy (see [`SplitStrategy`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "set `PlanOptions::strategy` and use `PartitionEngine::with_options`"
+    )]
     pub fn with_strategy(mut self, strategy: SplitStrategy) -> Self {
-        self.strategy = strategy;
+        self.opts.strategy = strategy;
         self
     }
 
     /// Disables the cost-function stop: partitioning runs until no
     /// partition is splittable (used by the depth-sweep ablation).
+    #[deprecated(
+        since = "0.1.0",
+        note = "clear `PlanOptions::cost_stop` and use `PartitionEngine::with_options`"
+    )]
     pub fn without_cost_stop(mut self) -> Self {
-        self.cost_stop = false;
+        self.opts.cost_stop = false;
         self
     }
 
     /// Caps the number of accepted rounds.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set `PlanOptions::max_rounds` and use `PartitionEngine::with_options`"
+    )]
     pub fn with_max_rounds(mut self, rounds: usize) -> Self {
-        self.max_rounds = Some(rounds);
+        self.opts.max_rounds = Some(rounds);
         self
     }
 
@@ -301,8 +367,15 @@ impl PartitionEngine {
         let num_patterns = xmap.num_patterns();
         let total_x = xmap.total_x();
         let word_bits = xmap.config().mask_word_bits() as u128;
-        let threads = self.threads.unwrap_or_else(xhc_par::max_threads);
-        let mut rng = match self.policy {
+        let threads = match self.opts.threads {
+            0 => xhc_par::max_threads(),
+            t => t,
+        };
+        let mut run_span = xhc_trace::span("partition.run")
+            .arg("patterns", num_patterns as u64)
+            .arg("total_x", total_x as u64)
+            .arg("threads", threads as u64);
+        let mut rng = match self.opts.policy {
             CellSelection::Seeded(seed) => Some(XhcRng::seed_from_u64(seed)),
             _ => None,
         };
@@ -325,7 +398,7 @@ impl PartitionEngine {
         // The packed cells × patterns matrix drives the cost-only
         // candidate evaluator; only the BestCost strategy prices
         // candidates, so only it pays for the build.
-        let matrix: Option<XBitMatrix> = match self.strategy {
+        let matrix: Option<XBitMatrix> = match self.opts.strategy {
             SplitStrategy::BestCost => Some(xmap.to_bitmatrix()),
             SplitStrategy::LargestClass => None,
         };
@@ -335,14 +408,16 @@ impl PartitionEngine {
         let mut rounds = Vec::new();
 
         loop {
-            if let Some(max) = self.max_rounds {
+            if let Some(max) = self.opts.max_rounds {
                 if rounds.len() >= max {
                     break;
                 }
             }
+            let mut round_span =
+                xhc_trace::span("partition.round").arg("round", (rounds.len() + 1) as u64);
             // `(pi, pivot_cell, class_count, class_size, child_with,
             // child_without, next_cost)` of the accepted-candidate split.
-            let chosen = match self.strategy {
+            let chosen = match self.opts.strategy {
                 SplitStrategy::LargestClass => {
                     // The paper's rule: largest pivot class wins.
                     let Some((pi, class_size, class_count)) = infos
@@ -364,7 +439,7 @@ impl PartitionEngine {
                         break;
                     };
                     let (_, cells) = infos[pi].analysis.pivot_class().expect("candidate present");
-                    let pivot_cell = match self.policy {
+                    let pivot_cell = match self.opts.policy {
                         CellSelection::First => cells[0],
                         CellSelection::Seeded(_) => *cells
                             .choose(rng.as_mut().expect("seeded rng"))
@@ -409,6 +484,8 @@ impl PartitionEngine {
                                 .map(move |(count, cells)| (pi, count, cells[0], cells.len()))
                         })
                         .collect();
+                    round_span.set_arg("candidates", candidates.len() as u64);
+                    xhc_trace::counter_add("partition.candidates", candidates.len() as u64);
                     let ctx: Vec<PartCtx> = infos.iter().map(PartCtx::build).collect();
 
                     // Cost-only evaluation: the exact masked-X total the
@@ -489,6 +566,9 @@ impl PartitionEngine {
                         let retained: Vec<usize> = (0..candidates.len())
                             .filter(|&i| i != seed && bounds[i] <= seed_cost)
                             .collect();
+                        let pruned = (candidates.len() - 1 - retained.len()) as u64;
+                        round_span.set_arg("pruned", pruned);
+                        xhc_trace::counter_add("partition.pruned", pruned);
                         let evald = xhc_par::par_map_scratch_threads(
                             threads,
                             &mut scratch_pool,
@@ -530,10 +610,18 @@ impl PartitionEngine {
             else {
                 break;
             };
+            round_span.set_arg("partition", pi as u64);
+            round_span.set_arg("pivot", pivot_cell as u64);
+            round_span.set_arg("class_count", class_count as u64);
+            round_span.set_arg("class_size", class_size as u64);
+            round_span.set_arg("masked_x", next_cost.masked_x as u64);
+            round_span.set_arg("leaked_x", next_cost.leaked_x as u64);
 
-            if self.cost_stop && next_cost.total() >= cost.total() {
+            if self.opts.cost_stop && next_cost.total() >= cost.total() {
+                round_span.set_arg("accepted", 0);
                 break;
             }
+            round_span.set_arg("accepted", 1);
             rounds.push(RoundRecord {
                 round: rounds.len() + 1,
                 split_partition: pi,
@@ -592,6 +680,10 @@ impl PartitionEngine {
             debug_assert_eq!(final_cost.num_partitions, partitions.len());
         }
 
+        run_span.set_arg("partitions", partitions.len() as u64);
+        run_span.set_arg("rounds", rounds.len() as u64);
+        run_span.set_arg("masked_x", final_cost.masked_x as u64);
+        run_span.set_arg("leaked_x", final_cost.leaked_x as u64);
         PartitionOutcome {
             partitions,
             masks,
@@ -611,20 +703,20 @@ mod tests {
         let cfg = ScanConfig::uniform(5, 3);
         let mut b = XMapBuilder::new(cfg, 8);
         for p in [0, 3, 4, 5] {
-            b.add_x(CellId::new(0, 0), p);
-            b.add_x(CellId::new(1, 0), p);
-            b.add_x(CellId::new(2, 0), p);
+            b.add_x(CellId::new(0, 0), p).unwrap();
+            b.add_x(CellId::new(1, 0), p).unwrap();
+            b.add_x(CellId::new(2, 0), p).unwrap();
         }
         for p in [0, 4] {
-            b.add_x(CellId::new(1, 2), p);
+            b.add_x(CellId::new(1, 2), p).unwrap();
         }
         for p in [0, 1, 2, 3, 4, 6, 7] {
-            b.add_x(CellId::new(3, 2), p);
+            b.add_x(CellId::new(3, 2), p).unwrap();
         }
         for p in [0, 1, 3, 4, 6, 7] {
-            b.add_x(CellId::new(4, 1), p);
+            b.add_x(CellId::new(4, 1), p).unwrap();
         }
-        b.add_x(CellId::new(4, 2), 5);
+        b.add_x(CellId::new(4, 2), 5).unwrap();
         b.finish()
     }
 
@@ -724,9 +816,11 @@ mod tests {
     #[test]
     fn without_cost_stop_runs_until_unsplittable() {
         let xmap = fig4_xmap();
-        let outcome = PartitionEngine::new(XCancelConfig::new(10, 1))
-            .without_cost_stop()
-            .run(&xmap);
+        let opts = PlanOptions {
+            cost_stop: false,
+            ..PlanOptions::default()
+        };
+        let outcome = PartitionEngine::with_options(XCancelConfig::new(10, 1), opts).run(&xmap);
         // q=1 cost stop would stop at round 1; without it we reach the
         // fully-split state (3 partitions, like the q=2 run).
         assert_eq!(outcome.partitions.len(), 3);
@@ -735,9 +829,11 @@ mod tests {
     #[test]
     fn max_rounds_caps_splits() {
         let xmap = fig4_xmap();
-        let outcome = PartitionEngine::new(XCancelConfig::new(10, 2))
-            .with_max_rounds(1)
-            .run(&xmap);
+        let opts = PlanOptions {
+            max_rounds: Some(1),
+            ..PlanOptions::default()
+        };
+        let outcome = PartitionEngine::with_options(XCancelConfig::new(10, 2), opts).run(&xmap);
         assert_eq!(outcome.rounds.len(), 1);
         assert_eq!(outcome.partitions.len(), 2);
     }
@@ -749,9 +845,11 @@ mod tests {
         let xmap = fig4_xmap();
         let base = PartitionEngine::new(XCancelConfig::new(10, 2)).run(&xmap);
         for policy in [CellSelection::Seeded(99), CellSelection::GlobalMaxX] {
-            let other = PartitionEngine::new(XCancelConfig::new(10, 2))
-                .with_policy(policy)
-                .run(&xmap);
+            let opts = PlanOptions {
+                policy,
+                ..PlanOptions::default()
+            };
+            let other = PartitionEngine::with_options(XCancelConfig::new(10, 2), opts).run(&xmap);
             let a: std::collections::BTreeSet<Vec<usize>> =
                 base.partitions.iter().map(|p| p.iter().collect()).collect();
             let b: std::collections::BTreeSet<Vec<usize>> = other
@@ -777,11 +875,13 @@ mod tests {
     #[test]
     fn best_cost_strategy_never_worse_on_fig4() {
         let xmap = fig4_xmap();
+        let best_opts = PlanOptions {
+            strategy: SplitStrategy::BestCost,
+            ..PlanOptions::default()
+        };
         for cancel in [XCancelConfig::new(10, 2), XCancelConfig::new(10, 1)] {
             let greedy = PartitionEngine::new(cancel).run(&xmap);
-            let best = PartitionEngine::new(cancel)
-                .with_strategy(SplitStrategy::BestCost)
-                .run(&xmap);
+            let best = PartitionEngine::with_options(cancel, best_opts).run(&xmap);
             assert!(
                 best.cost.total() <= greedy.cost.total() + 1e-9,
                 "BestCost {} must be <= greedy {}",
@@ -805,28 +905,45 @@ mod tests {
         let mut b = XMapBuilder::new(cfg, 40);
         // Dominant cell: X under patterns 0..20.
         for p in 0..20 {
-            b.add_x(CellId::new(0, 0), p);
+            b.add_x(CellId::new(0, 0), p).unwrap();
         }
         // Unique-count companions fully inside the dominant set.
         for p in 0..5 {
-            b.add_x(CellId::new(0, 1), p);
+            b.add_x(CellId::new(0, 1), p).unwrap();
         }
         for p in 0..9 {
-            b.add_x(CellId::new(0, 2), p);
+            b.add_x(CellId::new(0, 2), p).unwrap();
         }
         let xmap = b.finish();
         let cancel = XCancelConfig::new(4, 2);
         let greedy = PartitionEngine::new(cancel).run(&xmap);
         assert_eq!(greedy.partitions.len(), 1, "paper's rule cannot split");
-        let best = PartitionEngine::new(cancel)
-            .with_strategy(SplitStrategy::BestCost)
-            .run(&xmap);
+        let best = PartitionEngine::with_options(
+            cancel,
+            PlanOptions {
+                strategy: SplitStrategy::BestCost,
+                ..PlanOptions::default()
+            },
+        )
+        .run(&xmap);
         assert!(
             best.partitions.len() > 1,
             "BestCost splits on the singleton"
         );
         assert!(best.cost.total() < greedy.cost.total());
         assert!(best.masked_x() >= 20);
+    }
+
+    #[test]
+    fn new_runs_with_the_default_options() {
+        let engine = PartitionEngine::new(XCancelConfig::new(10, 2));
+        assert_eq!(engine.options(), PlanOptions::default());
+        let opts = PlanOptions::default();
+        assert_eq!(opts.strategy, SplitStrategy::LargestClass);
+        assert_eq!(opts.policy, CellSelection::First);
+        assert_eq!(opts.threads, 0);
+        assert_eq!(opts.max_rounds, None);
+        assert!(opts.cost_stop);
     }
 
     #[test]

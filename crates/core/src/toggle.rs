@@ -63,8 +63,8 @@ impl ToggleMaskReport {
 /// // A chain with X's at adjacent positions 1,2: one interval covers both.
 /// let cfg = ScanConfig::uniform(1, 4);
 /// let mut b = XMapBuilder::new(cfg, 1);
-/// b.add_x(CellId::new(0, 1), 0);
-/// b.add_x(CellId::new(0, 2), 0);
+/// b.add_x(CellId::new(0, 1), 0).unwrap();
+/// b.add_x(CellId::new(0, 2), 0).unwrap();
 /// let xmap = b.finish();
 /// let report = toggle_masking(&xmap, XCancelConfig::new(8, 2), TogglePolicy::Conservative);
 /// assert_eq!(report.masked_x, 2);
@@ -152,7 +152,7 @@ mod tests {
         let cfg = ScanConfig::uniform(max_chain + 1, max_pos + 1);
         let mut b = XMapBuilder::new(cfg, patterns);
         for &(c, pos, pat) in chain_positions {
-            b.add_x(CellId::new(c, pos), pat);
+            b.add_x(CellId::new(c, pos), pat).unwrap();
         }
         b.finish()
     }

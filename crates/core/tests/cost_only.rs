@@ -28,12 +28,12 @@ fn random_xmap(seed: u64, chains: usize, depth: usize, patterns: usize, groups: 
             let cell = CellId::new(chain, pos);
             if rng.gen_bool(0.4) {
                 for &p in &group_sets[rng.gen_index(groups)] {
-                    b.add_x(cell, p);
+                    b.add_x(cell, p).unwrap();
                 }
             } else if rng.gen_bool(0.3) {
                 for p in 0..patterns {
                     if rng.gen_bool(0.1) {
-                        b.add_x(cell, p);
+                        b.add_x(cell, p).unwrap();
                     }
                 }
             }
@@ -196,10 +196,15 @@ fn pruning_never_changes_the_selected_pivot() {
             let cancel = XCancelConfig::new(24, 4);
             let (want_pivots, want_parts) = ref_best_cost_rounds(&xmap, cancel);
             for threads in [1usize, 2, 8] {
-                let got = PartitionEngine::new(cancel)
-                    .with_strategy(SplitStrategy::BestCost)
-                    .with_threads(threads)
-                    .run(&xmap);
+                let got = PartitionEngine::with_options(
+                    cancel,
+                    xhc_core::PlanOptions {
+                        strategy: SplitStrategy::BestCost,
+                        threads,
+                        ..xhc_core::PlanOptions::default()
+                    },
+                )
+                .run(&xmap);
                 let got_pivots: Vec<usize> = got.rounds.iter().map(|r| r.pivot_cell).collect();
                 assert_eq!(
                     got_pivots, want_pivots,

@@ -7,7 +7,8 @@
 use std::collections::BTreeMap;
 use xhc_bits::PatternSet;
 use xhc_core::{
-    CellSelection, CorrelationAnalysis, PartitionEngine, PartitionOutcome, SplitStrategy,
+    CellSelection, CorrelationAnalysis, PartitionEngine, PartitionOutcome, PlanOptions,
+    SplitStrategy,
 };
 use xhc_misr::XCancelConfig;
 use xhc_prng::{sample_indices, SliceRandom, XhcRng};
@@ -31,12 +32,12 @@ fn random_xmap(seed: u64, chains: usize, depth: usize, patterns: usize, groups: 
             let cell = CellId::new(chain, pos);
             if rng.gen_bool(0.4) {
                 for &p in &group_sets[rng.gen_index(groups)] {
-                    b.add_x(cell, p);
+                    b.add_x(cell, p).unwrap();
                 }
             } else if rng.gen_bool(0.3) {
                 for p in 0..patterns {
                     if rng.gen_bool(0.1) {
-                        b.add_x(cell, p);
+                        b.add_x(cell, p).unwrap();
                     }
                 }
             }
@@ -254,7 +255,11 @@ fn largest_class_matches_reference_on_random_maps() {
             CellSelection::Seeded(seed ^ 0xdead),
             CellSelection::GlobalMaxX,
         ] {
-            let got = PartitionEngine::new(cancel).with_policy(policy).run(&xmap);
+            let opts = PlanOptions {
+                policy,
+                ..PlanOptions::default()
+            };
+            let got = PartitionEngine::with_options(cancel, opts).run(&xmap);
             let want = ref_run(&xmap, cancel, SplitStrategy::LargestClass, policy);
             assert_matches_reference(&got, &want);
         }
@@ -266,9 +271,11 @@ fn best_cost_matches_reference_on_random_maps() {
     for seed in 0..6u64 {
         let xmap = random_xmap(seed, 4, 8, 24, 4);
         let cancel = XCancelConfig::new(16, 3);
-        let got = PartitionEngine::new(cancel)
-            .with_strategy(SplitStrategy::BestCost)
-            .run(&xmap);
+        let opts = PlanOptions {
+            strategy: SplitStrategy::BestCost,
+            ..PlanOptions::default()
+        };
+        let got = PartitionEngine::with_options(cancel, opts).run(&xmap);
         let want = ref_run(&xmap, cancel, SplitStrategy::BestCost, CellSelection::First);
         assert_matches_reference(&got, &want);
     }
@@ -295,15 +302,25 @@ fn outcome_is_identical_for_every_thread_count() {
         let xmap = random_xmap(seed, 10, 20, 64, 6);
         let cancel = XCancelConfig::new(32, 5);
         for strategy in [SplitStrategy::LargestClass, SplitStrategy::BestCost] {
-            let base = PartitionEngine::new(cancel)
-                .with_strategy(strategy)
-                .with_threads(1)
-                .run(&xmap);
+            let base = PartitionEngine::with_options(
+                cancel,
+                PlanOptions {
+                    strategy,
+                    threads: 1,
+                    ..PlanOptions::default()
+                },
+            )
+            .run(&xmap);
             for threads in [2, 3, 8] {
-                let other = PartitionEngine::new(cancel)
-                    .with_strategy(strategy)
-                    .with_threads(threads)
-                    .run(&xmap);
+                let other = PartitionEngine::with_options(
+                    cancel,
+                    PlanOptions {
+                        strategy,
+                        threads,
+                        ..PlanOptions::default()
+                    },
+                )
+                .run(&xmap);
                 assert_outcomes_identical(
                     &base,
                     &other,

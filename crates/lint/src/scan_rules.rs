@@ -173,8 +173,8 @@ mod tests {
     #[test]
     fn valid_xmap_passes() {
         let mut b = XMapBuilder::new(ScanConfig::uniform(3, 4), 10);
-        b.add_x(CellId::new(0, 0), 3);
-        b.add_x(CellId::new(2, 1), 9);
+        b.add_x(CellId::new(0, 0), 3).unwrap();
+        b.add_x(CellId::new(2, 1), 9).unwrap();
         let report = check_xmap(&LintConfig::default(), &b.finish());
         assert!(report.is_empty(), "{}", report.render_human());
     }

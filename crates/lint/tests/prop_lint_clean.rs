@@ -59,7 +59,8 @@ fn built_xmaps_lint_clean() {
         let mut b = XMapBuilder::new(config.clone(), patterns);
         for _ in 0..rng.gen_range(0..80) {
             let cell = rng.gen_index(config.total_cells());
-            b.add_x(config.cell_at(cell), rng.gen_index(patterns));
+            b.add_x(config.cell_at(cell), rng.gen_index(patterns))
+                .unwrap();
         }
         let xmap = b.finish();
         let report = check_xmap_facts(&LintConfig::default(), &XMapFacts::from_xmap(&xmap));

@@ -258,8 +258,8 @@ fn xl0203_duplicates_fire() {
 fn xl0203_builder_output_passes() {
     let mut b = XMapBuilder::new(ScanConfig::uniform(2, 5), 6);
     // add_x twice for the same (cell, pattern) coalesces in the builder.
-    b.add_x(CellId::new(0, 3), 2);
-    b.add_x(CellId::new(0, 3), 2);
+    b.add_x(CellId::new(0, 3), 2).unwrap();
+    b.add_x(CellId::new(0, 3), 2).unwrap();
     let report = check_xmap(&LintConfig::default(), &b.finish());
     assert!(report.is_empty(), "{}", report.render_human());
 }
@@ -306,9 +306,9 @@ fn two_cell_xmap() -> XMap {
     let mut b = XMapBuilder::new(ScanConfig::uniform(1, 2), 4);
     // Cell 0 is X everywhere; cell 1 only under pattern 0.
     for p in 0..4 {
-        b.add_x(CellId::new(0, 0), p);
+        b.add_x(CellId::new(0, 0), p).unwrap();
     }
-    b.add_x(CellId::new(0, 1), 0);
+    b.add_x(CellId::new(0, 1), 0).unwrap();
     b.finish()
 }
 

@@ -109,6 +109,9 @@ impl CancelSession {
                            responses: &ResponseMatrix,
                            cells: usize|
          -> BlockOutcome {
+            let mut span = xhc_trace::span("cancel.block")
+                .arg("patterns", (range.1 - range.0) as u64)
+                .arg("block_x", block_x.len() as u64);
             let dep = x_dependency_matrix(sym.rows(), block_x);
             // Only q combinations are ever streamed per halt; skip
             // materialising the rest of the null-space basis.
@@ -125,6 +128,7 @@ impl CancelSession {
                 canceled_values.set(ci, acc);
             }
             let control_bits = m * combos.len();
+            span.set_arg("combinations", combos.len() as u64);
             BlockOutcome {
                 patterns: range,
                 num_x: block_x.len(),
@@ -174,6 +178,8 @@ impl CancelSession {
 
         let total_control_bits = blocks.iter().map(|b| b.control_bits).sum();
         let halts = blocks.len();
+        xhc_trace::counter_add("cancel.halts", halts as u64);
+        xhc_trace::counter_add("cancel.x_total", total_x as u64);
 
         // Self-checks mirroring the xhc-lint accounting rules (XL0303
         // family; kept inline — lint depends on this crate).

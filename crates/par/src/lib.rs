@@ -30,6 +30,11 @@
 //! so unevenly-sized tasks — split candidates whose partitions differ
 //! wildly in X population — balance without a size oracle.
 //!
+//! Every worker closure drains its `xhc-trace` thread buffer
+//! ([`xhc_trace::flush_thread`]) just before it returns, so spans and
+//! counters recorded on workers reach the trace sink deterministically at
+//! the join point — a traced parallel section never loses worker events.
+//!
 //! # Examples
 //!
 //! ```
@@ -115,6 +120,7 @@ where
                         }
                         local.push((i, f(&items[i])));
                     }
+                    xhc_trace::flush_thread();
                     local
                 })
             })
@@ -193,6 +199,7 @@ where
                         }
                         local.push((i, f(scratch, &items[i])));
                     }
+                    xhc_trace::flush_thread();
                     local
                 })
             })
@@ -260,7 +267,11 @@ where
         return (a(), b());
     }
     std::thread::scope(|scope| {
-        let hb = scope.spawn(b);
+        let hb = scope.spawn(|| {
+            let rb = b();
+            xhc_trace::flush_thread();
+            rb
+        });
         let ra = a();
         (ra, hb.join().expect("xhc-par join worker panicked"))
     })
@@ -367,5 +378,34 @@ mod tests {
     #[test]
     fn max_threads_is_positive() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn workers_drain_trace_buffers_at_the_join_point() {
+        let Some(session) = xhc_trace::TraceSession::begin() else {
+            panic!("another trace session is active");
+        };
+        let items: Vec<u64> = (0..32).collect();
+        let got = par_map_threads(4, &items, |&x| {
+            let _span = xhc_trace::span("par.test.item");
+            xhc_trace::counter_add("par.test.items", 1);
+            x + 1
+        });
+        assert_eq!(got.len(), 32);
+        let (a, b) = join(
+            || {
+                xhc_trace::counter_add("par.test.join", 1);
+                1u32
+            },
+            || {
+                xhc_trace::counter_add("par.test.join", 1);
+                2u32
+            },
+        );
+        assert_eq!((a, b), (1, 2));
+        let trace = session.finish();
+        assert_eq!(trace.spans("par.test.item").count(), 32);
+        assert_eq!(trace.counter("par.test.items"), Some(32));
+        assert_eq!(trace.counter("par.test.join"), Some(2));
     }
 }

@@ -135,16 +135,34 @@ impl ScanConfig {
     ///
     /// # Panics
     ///
-    /// Panics if the cell is out of range.
+    /// Panics if the cell is out of range; see
+    /// [`try_linear_index`](Self::try_linear_index) for the fallible
+    /// form.
     pub fn linear_index(&self, cell: CellId) -> usize {
+        match self.try_linear_index(cell) {
+            Ok(index) => index,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Flattened (linear) index of a cell, chain-major, or a typed
+    /// [`crate::ScanError`] if the cell is outside the topology.
+    pub fn try_linear_index(&self, cell: CellId) -> Result<usize, crate::ScanError> {
         let chain = cell.chain as usize;
         let pos = cell.position as usize;
-        assert!(chain < self.lengths.len(), "chain {chain} out of range");
-        assert!(
-            pos < self.lengths[chain],
-            "position {pos} out of range for chain {chain}"
-        );
-        self.offsets[chain] + pos
+        if chain >= self.lengths.len() {
+            return Err(crate::ScanError::ChainOutOfRange {
+                cell,
+                num_chains: self.lengths.len(),
+            });
+        }
+        if pos >= self.lengths[chain] {
+            return Err(crate::ScanError::PositionOutOfRange {
+                cell,
+                chain_len: self.lengths[chain],
+            });
+        }
+        Ok(self.offsets[chain] + pos)
     }
 
     /// Inverse of [`linear_index`](Self::linear_index).
@@ -227,6 +245,27 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn linear_index_checks_position() {
         ScanConfig::new(vec![3, 1]).linear_index(CellId::new(1, 1));
+    }
+
+    #[test]
+    fn try_linear_index_reports_typed_errors() {
+        use crate::ScanError;
+        let cfg = ScanConfig::new(vec![3, 1]);
+        assert_eq!(cfg.try_linear_index(CellId::new(1, 0)), Ok(3));
+        assert_eq!(
+            cfg.try_linear_index(CellId::new(2, 0)),
+            Err(ScanError::ChainOutOfRange {
+                cell: CellId::new(2, 0),
+                num_chains: 2
+            })
+        );
+        assert_eq!(
+            cfg.try_linear_index(CellId::new(1, 1)),
+            Err(ScanError::PositionOutOfRange {
+                cell: CellId::new(1, 1),
+                chain_len: 1
+            })
+        );
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Typed errors for scan-domain construction paths.
+
+use std::fmt;
+
+use crate::CellId;
+
+/// An out-of-range reference into a scan topology or X map — the typed,
+/// panic-free counterpart of the `assert!`s in the infallible
+/// constructors (mirroring how the wire decoders report malformed input
+/// instead of panicking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanError {
+    /// The cell names a chain the topology does not have.
+    ChainOutOfRange {
+        /// The offending cell.
+        cell: CellId,
+        /// Number of chains in the topology.
+        num_chains: usize,
+    },
+    /// The cell's position exceeds its chain's length.
+    PositionOutOfRange {
+        /// The offending cell.
+        cell: CellId,
+        /// Length of the named chain.
+        chain_len: usize,
+    },
+    /// The pattern index exceeds the X map's pattern count.
+    PatternOutOfRange {
+        /// The offending pattern index.
+        pattern: usize,
+        /// Number of patterns in the map.
+        num_patterns: usize,
+    },
+}
+
+impl fmt::Display for ScanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ScanError::ChainOutOfRange { cell, num_chains } => write!(
+                f,
+                "chain {} out of range: the topology has {num_chains} chains",
+                cell.chain
+            ),
+            ScanError::PositionOutOfRange { cell, chain_len } => write!(
+                f,
+                "position {} out of range for chain {} (length {chain_len})",
+                cell.position, cell.chain
+            ),
+            ScanError::PatternOutOfRange {
+                pattern,
+                num_patterns,
+            } => write!(
+                f,
+                "pattern {pattern} out of range: the map has {num_patterns} patterns"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offender() {
+        let e = ScanError::ChainOutOfRange {
+            cell: CellId::new(7, 0),
+            num_chains: 5,
+        };
+        assert_eq!(
+            e.to_string(),
+            "chain 7 out of range: the topology has 5 chains"
+        );
+        let e = ScanError::PositionOutOfRange {
+            cell: CellId::new(1, 9),
+            chain_len: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "position 9 out of range for chain 1 (length 3)"
+        );
+        let e = ScanError::PatternOutOfRange {
+            pattern: 8,
+            num_patterns: 8,
+        };
+        assert_eq!(
+            e.to_string(),
+            "pattern 8 out of range: the map has 8 patterns"
+        );
+    }
+}

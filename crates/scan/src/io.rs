@@ -83,7 +83,7 @@ impl From<std::io::Error> for ReadXMapError {
 ///
 /// let cfg = ScanConfig::uniform(2, 3);
 /// let mut b = XMapBuilder::new(cfg, 4);
-/// b.add_x(CellId::new(0, 1), 2);
+/// b.add_x(CellId::new(0, 1), 2).unwrap();
 /// let xmap = b.finish();
 ///
 /// let mut buf = Vec::new();
@@ -224,7 +224,7 @@ pub fn read_xmap<R: Read>(r: R) -> Result<XMap, ReadXMapError> {
                     message: format!("pattern index {p} out of range"),
                 });
             }
-            builder.add_x(config.cell_at(cell), p);
+            builder.add_x_unchecked(config.cell_at(cell), p);
         }
     }
     Ok(builder.finish())
@@ -238,9 +238,9 @@ mod tests {
     fn sample_map() -> XMap {
         let cfg = ScanConfig::new(vec![3, 2, 3]);
         let mut b = XMapBuilder::new(cfg, 6);
-        b.add_x(CellId::new(0, 0), 0);
-        b.add_x(CellId::new(0, 0), 3);
-        b.add_x(CellId::new(2, 2), 5);
+        b.add_x(CellId::new(0, 0), 0).unwrap();
+        b.add_x(CellId::new(0, 0), 3).unwrap();
+        b.add_x(CellId::new(2, 2), 5).unwrap();
         b.finish()
     }
 

@@ -24,7 +24,7 @@
 //! let cfg = ScanConfig::uniform(5, 3);
 //! let mut b = XMapBuilder::new(cfg, 8);
 //! for p in [0, 1, 2, 3, 4, 6, 7] {
-//!     b.add_x(CellId::new(3, 2), p);
+//!     b.add_x(CellId::new(3, 2), p).unwrap();
 //! }
 //! let xmap = b.finish();
 //! assert_eq!(xmap.x_count(CellId::new(3, 2)), 7);
@@ -35,6 +35,7 @@
 
 mod ate;
 mod config;
+mod error;
 mod harness;
 mod io;
 mod response;
@@ -43,6 +44,7 @@ mod xmap;
 
 pub use ate::AteConfig;
 pub use config::{CellId, ScanConfig};
+pub use error::ScanError;
 pub use harness::{HarnessError, ScanHarness, TestPattern};
 pub use io::{read_xmap, write_xmap, ReadXMapError};
 pub use response::ResponseMatrix;

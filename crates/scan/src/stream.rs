@@ -97,7 +97,7 @@ mod tests {
     fn stream_values_match_matrix() {
         let config = ScanConfig::uniform(2, 2);
         let mut b = XMapBuilder::new(config.clone(), 1);
-        b.add_x(CellId::new(1, 0), 0);
+        b.add_x(CellId::new(1, 0), 0).unwrap();
         let xmap = b.finish();
         let mut resp = ResponseMatrix::filled(config.clone(), 1, Trit::Zero);
         resp.set(0, CellId::new(0, 1), Trit::One);

@@ -27,11 +27,12 @@ use xhc_bits::PatternSet;
 ///
 /// let cfg = ScanConfig::uniform(5, 3);
 /// let mut b = XMapBuilder::new(cfg, 8);
-/// b.add_x(CellId::new(0, 0), 0);
-/// b.add_x(CellId::new(0, 0), 3);
+/// b.add_x(CellId::new(0, 0), 0)?;
+/// b.add_x(CellId::new(0, 0), 3)?;
 /// let xmap = b.finish();
 /// assert_eq!(xmap.total_x(), 2);
 /// assert_eq!(xmap.x_count(CellId::new(0, 0)), 2);
+/// # Ok::<(), xhc_scan::ScanError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct XMap {
@@ -60,7 +61,7 @@ impl XMap {
         for cell in cells {
             for p in 0..num_patterns {
                 if is_x(p, cell) {
-                    b.add_x(cell, p);
+                    b.add_x_unchecked(cell, p);
                 }
             }
         }
@@ -238,19 +239,35 @@ impl XMapBuilder {
 
     /// Records that `cell` captures an X under `pattern`. Idempotent.
     ///
-    /// # Panics
-    ///
-    /// Panics if the cell or pattern is out of range.
-    pub fn add_x(&mut self, cell: CellId, pattern: usize) {
-        assert!(
-            pattern < self.num_patterns,
-            "pattern {pattern} out of range"
-        );
-        let idx = self.config.linear_index(cell);
+    /// Returns a typed [`ScanError`](crate::ScanError) when the cell or
+    /// pattern is outside the map — panic-free, like the wire decoders.
+    /// Generators whose coordinates are correct by construction can use
+    /// [`add_x_unchecked`](Self::add_x_unchecked) instead.
+    pub fn add_x(&mut self, cell: CellId, pattern: usize) -> Result<(), crate::ScanError> {
+        if pattern >= self.num_patterns {
+            return Err(crate::ScanError::PatternOutOfRange {
+                pattern,
+                num_patterns: self.num_patterns,
+            });
+        }
+        let idx = self.config.try_linear_index(cell)?;
         self.xsets
             .entry(idx)
             .or_insert_with(|| PatternSet::empty(self.num_patterns))
             .insert(pattern);
+        Ok(())
+    }
+
+    /// Infallible [`add_x`](Self::add_x) for generators whose coordinates
+    /// are in range by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell or pattern is out of range.
+    pub fn add_x_unchecked(&mut self, cell: CellId, pattern: usize) {
+        if let Err(e) = self.add_x(cell, pattern) {
+            panic!("{e}");
+        }
     }
 
     /// Records a whole X pattern set for `cell`, unioning with anything
@@ -320,20 +337,20 @@ mod tests {
         let cfg = ScanConfig::uniform(5, 3);
         let mut b = XMapBuilder::new(cfg, 8);
         for p in [0, 3, 4, 5] {
-            b.add_x(CellId::new(0, 0), p);
-            b.add_x(CellId::new(1, 0), p);
-            b.add_x(CellId::new(2, 0), p);
+            b.add_x(CellId::new(0, 0), p).unwrap();
+            b.add_x(CellId::new(1, 0), p).unwrap();
+            b.add_x(CellId::new(2, 0), p).unwrap();
         }
         for p in [0, 4] {
-            b.add_x(CellId::new(1, 2), p);
+            b.add_x(CellId::new(1, 2), p).unwrap();
         }
         for p in [0, 1, 2, 3, 4, 6, 7] {
-            b.add_x(CellId::new(3, 2), p);
+            b.add_x(CellId::new(3, 2), p).unwrap();
         }
         for p in [0, 1, 3, 4, 6, 7] {
-            b.add_x(CellId::new(4, 1), p);
+            b.add_x(CellId::new(4, 1), p).unwrap();
         }
-        b.add_x(CellId::new(4, 2), 5);
+        b.add_x(CellId::new(4, 2), 5).unwrap();
         b.finish()
     }
 
@@ -398,7 +415,7 @@ mod tests {
     fn add_xset_unions() {
         let cfg = ScanConfig::uniform(1, 1);
         let mut b = XMapBuilder::new(cfg, 4);
-        b.add_x(CellId::new(0, 0), 0);
+        b.add_x(CellId::new(0, 0), 0).unwrap();
         b.add_xset(CellId::new(0, 0), &PatternSet::from_patterns(4, [2, 3]));
         let m = b.finish();
         assert_eq!(m.x_count(CellId::new(0, 0)), 3);

@@ -18,7 +18,8 @@ fn any_map_roundtrips() {
         let mut b = XMapBuilder::new(config.clone(), patterns);
         for _ in 0..rng.gen_range(0..60) {
             let cell = rng.gen_index(config.total_cells());
-            b.add_x(config.cell_at(cell), rng.gen_index(patterns));
+            b.add_x(config.cell_at(cell), rng.gen_index(patterns))
+                .unwrap();
         }
         let xmap = b.finish();
 
@@ -35,8 +36,8 @@ fn truncated_input_never_panics() {
     for _ in 0..64 {
         let config = ScanConfig::new(random_lengths(&mut rng, 3, 4));
         let mut b = XMapBuilder::new(config.clone(), 5);
-        b.add_x(config.cell_at(0), 0);
-        b.add_x(CellId::new(0, 0), 4);
+        b.add_x(config.cell_at(0), 0).unwrap();
+        b.add_x(CellId::new(0, 0), 4).unwrap();
         let xmap = b.finish();
         let mut buf = Vec::new();
         write_xmap(&mut buf, &xmap).expect("write to vec cannot fail");

@@ -10,7 +10,7 @@
 //!
 //! | Route | Method | Behaviour |
 //! |-------|--------|-----------|
-//! | `/v1/plan?m=&q=&strategy=&mode=` | POST | Body is a wire-encoded X map or workload spec, or `xmap v1` text. Lints it, plans it (or serves the cached plan) and returns the wire-encoded plan. `mode=async` returns `202` and a job id instead. |
+//! | `/v1/plan?m=&q=&strategy=&policy=&seed=&max_rounds=&cost_stop=&mode=&trace=` | POST | Body is a wire-encoded X map, workload spec or plan request, or `xmap v1` text. Lints it, plans it (or serves the cached plan) and returns the wire-encoded plan. `mode=async` returns `202` and a job id instead. |
 //! | `/v1/plan/{hash}` | GET | Fetches a cached plan by its 16-hex content address. |
 //! | `/v1/jobs/{id}` | GET | Status of an async job. |
 //! | `/healthz` | GET | Liveness probe. |
@@ -23,6 +23,20 @@
 //! Identical concurrent submissions are
 //! *single-flighted*: one computes, the rest wait and read the store, so
 //! the cache-miss counter increments exactly once per distinct request.
+//!
+//! A wire-encoded [`xhc_wire::PlanRequest`] body carries its own cancel
+//! parameters and [`xhc_core::PlanOptions`], which override the query
+//! string (the engine thread count stays server-controlled). Every other
+//! body takes its options from the query: `policy` is `first`, `seeded`
+//! (with `seed=<u64>`) or `global-max-x`; `max_rounds` caps the round
+//! count; `cost_stop=0` disables the cost-based stop.
+//!
+//! `trace=1` on a synchronous request records the request under the
+//! process-wide [`xhc_trace`] session (first caller wins; concurrent
+//! traced requests proceed untraced). The response body is then the plan
+//! bytes followed by the chrome://tracing JSON export, with
+//! `X-Xhc-Plan-Bytes` giving the byte offset of the boundary; the stored
+//! plan bytes are unchanged.
 //!
 //! Decoded artifacts pass through the `xhc-lint` gate before planning —
 //! any `Deny` finding short-circuits into HTTP `422` with the rendered
@@ -66,13 +80,13 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::Instant;
 
-use xhc_core::{PartitionEngine, SplitStrategy};
+use xhc_core::{CellSelection, PartitionEngine, PlanOptions, SplitStrategy};
 use xhc_lint::{check_cancel_params, check_xmap, LintConfig, LintReport};
 use xhc_misr::XCancelConfig;
 use xhc_scan::{read_xmap, XMap};
 use xhc_wire::{
-    decode_workload_spec, decode_xmap, encode_plan, encode_xmap, hash_hex, parse_hash_hex,
-    peek_kind, plan_request_hash, Kind, MAGIC,
+    decode_plan_request, decode_workload_spec, decode_xmap, encode_plan, encode_xmap, hash_hex,
+    parse_hash_hex, peek_kind, plan_request_hash_with_options, Kind, MAGIC,
 };
 
 /// How the daemon is configured.
@@ -113,12 +127,10 @@ impl ServerConfig {
 }
 
 /// The stable wire code of a split strategy (persisted inside cache keys,
-/// so the mapping must never change).
+/// so the mapping must never change). Delegates to
+/// [`xhc_wire::strategy_code`], which owns the pinned table.
 pub fn strategy_code(strategy: SplitStrategy) -> u8 {
-    match strategy {
-        SplitStrategy::LargestClass => 0,
-        SplitStrategy::BestCost => 1,
-    }
+    xhc_wire::strategy_code(strategy)
 }
 
 /// Parses the strategy names the CLI and the query string share.
@@ -126,6 +138,17 @@ pub fn parse_strategy(s: &str) -> Option<SplitStrategy> {
     match s {
         "largest" => Some(SplitStrategy::LargestClass),
         "best-cost" => Some(SplitStrategy::BestCost),
+        _ => None,
+    }
+}
+
+/// Parses the cell-selection policy names the CLI and the query string
+/// share; `seed` is the stream seed a `seeded` policy binds.
+pub fn parse_policy(s: &str, seed: u64) -> Option<CellSelection> {
+    match s {
+        "first" => Some(CellSelection::First),
+        "seeded" => Some(CellSelection::Seeded(seed)),
+        "global-max-x" => Some(CellSelection::GlobalMaxX),
         _ => None,
     }
 }
@@ -218,18 +241,22 @@ impl Server {
     ///
     /// Returns the underlying I/O error if `accept` fails.
     pub fn run(self) -> io::Result<()> {
-        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let (tx, rx) = mpsc::channel::<(TcpStream, Instant)>();
         let rx = Arc::new(Mutex::new(rx));
         let mut workers = Vec::with_capacity(self.state.config.workers);
         for _ in 0..self.state.config.workers.max(1) {
             let rx = Arc::clone(&rx);
             let state = Arc::clone(&self.state);
             workers.push(thread::spawn(move || loop {
-                let stream = match rx.lock().expect("worker queue poisoned").recv() {
+                let (stream, queued_at) = match rx.lock().expect("worker queue poisoned").recv() {
                     Ok(s) => s,
                     Err(_) => break, // accept loop gone
                 };
                 state.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                state
+                    .metrics
+                    .queue_wait_ns
+                    .record_ns(queued_at.elapsed().as_nanos() as u64);
                 handle_connection(&state, stream);
             }));
         }
@@ -242,7 +269,7 @@ impl Server {
                 .metrics
                 .queue_depth
                 .fetch_add(1, Ordering::Relaxed);
-            if tx.send(stream).is_err() {
+            if tx.send((stream, Instant::now())).is_err() {
                 break;
             }
         }
@@ -339,12 +366,15 @@ fn jobs_endpoint(state: &ServerState, raw_id: &str) -> Result<Response, HandlerE
     ))
 }
 
-/// The validated parameters of one plan request.
+/// The validated parameters of one plan request. `options.threads` is
+/// always left at `0` here: the engine thread count belongs to the
+/// server, not the client (see [`run_engine`]).
 struct PlanParams {
     m: usize,
     q: usize,
-    strategy: SplitStrategy,
+    options: PlanOptions,
     asynchronous: bool,
+    trace: bool,
 }
 
 fn parse_plan_params(request: &Request) -> Result<PlanParams, HandlerError> {
@@ -367,6 +397,45 @@ fn parse_plan_params(request: &Request) -> Result<PlanParams, HandlerError> {
             )
         })?,
     };
+    let seed = match request.query_param("seed") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse::<u64>()
+                .map_err(|_| HandlerError::new(400, format!("`{raw}` is not a valid `seed`")))?,
+        ),
+    };
+    let policy = match request.query_param("policy") {
+        None => CellSelection::First,
+        Some(raw) => parse_policy(raw, seed.unwrap_or(0)).ok_or_else(|| {
+            HandlerError::new(
+                400,
+                format!("`{raw}` is not a policy (expected `first`, `seeded` or `global-max-x`)"),
+            )
+        })?,
+    };
+    if seed.is_some() && !matches!(policy, CellSelection::Seeded(_)) {
+        return Err(HandlerError::new(
+            400,
+            "`seed` requires `policy=seeded`".to_string(),
+        ));
+    }
+    let max_rounds =
+        match request.query_param("max_rounds") {
+            None => None,
+            Some(raw) => Some(raw.parse::<usize>().map_err(|_| {
+                HandlerError::new(400, format!("`{raw}` is not a valid `max_rounds`"))
+            })?),
+        };
+    let cost_stop = match request.query_param("cost_stop") {
+        None | Some("1") => true,
+        Some("0") => false,
+        Some(raw) => {
+            return Err(HandlerError::new(
+                400,
+                format!("`{raw}` is not a valid `cost_stop` (expected `0` or `1`)"),
+            ))
+        }
+    };
     let asynchronous = match request.query_param("mode") {
         None | Some("sync") => false,
         Some("async") => true,
@@ -377,19 +446,59 @@ fn parse_plan_params(request: &Request) -> Result<PlanParams, HandlerError> {
             ))
         }
     };
+    let trace = match request.query_param("trace") {
+        None | Some("0") => false,
+        Some("1") => true,
+        Some(raw) => {
+            return Err(HandlerError::new(
+                400,
+                format!("`{raw}` is not a valid `trace` (expected `0` or `1`)"),
+            ))
+        }
+    };
     Ok(PlanParams {
         m,
         q,
-        strategy,
+        options: PlanOptions {
+            strategy,
+            policy,
+            max_rounds,
+            cost_stop,
+            ..PlanOptions::default()
+        },
         asynchronous,
+        trace,
     })
+}
+
+/// Decodes a nested plan-request artifact (already kind-checked by
+/// `decode_plan_request` to be an X map or workload spec).
+fn decode_nested_artifact(artifact: &[u8]) -> Result<XMap, HandlerError> {
+    match peek_kind(artifact) {
+        Ok(Kind::XMap) => decode_xmap(artifact)
+            .map_err(|e| HandlerError::new(400, format!("bad nested xmap: {e}"))),
+        Ok(Kind::WorkloadSpec) => decode_workload_spec(artifact)
+            .map(|spec| spec.generate())
+            .map_err(|e| HandlerError::new(400, format!("bad nested workload spec: {e}"))),
+        Ok(kind) => Err(HandlerError::new(
+            400,
+            format!("cannot plan from a nested {kind} artifact"),
+        )),
+        Err(e) => Err(HandlerError::new(400, format!("bad nested artifact: {e}"))),
+    }
 }
 
 /// Decodes a plan-request body into an X map: wire-encoded X map,
 /// wire-encoded workload spec (generated deterministically from its
-/// seed), or `xmap v1` text.
-fn decode_request_xmap(state: &ServerState, body: &[u8]) -> Result<XMap, HandlerError> {
+/// seed), wire-encoded plan request (whose embedded `(m, q)` and engine
+/// options overwrite `params`), or `xmap v1` text.
+fn decode_request_xmap(
+    state: &ServerState,
+    body: &[u8],
+    params: &mut PlanParams,
+) -> Result<XMap, HandlerError> {
     let started = Instant::now();
+    let span = xhc_trace::span("serve.decode");
     let result = if body.starts_with(&MAGIC) {
         match peek_kind(body) {
             Ok(Kind::XMap) => decode_xmap(body)
@@ -397,6 +506,20 @@ fn decode_request_xmap(state: &ServerState, body: &[u8]) -> Result<XMap, Handler
             Ok(Kind::WorkloadSpec) => decode_workload_spec(body)
                 .map(|spec| spec.generate())
                 .map_err(|e| HandlerError::new(400, format!("bad workload-spec buffer: {e}"))),
+            Ok(Kind::PlanRequest) => decode_plan_request(body)
+                .map_err(|e| HandlerError::new(400, format!("bad plan-request buffer: {e}")))
+                .and_then(|req| {
+                    params.m = req.m;
+                    params.q = req.q;
+                    // The thread count stays server-side even when the
+                    // request carries one: the outcome is thread-count
+                    // invariant, and worker sizing is an operator concern.
+                    params.options = PlanOptions {
+                        threads: 0,
+                        ..req.options
+                    };
+                    decode_nested_artifact(&req.artifact)
+                }),
             Ok(kind) => Err(HandlerError::new(
                 400,
                 format!("cannot plan from a {kind} artifact"),
@@ -406,6 +529,7 @@ fn decode_request_xmap(state: &ServerState, body: &[u8]) -> Result<XMap, Handler
     } else {
         read_xmap(body).map_err(|e| HandlerError::new(400, format!("bad xmap text: {e}")))
     };
+    drop(span);
     state
         .metrics
         .decode_ns
@@ -417,9 +541,11 @@ fn decode_request_xmap(state: &ServerState, body: &[u8]) -> Result<XMap, Handler
 /// diagnostics as the body.
 fn lint_gate(state: &ServerState, xmap: &XMap, m: usize, q: usize) -> Result<(), HandlerError> {
     let started = Instant::now();
+    let span = xhc_trace::span("serve.lint");
     let lint_config = LintConfig::default();
     let mut report: LintReport = check_xmap(&lint_config, xmap);
     report.merge(check_cancel_params(&lint_config, m, q));
+    drop(span);
     state
         .metrics
         .lint_ns
@@ -431,20 +557,23 @@ fn lint_gate(state: &ServerState, xmap: &XMap, m: usize, q: usize) -> Result<(),
 }
 
 fn plan_endpoint(state: &Arc<ServerState>, request: &Request) -> Result<Response, HandlerError> {
-    let params = parse_plan_params(request)?;
+    let mut params = parse_plan_params(request)?;
     if request.body.is_empty() {
         return Err(HandlerError::new(400, "empty request body"));
     }
-    let xmap = decode_request_xmap(state, &request.body)?;
+    // Claim the process-wide trace session before decoding so every stage
+    // span of this request lands in the recording. Busy (another traced
+    // request is in flight) or async mode -> proceed untraced.
+    let trace_session = if params.trace && !params.asynchronous {
+        xhc_trace::TraceSession::begin()
+    } else {
+        None
+    };
+    let xmap = decode_request_xmap(state, &request.body, &mut params)?;
     lint_gate(state, &xmap, params.m, params.q)?;
 
     let canonical = encode_xmap(&xmap);
-    let key = plan_request_hash(
-        &canonical,
-        params.m,
-        params.q,
-        strategy_code(params.strategy),
-    );
+    let key = plan_request_hash_with_options(&canonical, params.m, params.q, &params.options);
 
     if params.asynchronous {
         let id = state.jobs.submit();
@@ -468,6 +597,9 @@ fn plan_endpoint(state: &Arc<ServerState>, request: &Request) -> Result<Response
                 .metrics
                 .jobs_completed
                 .fetch_add(1, Ordering::Relaxed);
+            // If a concurrent traced request is recording, hand it this
+            // thread's spans before the thread exits and they are lost.
+            xhc_trace::flush_thread();
         });
         return Ok(Response::new(
             202,
@@ -479,12 +611,23 @@ fn plan_endpoint(state: &Arc<ServerState>, request: &Request) -> Result<Response
     }
 
     let (bytes, engine_ns) = compute_plan(state, key, &xmap, &params)?;
-    let mut response = Response::new(200, "application/octet-stream", bytes)
+    let plan_len = bytes.len();
+    let mut body = bytes;
+    let traced = trace_session.is_some();
+    if let Some(session) = trace_session {
+        // Two-part body: the untouched plan bytes, then the chrome JSON.
+        // `X-Xhc-Plan-Bytes` below marks the boundary.
+        body.extend_from_slice(session.finish().to_chrome_json().as_bytes());
+    }
+    let mut response = Response::new(200, "application/octet-stream", body)
         .with_header("X-Xhc-Plan-Hash", hash_hex(key))
         .with_header(
             "X-Xhc-Cache",
             if engine_ns.is_none() { "hit" } else { "miss" }.to_string(),
         );
+    if traced {
+        response = response.with_header("X-Xhc-Plan-Bytes", plan_len.to_string());
+    }
     if let Some(ns) = engine_ns {
         // Engine time of this cold plan, so clients can decompose
         // cold-vs-hit latency without scraping /metrics.
@@ -538,7 +681,14 @@ fn compute_plan(
     }
     state.inflight_cv.notify_all();
     let (bytes, engine_ns) = result?;
+    let store_started = Instant::now();
+    let span = xhc_trace::span("serve.store");
     state.store.save(key, &bytes).map_err(store_err)?;
+    drop(span);
+    state
+        .metrics
+        .store_ns
+        .record_ns(store_started.elapsed().as_nanos() as u64);
     state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
     Ok((bytes, Some(engine_ns)))
 }
@@ -552,22 +702,26 @@ fn run_engine(
     xmap: &XMap,
     params: &PlanParams,
 ) -> Result<(Vec<u8>, u64), HandlerError> {
-    let threads = if state.config.threads == 0 {
-        xhc_par::max_threads()
-    } else {
-        state.config.threads
+    // The server owns worker sizing: its configured count replaces
+    // whatever the request carried, and `0` stays `0` — the engine
+    // resolves auto-threading itself.
+    let opts = PlanOptions {
+        threads: state.config.threads,
+        ..params.options
     };
-    let engine = PartitionEngine::new(XCancelConfig::new(params.m, params.q))
-        .with_strategy(params.strategy)
-        .with_threads(threads);
+    let engine = PartitionEngine::with_options(XCancelConfig::new(params.m, params.q), opts);
     let plan_started = Instant::now();
+    let span = xhc_trace::span("serve.plan");
     let outcome = catch_unwind(AssertUnwindSafe(|| engine.run(xmap)))
         .map_err(|_| HandlerError::new(500, "partition engine panicked"))?;
+    drop(span);
     let engine_ns = plan_started.elapsed().as_nanos() as u64;
     state.metrics.plan_ns.record_ns(engine_ns);
     state.metrics.record_engine_ns(engine_ns);
     let encode_started = Instant::now();
+    let span = xhc_trace::span("serve.encode");
     let bytes = encode_plan(&outcome, xmap.num_patterns());
+    drop(span);
     state
         .metrics
         .encode_ns

@@ -94,6 +94,8 @@ pub struct Metrics {
     pub jobs_submitted: AtomicU64,
     /// Async jobs finished (successfully or not).
     pub jobs_completed: AtomicU64,
+    /// Wall time connections spent queued between `accept` and a worker.
+    pub queue_wait_ns: Histogram,
     /// Wall time spent decoding request bodies.
     pub decode_ns: Histogram,
     /// Wall time spent in the lint gate.
@@ -102,6 +104,8 @@ pub struct Metrics {
     pub plan_ns: Histogram,
     /// Wall time spent encoding responses.
     pub encode_ns: Histogram,
+    /// Wall time spent persisting cold plans into the store.
+    pub store_ns: Histogram,
     /// End-to-end request handling time.
     pub total_ns: Histogram,
     /// Cumulative wall time spent inside `PartitionEngine::run` (cache
@@ -190,10 +194,12 @@ impl Metrics {
             self.plan_engine_runs.load(Ordering::Relaxed)
         );
         for (stage, hist) in [
+            ("queue_wait", &self.queue_wait_ns),
             ("decode", &self.decode_ns),
             ("lint", &self.lint_ns),
             ("plan", &self.plan_ns),
             ("encode", &self.encode_ns),
+            ("store", &self.store_ns),
             ("total", &self.total_ns),
         ] {
             hist.render(&mut out, stage);
@@ -239,5 +245,7 @@ mod tests {
         assert!(page.contains("xhc_cache_hits_total 1"));
         assert!(page.contains("xhc_cache_misses_total 0"));
         assert!(page.contains("stage=\"plan\""));
+        assert!(page.contains("stage=\"queue_wait\""));
+        assert!(page.contains("stage=\"store\""));
     }
 }

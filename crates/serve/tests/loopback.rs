@@ -7,11 +7,14 @@ use std::path::PathBuf;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use xhc_core::{PartitionEngine, SplitStrategy};
+use xhc_core::{PartitionEngine, PlanOptions, SplitStrategy};
 use xhc_misr::XCancelConfig;
 use xhc_scan::write_xmap;
 use xhc_serve::{client, Server, ServerConfig};
-use xhc_wire::{encode_plan, encode_workload_spec, encode_xmap, hash_hex, plan_request_hash};
+use xhc_wire::{
+    encode_plan, encode_plan_request, encode_workload_spec, encode_xmap, hash_hex,
+    plan_request_hash, PlanRequest,
+};
 use xhc_workload::WorkloadSpec;
 
 /// A small but nontrivial workload (a few hundred X's).
@@ -87,9 +90,14 @@ fn concurrent_identical_submissions_single_flight() {
     // cache miss recorded.
     let spec = test_spec();
     let xmap = spec.generate();
-    let offline = PartitionEngine::new(XCancelConfig::new(32, 7))
-        .with_strategy(SplitStrategy::LargestClass)
-        .run(&xmap);
+    let offline = PartitionEngine::with_options(
+        XCancelConfig::new(32, 7),
+        PlanOptions {
+            strategy: SplitStrategy::LargestClass,
+            ..PlanOptions::default()
+        },
+    )
+    .run(&xmap);
     let expected_plan = encode_plan(&offline, xmap.num_patterns());
     let expected_key = plan_request_hash(&encode_xmap(&xmap), 32, 7, 0);
 
@@ -334,6 +342,86 @@ fn async_jobs_complete_and_report_their_hash() {
 }
 
 #[test]
+fn plan_request_bodies_override_query_params() {
+    let spec = test_spec();
+    let xmap = spec.generate();
+    let server = TestServer::start("plan-request", 2);
+    let body = encode_plan_request(&PlanRequest {
+        m: 16,
+        q: 3,
+        options: PlanOptions::default(),
+        artifact: encode_xmap(&xmap),
+    });
+    // The query string says (32, 7); the embedded request wins.
+    let response = client::post(
+        server.addr,
+        "/v1/plan?m=32&q=7",
+        "application/octet-stream",
+        &body,
+    )
+    .unwrap();
+    assert_eq!(response.status, 200, "{}", response.body_text());
+    let offline = PartitionEngine::new(XCancelConfig::new(16, 3)).run(&xmap);
+    assert_eq!(response.body, encode_plan(&offline, xmap.num_patterns()));
+    // Default options collapse to the pre-options cache key, so old
+    // store entries stay addressable.
+    let expected_key = plan_request_hash(&encode_xmap(&xmap), 16, 3, 0);
+    assert_eq!(
+        response.header("x-xhc-plan-hash"),
+        Some(hash_hex(expected_key).as_str())
+    );
+}
+
+#[test]
+fn traced_requests_return_plan_bytes_plus_chrome_json() {
+    let spec = test_spec();
+    let xmap = spec.generate();
+    let server = TestServer::start("trace", 2);
+    let body = encode_xmap(&xmap);
+    let response = client::post(
+        server.addr,
+        "/v1/plan?m=32&q=7&trace=1",
+        "application/octet-stream",
+        &body,
+    )
+    .unwrap();
+    assert_eq!(response.status, 200, "{}", response.body_text());
+    assert_eq!(response.header("x-xhc-cache"), Some("miss"));
+    let plan_len: usize = response
+        .header("x-xhc-plan-bytes")
+        .expect("traced responses carry the boundary header")
+        .parse()
+        .expect("boundary is an integer");
+    let (plan, json) = response.body.split_at(plan_len);
+    let offline = PartitionEngine::new(XCancelConfig::new(32, 7)).run(&xmap);
+    assert_eq!(plan, encode_plan(&offline, xmap.num_patterns()).as_slice());
+    let json = std::str::from_utf8(json).expect("chrome export is UTF-8");
+    assert!(
+        json.trim_start().starts_with('['),
+        "not a JSON array: {json}"
+    );
+    assert!(json.contains("\"serve.plan\""), "missing serve span");
+    assert!(json.contains("\"partition.run\""), "missing engine span");
+    // The stored plan is the untouched first part.
+    let hash = response.header("x-xhc-plan-hash").unwrap().to_string();
+    let fetched = client::get(server.addr, &format!("/v1/plan/{hash}")).unwrap();
+    assert_eq!(fetched.status, 200);
+    assert_eq!(fetched.body, plan);
+    // An untraced replay of the same request is a plain cache hit with
+    // no boundary header.
+    let again = client::post(
+        server.addr,
+        "/v1/plan?m=32&q=7",
+        "application/octet-stream",
+        &body,
+    )
+    .unwrap();
+    assert_eq!(again.header("x-xhc-cache"), Some("hit"));
+    assert_eq!(again.header("x-xhc-plan-bytes"), None);
+    assert_eq!(again.body, plan);
+}
+
+#[test]
 fn distinct_params_get_distinct_cache_entries() {
     let spec = test_spec();
     let xmap = spec.generate();
@@ -361,10 +449,18 @@ fn distinct_params_get_distinct_cache_entries() {
         &body,
     )
     .unwrap();
+    let d = client::post(
+        server.addr,
+        "/v1/plan?m=32&q=7&policy=global-max-x&cost_stop=0",
+        "application/octet-stream",
+        &body,
+    )
+    .unwrap();
     assert_eq!(a.status, 200);
     assert_eq!(b.status, 200);
     assert_eq!(c.status, 200);
-    for r in [&a, &b, &c] {
+    assert_eq!(d.status, 200);
+    for r in [&a, &b, &c, &d] {
         assert_eq!(r.header("x-xhc-cache"), Some("miss"));
     }
     assert_ne!(
@@ -377,5 +473,10 @@ fn distinct_params_get_distinct_cache_entries() {
         c.header("x-xhc-plan-hash"),
         "the strategy must be part of the cache key"
     );
-    assert_eq!(server.metric("xhc_cache_misses_total"), 3);
+    assert_ne!(
+        a.header("x-xhc-plan-hash"),
+        d.header("x-xhc-plan-hash"),
+        "non-default engine options must be part of the cache key"
+    );
+    assert_eq!(server.metric("xhc_cache_misses_total"), 4);
 }

@@ -3,7 +3,9 @@
 use crate::buf::{expect_drained, ArtifactWriter, PutLe, Reader, Sections};
 use crate::{Kind, WireError};
 use xhc_bits::{BitVec, PatternSet};
-use xhc_core::{HybridCost, PartitionOutcome, RoundRecord};
+use xhc_core::{
+    CellSelection, HybridCost, PartitionOutcome, PlanOptions, RoundRecord, SplitStrategy,
+};
 use xhc_misr::{MaskWord, SessionReport};
 use xhc_scan::{ScanConfig, XMap, XMapBuilder};
 use xhc_workload::WorkloadSpec;
@@ -20,6 +22,8 @@ const SEC_MASKS: u32 = 7;
 const SEC_COST: u32 = 8;
 const SEC_ROUNDS: u32 = 9;
 const SEC_BLOCKS: u32 = 10;
+const SEC_PLAN_PARAMS: u32 = 11;
+const SEC_ARTIFACT: u32 = 12;
 
 /// Guards a `count x width`-byte batch read against a section too short
 /// to hold it, so an untrusted count can never drive an allocation: after
@@ -557,6 +561,190 @@ pub fn decode_plan(bytes: &[u8]) -> Result<(PartitionOutcome, usize), WireError>
 }
 
 // ---------------------------------------------------------------------
+// PlanRequest
+// ---------------------------------------------------------------------
+
+/// The stable wire code of a split strategy. Persisted inside cache keys
+/// and `plan-request` buffers, so the mapping must never change.
+pub fn strategy_code(strategy: SplitStrategy) -> u8 {
+    match strategy {
+        SplitStrategy::LargestClass => 0,
+        SplitStrategy::BestCost => 1,
+    }
+}
+
+/// The inverse of [`strategy_code`].
+pub fn strategy_from_code(code: u8) -> Option<SplitStrategy> {
+    match code {
+        0 => Some(SplitStrategy::LargestClass),
+        1 => Some(SplitStrategy::BestCost),
+        _ => None,
+    }
+}
+
+/// The stable wire code of a pivot-selection policy (the seed of
+/// `Seeded` travels separately, see [`policy_seed`]).
+pub fn policy_code(policy: CellSelection) -> u8 {
+    match policy {
+        CellSelection::First => 0,
+        CellSelection::Seeded(_) => 1,
+        CellSelection::GlobalMaxX => 2,
+    }
+}
+
+/// The seed a policy carries on the wire (0 for the seedless policies).
+pub fn policy_seed(policy: CellSelection) -> u64 {
+    match policy {
+        CellSelection::Seeded(seed) => seed,
+        CellSelection::First | CellSelection::GlobalMaxX => 0,
+    }
+}
+
+/// The inverse of [`policy_code`] + [`policy_seed`].
+pub fn policy_from_code(code: u8, seed: u64) -> Option<CellSelection> {
+    match code {
+        0 => Some(CellSelection::First),
+        1 => Some(CellSelection::Seeded(seed)),
+        2 => Some(CellSelection::GlobalMaxX),
+        _ => None,
+    }
+}
+
+/// A fully-specified planning request: the cancel parameters `(m, q)`,
+/// every engine knob ([`PlanOptions`]) and the nested wire-encoded
+/// artifact (an X map or a workload spec) to plan over.
+///
+/// This is what a daemon client submits when query-string parameters are
+/// not enough — one self-contained buffer carries everything the plan's
+/// cache key depends on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanRequest {
+    /// MISR size of the X-canceling configuration.
+    pub m: usize,
+    /// X's canceled per scan-shift halt (`0 < q < m`).
+    pub q: usize,
+    /// Engine options. `threads` travels on the wire (a client may pin
+    /// it) but never enters the cache key — the outcome is thread-count
+    /// invariant.
+    pub options: PlanOptions,
+    /// Nested wire buffer: an [`Kind::XMap`] or [`Kind::WorkloadSpec`]
+    /// artifact.
+    pub artifact: Vec<u8>,
+}
+
+/// Encodes a plan request.
+pub fn encode_plan_request(request: &PlanRequest) -> Vec<u8> {
+    let mut p = Vec::with_capacity(48);
+    p.put_usize(request.m);
+    p.put_usize(request.q);
+    p.push(strategy_code(request.options.strategy));
+    p.push(policy_code(request.options.policy));
+    p.put_u64(policy_seed(request.options.policy));
+    p.put_usize(request.options.threads);
+    p.push(u8::from(request.options.max_rounds.is_some()));
+    p.put_usize(request.options.max_rounds.unwrap_or(0));
+    p.push(u8::from(request.options.cost_stop));
+    let mut w = ArtifactWriter::new(Kind::PlanRequest);
+    w.section(SEC_PLAN_PARAMS, p);
+    w.section(SEC_ARTIFACT, request.artifact.to_vec());
+    w.finish()
+}
+
+/// Decodes a plan request, validating the cancel parameters, every code
+/// and the nested artifact's kind (its full decode happens when the
+/// request is executed).
+///
+/// # Errors
+///
+/// Returns [`WireError`] on any structural or semantic defect, including
+/// a nested artifact that is neither an X map nor a workload spec.
+pub fn decode_plan_request(bytes: &[u8]) -> Result<PlanRequest, WireError> {
+    let sections = Sections::parse(bytes, Kind::PlanRequest, &[SEC_PLAN_PARAMS, SEC_ARTIFACT])?;
+    let mut r = Reader::new(sections.require(SEC_PLAN_PARAMS)?);
+    let m = r.length("misr size")?;
+    let q = r.length("cancel q")?;
+    let strategy_raw = r.bytes(1)?[0];
+    let policy_raw = r.bytes(1)?[0];
+    let seed = r.u64()?;
+    let threads = r.length("thread count")?;
+    let has_max_rounds = r.bytes(1)?[0];
+    let max_rounds_raw = r.length("max rounds")?;
+    let cost_stop_raw = r.bytes(1)?[0];
+    expect_drained(&r, SEC_PLAN_PARAMS)?;
+
+    if q == 0 || q >= m {
+        return Err(WireError::Malformed {
+            context: "plan-request",
+            message: format!("need 0 < q < m, got m={m} q={q}"),
+        });
+    }
+    let strategy = strategy_from_code(strategy_raw).ok_or_else(|| WireError::Malformed {
+        context: "plan-request",
+        message: format!("unknown strategy code {strategy_raw}"),
+    })?;
+    let policy = policy_from_code(policy_raw, seed).ok_or_else(|| WireError::Malformed {
+        context: "plan-request",
+        message: format!("unknown policy code {policy_raw}"),
+    })?;
+    if policy_raw != 1 && seed != 0 {
+        return Err(WireError::Malformed {
+            context: "plan-request",
+            message: format!("seed {seed} on a seedless policy breaks canonicality"),
+        });
+    }
+    let max_rounds = match has_max_rounds {
+        0 if max_rounds_raw == 0 => None,
+        0 => {
+            return Err(WireError::Malformed {
+                context: "plan-request",
+                message: format!("max_rounds {max_rounds_raw} without its flag"),
+            })
+        }
+        1 => Some(max_rounds_raw),
+        other => {
+            return Err(WireError::Malformed {
+                context: "plan-request",
+                message: format!("max_rounds flag must be 0 or 1, got {other}"),
+            })
+        }
+    };
+    let cost_stop = match cost_stop_raw {
+        0 => false,
+        1 => true,
+        other => {
+            return Err(WireError::Malformed {
+                context: "plan-request",
+                message: format!("cost_stop must be 0 or 1, got {other}"),
+            })
+        }
+    };
+
+    let artifact = sections.require(SEC_ARTIFACT)?;
+    match crate::peek_kind(artifact)? {
+        Kind::XMap | Kind::WorkloadSpec => {}
+        other => {
+            return Err(WireError::Malformed {
+                context: "plan-request",
+                message: format!("cannot plan from a nested {other} artifact"),
+            })
+        }
+    }
+
+    Ok(PlanRequest {
+        m,
+        q,
+        options: PlanOptions {
+            strategy,
+            policy,
+            threads,
+            max_rounds,
+            cost_stop,
+        },
+        artifact: artifact.to_vec(),
+    })
+}
+
+// ---------------------------------------------------------------------
 // CancelSummary
 // ---------------------------------------------------------------------
 
@@ -683,20 +871,20 @@ mod tests {
         let cfg = ScanConfig::uniform(5, 3);
         let mut b = XMapBuilder::new(cfg, 8);
         for p in [0, 3, 4, 5] {
-            b.add_x(CellId::new(0, 0), p);
-            b.add_x(CellId::new(1, 0), p);
-            b.add_x(CellId::new(2, 0), p);
+            b.add_x(CellId::new(0, 0), p).unwrap();
+            b.add_x(CellId::new(1, 0), p).unwrap();
+            b.add_x(CellId::new(2, 0), p).unwrap();
         }
         for p in [0, 4] {
-            b.add_x(CellId::new(1, 2), p);
+            b.add_x(CellId::new(1, 2), p).unwrap();
         }
         for p in [0, 1, 2, 3, 4, 6, 7] {
-            b.add_x(CellId::new(3, 2), p);
+            b.add_x(CellId::new(3, 2), p).unwrap();
         }
         for p in [0, 1, 3, 4, 6, 7] {
-            b.add_x(CellId::new(4, 1), p);
+            b.add_x(CellId::new(4, 1), p).unwrap();
         }
-        b.add_x(CellId::new(4, 2), 5);
+        b.add_x(CellId::new(4, 2), 5).unwrap();
         b.finish()
     }
 
@@ -795,6 +983,117 @@ mod tests {
         assert_eq!(back, outcome);
         // Canonical: re-encoding the decoded plan reproduces the bytes.
         assert_eq!(encode_plan(&back, patterns), bytes);
+    }
+
+    #[test]
+    fn plan_request_roundtrips() {
+        use xhc_workload::WorkloadSpec;
+        let requests = [
+            PlanRequest {
+                m: 32,
+                q: 7,
+                options: PlanOptions::default(),
+                artifact: encode_xmap(&fig4_xmap()),
+            },
+            PlanRequest {
+                m: 10,
+                q: 2,
+                options: PlanOptions {
+                    strategy: SplitStrategy::BestCost,
+                    policy: CellSelection::Seeded(77),
+                    threads: 4,
+                    max_rounds: Some(5),
+                    cost_stop: false,
+                },
+                artifact: encode_workload_spec(&WorkloadSpec::default()),
+            },
+            PlanRequest {
+                m: 16,
+                q: 3,
+                options: PlanOptions {
+                    policy: CellSelection::GlobalMaxX,
+                    max_rounds: Some(0),
+                    ..PlanOptions::default()
+                },
+                artifact: encode_xmap(&fig4_xmap()),
+            },
+        ];
+        for request in requests {
+            let bytes = encode_plan_request(&request);
+            assert_eq!(crate::peek_kind(&bytes).unwrap(), Kind::PlanRequest);
+            let back = decode_plan_request(&bytes).unwrap();
+            assert_eq!(back, request);
+            // Canonical: re-encoding reproduces the bytes.
+            assert_eq!(encode_plan_request(&back), bytes);
+        }
+    }
+
+    #[test]
+    fn plan_request_rejects_defects() {
+        let good = PlanRequest {
+            m: 32,
+            q: 7,
+            options: PlanOptions::default(),
+            artifact: encode_xmap(&fig4_xmap()),
+        };
+        // Truncations fail cleanly at every cut.
+        let bytes = encode_plan_request(&good);
+        for cut in 0..bytes.len() {
+            assert!(decode_plan_request(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // q out of range.
+        for (m, q) in [(32, 0), (7, 7), (7, 9)] {
+            let bad = PlanRequest {
+                m,
+                q,
+                ..good.clone()
+            };
+            assert!(matches!(
+                decode_plan_request(&encode_plan_request(&bad)),
+                Err(WireError::Malformed { .. })
+            ));
+        }
+        // Nested artifact of a non-plannable kind.
+        let bad = PlanRequest {
+            artifact: encode_scan_config(&ScanConfig::uniform(2, 2)),
+            ..good.clone()
+        };
+        assert!(matches!(
+            decode_plan_request(&encode_plan_request(&bad)),
+            Err(WireError::Malformed { .. })
+        ));
+        // A seed on a seedless policy is non-canonical: splice a nonzero
+        // seed into the encoded default-policy request.
+        let mut bytes = encode_plan_request(&good);
+        let needle = 77u64.to_le_bytes();
+        assert!(!bytes.windows(8).any(|w| w == needle));
+        // seed sits after m(8) + q(8) + strategy(1) + policy(1) in the
+        // params payload; the payload starts after the 12-byte header and
+        // one 12-byte table entry per section (2 sections).
+        let seed_off = 12 + 2 * 12 + 18;
+        bytes[seed_off..seed_off + 8].copy_from_slice(&needle);
+        assert!(matches!(
+            decode_plan_request(&bytes),
+            Err(WireError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn strategy_and_policy_codes_are_pinned() {
+        // Persisted inside cache keys — the mappings must never change.
+        assert_eq!(strategy_code(SplitStrategy::LargestClass), 0);
+        assert_eq!(strategy_code(SplitStrategy::BestCost), 1);
+        assert_eq!(policy_code(CellSelection::First), 0);
+        assert_eq!(policy_code(CellSelection::Seeded(9)), 1);
+        assert_eq!(policy_code(CellSelection::GlobalMaxX), 2);
+        for code in 0..3u8 {
+            let policy = policy_from_code(code, 9).unwrap();
+            assert_eq!(policy_code(policy), code);
+        }
+        assert_eq!(policy_seed(CellSelection::Seeded(9)), 9);
+        assert_eq!(policy_seed(CellSelection::First), 0);
+        assert_eq!(strategy_from_code(2), None);
+        assert_eq!(policy_from_code(3, 0), None);
     }
 
     #[test]

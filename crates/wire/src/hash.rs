@@ -47,6 +47,33 @@ pub fn plan_request_hash(xmap_wire: &[u8], m: usize, q: usize, strategy: u8) -> 
     splitmix64_mix(h ^ u64::from(strategy))
 }
 
+/// The cache key of a fully-optioned plan request.
+///
+/// Extends [`plan_request_hash`] with the engine options beyond the
+/// strategy — and collapses to *exactly* [`plan_request_hash`] whenever
+/// those extras are at their defaults (policy `First`, no round cap,
+/// cost stop on), so every address minted before options existed stays
+/// valid. `threads` is deliberately never mixed in: the outcome is
+/// thread-count invariant, and a cache key that varied with worker count
+/// would store the same plan many times.
+pub fn plan_request_hash_with_options(
+    artifact_wire: &[u8],
+    m: usize,
+    q: usize,
+    options: &xhc_core::PlanOptions,
+) -> u64 {
+    let strategy = crate::codec::strategy_code(options.strategy);
+    let base = plan_request_hash(artifact_wire, m, q, strategy);
+    let policy = crate::codec::policy_code(options.policy);
+    if policy == 0 && options.max_rounds.is_none() && options.cost_stop {
+        return base;
+    }
+    let mut h = splitmix64_mix(base ^ u64::from(policy)).wrapping_add(GOLDEN);
+    h = splitmix64_mix(h ^ crate::codec::policy_seed(options.policy)).wrapping_add(GOLDEN);
+    h = splitmix64_mix(h ^ options.max_rounds.map_or(u64::MAX, |r| r as u64)).wrapping_add(GOLDEN);
+    splitmix64_mix(h ^ u64::from(options.cost_stop))
+}
+
 /// Renders a digest as the canonical 16-hex-character address.
 pub fn hash_hex(hash: u64) -> String {
     format!("{hash:016x}")
@@ -100,6 +127,90 @@ mod tests {
         assert_ne!(
             plan_request_hash(bytes, 31, 8, 0),
             plan_request_hash(bytes, 32, 7, 0)
+        );
+    }
+
+    #[test]
+    fn options_hash_collapses_to_base_for_defaults() {
+        use xhc_core::{PlanOptions, SplitStrategy};
+        let bytes = b"some canonical xmap";
+        for (strategy, code) in [
+            (SplitStrategy::LargestClass, 0u8),
+            (SplitStrategy::BestCost, 1),
+        ] {
+            let opts = PlanOptions {
+                strategy,
+                ..PlanOptions::default()
+            };
+            let want = plan_request_hash(bytes, 32, 7, code);
+            assert_eq!(plan_request_hash_with_options(bytes, 32, 7, &opts), want);
+            // `threads` never enters the key, at defaults or otherwise.
+            let threaded = PlanOptions { threads: 8, ..opts };
+            assert_eq!(
+                plan_request_hash_with_options(bytes, 32, 7, &threaded),
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn options_hash_separates_non_default_options() {
+        use xhc_core::{CellSelection, PlanOptions};
+        let bytes = b"some canonical xmap";
+        let base = plan_request_hash(bytes, 32, 7, 0);
+        let variants = [
+            PlanOptions {
+                policy: CellSelection::GlobalMaxX,
+                ..PlanOptions::default()
+            },
+            PlanOptions {
+                policy: CellSelection::Seeded(9),
+                ..PlanOptions::default()
+            },
+            PlanOptions {
+                max_rounds: Some(3),
+                ..PlanOptions::default()
+            },
+            PlanOptions {
+                max_rounds: Some(0),
+                ..PlanOptions::default()
+            },
+            PlanOptions {
+                cost_stop: false,
+                ..PlanOptions::default()
+            },
+        ];
+        let mut keys: Vec<u64> = variants
+            .iter()
+            .map(|o| plan_request_hash_with_options(bytes, 32, 7, o))
+            .collect();
+        for &k in &keys {
+            assert_ne!(k, base);
+        }
+        keys.push(base);
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), variants.len() + 1, "option keys collide");
+        // Distinct seeds mint distinct addresses.
+        assert_ne!(
+            plan_request_hash_with_options(
+                bytes,
+                32,
+                7,
+                &PlanOptions {
+                    policy: CellSelection::Seeded(1),
+                    ..PlanOptions::default()
+                }
+            ),
+            plan_request_hash_with_options(
+                bytes,
+                32,
+                7,
+                &PlanOptions {
+                    policy: CellSelection::Seeded(2),
+                    ..PlanOptions::default()
+                }
+            ),
         );
     }
 

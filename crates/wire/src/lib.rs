@@ -46,7 +46,7 @@
 //! use xhc_wire::{decode_xmap, encode_xmap, peek_kind, Kind};
 //!
 //! let mut b = XMapBuilder::new(ScanConfig::uniform(5, 3), 8);
-//! b.add_x(CellId::new(0, 0), 3);
+//! b.add_x(CellId::new(0, 0), 3).unwrap();
 //! let xmap = b.finish();
 //!
 //! let bytes = encode_xmap(&xmap);
@@ -62,11 +62,14 @@ mod codec;
 mod hash;
 
 pub use codec::{
-    decode_plan, decode_scan_config, decode_session_summary, decode_workload_spec, decode_xmap,
-    encode_plan, encode_scan_config, encode_session_summary, encode_workload_spec, encode_xmap,
-    CancelBlockSummary, CancelSummary,
+    decode_plan, decode_plan_request, decode_scan_config, decode_session_summary,
+    decode_workload_spec, decode_xmap, encode_plan, encode_plan_request, encode_scan_config,
+    encode_session_summary, encode_workload_spec, encode_xmap, policy_code, policy_from_code,
+    policy_seed, strategy_code, strategy_from_code, CancelBlockSummary, CancelSummary, PlanRequest,
 };
-pub use hash::{content_hash, hash_hex, parse_hash_hex, plan_request_hash};
+pub use hash::{
+    content_hash, hash_hex, parse_hash_hex, plan_request_hash, plan_request_hash_with_options,
+};
 
 use std::fmt;
 
@@ -89,6 +92,9 @@ pub enum Kind {
     PartitionPlan,
     /// A cancel-session summary ([`CancelSummary`]).
     CancelSummary,
+    /// A fully-specified planning request ([`PlanRequest`]): cancel
+    /// parameters, engine options and the nested artifact to plan over.
+    PlanRequest,
 }
 
 impl Kind {
@@ -99,6 +105,7 @@ impl Kind {
             Kind::WorkloadSpec => 3,
             Kind::PartitionPlan => 4,
             Kind::CancelSummary => 5,
+            Kind::PlanRequest => 6,
         }
     }
 
@@ -109,6 +116,7 @@ impl Kind {
             3 => Some(Kind::WorkloadSpec),
             4 => Some(Kind::PartitionPlan),
             5 => Some(Kind::CancelSummary),
+            6 => Some(Kind::PlanRequest),
             _ => None,
         }
     }
@@ -122,6 +130,7 @@ impl Kind {
             Kind::WorkloadSpec => "workload-spec",
             Kind::PartitionPlan => "partition-plan",
             Kind::CancelSummary => "cancel-summary",
+            Kind::PlanRequest => "plan-request",
         }
     }
 }
@@ -277,6 +286,7 @@ mod tests {
             Kind::WorkloadSpec,
             Kind::PartitionPlan,
             Kind::CancelSummary,
+            Kind::PlanRequest,
         ] {
             assert_eq!(Kind::from_code(kind.code()), Some(kind));
             assert!(!kind.name().is_empty());

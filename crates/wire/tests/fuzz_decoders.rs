@@ -32,9 +32,9 @@ fn decoders() -> Vec<Decoder> {
 fn seed_buffers() -> Vec<Vec<u8>> {
     let config = ScanConfig::new(vec![3, 1, 4]);
     let mut b = XMapBuilder::new(config.clone(), 12);
-    b.add_x(CellId::new(0, 0), 0);
-    b.add_x(CellId::new(0, 0), 7);
-    b.add_x(CellId::new(2, 3), 11);
+    b.add_x(CellId::new(0, 0), 0).unwrap();
+    b.add_x(CellId::new(0, 0), 7).unwrap();
+    b.add_x(CellId::new(2, 3), 11).unwrap();
     let xmap = b.finish();
     let outcome = PartitionEngine::new(XCancelConfig::new(8, 2)).run(&xmap);
     let summary = CancelSummary {

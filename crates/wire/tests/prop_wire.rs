@@ -28,7 +28,7 @@ fn random_xmap(rng: &mut XhcRng) -> XMap {
         let cell = config.cell_at(idx);
         for p in 0..patterns {
             if rng.gen_index(4) == 0 {
-                b.add_x(cell, p);
+                b.add_x(cell, p).unwrap();
             }
         }
     }

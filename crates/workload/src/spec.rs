@@ -252,7 +252,7 @@ impl WorkloadSpec {
             let chosen = cumulative.partition_point(|&c| c <= pick);
             let cell_idx = noise_pool[chosen.min(noise_pool.len() - 1)];
             let p = rng.gen_range(0..self.num_patterns);
-            builder.add_x(config.cell_at(cell_idx), p);
+            builder.add_x_unchecked(config.cell_at(cell_idx), p);
         }
 
         builder.finish()

@@ -8,7 +8,8 @@ use xhybrid::core::baselines::{
     canceling_only_bits, masking_only_bits, superset_canceling, SupersetConfig,
 };
 use xhybrid::core::{
-    evaluate_hybrid, toggle_masking, CellSelection, PartitionEngine, SplitStrategy, TogglePolicy,
+    evaluate_hybrid, toggle_masking, CellSelection, PartitionEngine, PlanOptions, SplitStrategy,
+    TogglePolicy,
 };
 use xhybrid::misr::{shadow_cancel_report, XCancelConfig};
 use xhybrid::workload::WorkloadSpec;
@@ -109,9 +110,14 @@ fn main() {
         format!("{:.3}", hybrid.time_proposed),
         "-".into(),
     );
-    let best = PartitionEngine::new(cancel)
-        .with_strategy(SplitStrategy::BestCost)
-        .run(&xmap);
+    let best = PartitionEngine::with_options(
+        cancel,
+        PlanOptions {
+            strategy: SplitStrategy::BestCost,
+            ..PlanOptions::default()
+        },
+    )
+    .run(&xmap);
     row(
         "proposed hybrid + BestCost extension",
         best.cost.total(),

@@ -9,7 +9,7 @@
 //! Run with: `cargo run --example end_to_end_scan_test`
 
 use xhybrid::atpg::{generate_tests, AtpgConfig};
-use xhybrid::core::{apply_partition_masks, CellSelection, PartitionEngine};
+use xhybrid::core::{apply_partition_masks, CellSelection, PartitionEngine, PlanOptions};
 use xhybrid::fault::{all_output_faults, fault_coverage, FullObservability};
 use xhybrid::logic::generate::CircuitSpec;
 use xhybrid::misr::{CancelSession, Taps, XCancelConfig};
@@ -65,9 +65,14 @@ fn main() {
 
     // 5. The proposed hybrid: partition, mask, cancel.
     let cancel = XCancelConfig::new(12, 3);
-    let outcome = PartitionEngine::new(cancel)
-        .with_policy(CellSelection::First)
-        .run(&xmap);
+    let outcome = PartitionEngine::with_options(
+        cancel,
+        PlanOptions {
+            policy: CellSelection::First,
+            ..PlanOptions::default()
+        },
+    )
+    .run(&xmap);
     println!(
         "partitioning: {} partitions, {} X's masked, {} leaked, {:.1} control bits \
          (vs {:.1} canceling-only, {} masking-only)",

@@ -21,11 +21,13 @@ use std::process::ExitCode;
 
 use xhybrid::core::{
     inter_correlation_stats, intra_correlation_stats, schedule_hybrid, PartitionEngine,
-    ScheduleOptions,
+    PlanOptions, ScheduleOptions,
 };
-use xhybrid::misr::XCancelConfig;
-use xhybrid::scan::{read_xmap, write_xmap, AteConfig, XMap};
-use xhybrid::serve::{client, parse_strategy, Server, ServerConfig};
+use xhybrid::logic::Trit;
+use xhybrid::misr::{CancelSession, Taps, XCancelConfig};
+use xhybrid::scan::{read_xmap, write_xmap, AteConfig, ResponseMatrix, XMap};
+use xhybrid::serve::{client, parse_policy, parse_strategy, Server, ServerConfig};
+use xhybrid::trace::TraceSession;
 use xhybrid::wire::{decode_plan, parse_hash_hex, peek_kind};
 use xhybrid::workload::WorkloadSpec;
 
@@ -34,6 +36,9 @@ fn usage() -> &'static str {
   xhybrid gen --profile <ckt-a|ckt-b|ckt-c|demo> [--scale N] [--seed S] --out FILE
   xhybrid analyze FILE
   xhybrid partition FILE [--m 32] [--q 7] [--strategy largest|best-cost]
+  xhybrid plan FILE [--m 32] [--q 7] [--strategy largest|best-cost]
+               [--policy first|seeded|global-max-x] [--seed S] [--threads N]
+               [--max-rounds N] [--cost-stop 0|1] [--trace FILE]
   xhybrid schedule FILE [--m 32] [--q 7] [--channels 32]
   xhybrid serve [--addr 127.0.0.1:7878] [--store DIR] [--threads N] [--workers N]
   xhybrid fetch --addr HOST:PORT (FILE | --hash HASH) [--m 32] [--q 7]
@@ -69,6 +74,27 @@ baselines.
   --m         MISR length (default 32)
   --q         X-cancel quotient, 0 < q < m (default 7)
   --strategy  partition split heuristic (default largest)",
+        ),
+        "plan" => Some(
+            "xhybrid plan FILE [--m 32] [--q 7] [--strategy largest|best-cost]
+             [--policy first|seeded|global-max-x] [--seed S] [--threads N]
+             [--max-rounds N] [--cost-stop 0|1] [--trace FILE]
+
+Runs the partition engine with the full option set, validates the plan
+by running a bounded X-canceling session over the masked responses, and
+optionally records the whole run as a chrome://tracing JSON file.
+
+  --m, --q      cancel parameters (defaults 32, 7)
+  --strategy    partition split heuristic (default largest)
+  --policy      pivot-cell selection policy (default first)
+  --seed        stream seed, only with --policy seeded
+  --threads     engine threads, 0 = auto (default 0)
+  --max-rounds  cap the number of partitioning rounds
+  --cost-stop   1 = stop when the cost stops improving (default), 0 = run
+                until no class splits further
+  --trace       write a chrome://tracing JSON trace to FILE and print the
+                span/counter summary to stderr (open the file at
+                chrome://tracing or https://ui.perfetto.dev)",
         ),
         "schedule" => Some(
             "xhybrid schedule FILE [--m 32] [--q 7] [--channels 32]
@@ -268,6 +294,42 @@ fn split_strategy(args: &Args) -> Result<xhybrid::core::SplitStrategy, CliError>
     parse_strategy(raw).ok_or_else(|| CliError::usage(format!("unknown strategy `{raw}`")))
 }
 
+/// Builds a full [`PlanOptions`] from the shared engine flags.
+fn plan_options(args: &Args) -> Result<PlanOptions, CliError> {
+    let strategy = split_strategy(args)?;
+    let seed: u64 = args.flag_parse("seed", 0).map_err(CliError::Usage)?;
+    let policy_raw = args.flag("policy").unwrap_or("first");
+    let policy = parse_policy(policy_raw, seed)
+        .ok_or_else(|| CliError::usage(format!("unknown policy `{policy_raw}`")))?;
+    if args.flag("seed").is_some() && policy_raw != "seeded" {
+        return Err(CliError::usage("--seed requires --policy seeded"));
+    }
+    let threads: usize = args.flag_parse("threads", 0).map_err(CliError::Usage)?;
+    let max_rounds = match args.flag("max-rounds") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|e| CliError::usage(format!("bad --max-rounds: {e}")))?,
+        ),
+    };
+    let cost_stop = match args.flag("cost-stop").unwrap_or("1") {
+        "1" => true,
+        "0" => false,
+        other => {
+            return Err(CliError::usage(format!(
+                "bad --cost-stop `{other}` (expected 0 or 1)"
+            )))
+        }
+    };
+    Ok(PlanOptions {
+        strategy,
+        policy,
+        threads,
+        max_rounds,
+        cost_stop,
+    })
+}
+
 fn cmd_partition(args: &Args) -> CmdResult {
     let path = args
         .positional
@@ -276,9 +338,14 @@ fn cmd_partition(args: &Args) -> CmdResult {
     let cancel = cancel_config(args)?;
     let strategy = split_strategy(args)?;
     let xmap = load(path)?;
-    let outcome = PartitionEngine::new(cancel)
-        .with_strategy(strategy)
-        .run(&xmap);
+    let outcome = PartitionEngine::with_options(
+        cancel,
+        PlanOptions {
+            strategy,
+            ..PlanOptions::default()
+        },
+    )
+    .run(&xmap);
     let report = xhybrid::core::report_for_outcome(&xmap, cancel, outcome);
     println!(
         "partitions       : {} (after {} rounds)",
@@ -303,6 +370,107 @@ fn cmd_partition(args: &Args) -> CmdResult {
         "test time        : {:.3} -> {:.3} ({:.2}x)",
         report.time_canceling_only, report.time_proposed, report.time_impv
     );
+    Ok(())
+}
+
+/// How many leading patterns `plan`'s cancel-session validation covers:
+/// enough to exercise the masking + gauss + extraction path on every
+/// workload without making the command quadratic on paper-scale inputs.
+const PLAN_VALIDATE_PATTERNS: usize = 64;
+
+/// Symbol budget of the validation session (`cells x patterns`). The
+/// symbolic MISR carries one bit per symbol in every row, so its cost
+/// grows with the square of the sample size; this caps the sample on
+/// wide scan configurations (paper-scale maps validate only a handful of
+/// patterns, which still exercises every code path).
+const PLAN_VALIDATE_SYMBOLS: usize = 1 << 18;
+
+fn cmd_plan(args: &Args) -> CmdResult {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("plan needs a FILE"))?;
+    let cancel = cancel_config(args)?;
+    let opts = plan_options(args)?;
+    let trace_out = args.flag("trace");
+    let xmap = load(path)?;
+
+    let session = if trace_out.is_some() {
+        Some(
+            TraceSession::begin()
+                .ok_or_else(|| CliError::runtime("another trace session is already active"))?,
+        )
+    } else {
+        None
+    };
+
+    let outcome = PartitionEngine::with_options(cancel, opts).run(&xmap);
+
+    // Operational validation on a bounded prefix: gate the responses of
+    // the first patterns through the planned masks (X's only, data bits
+    // zero-filled) and run the time-multiplexed X-canceling session on
+    // what leaks through.
+    let config = xmap.config().clone();
+    let cells = config.total_cells();
+    let sample = xmap
+        .num_patterns()
+        .min(PLAN_VALIDATE_PATTERNS)
+        .min((PLAN_VALIDATE_SYMBOLS / cells.max(1)).max(1));
+    let mut masked = ResponseMatrix::filled(config.clone(), sample, Trit::Zero);
+    let mut sample_leaked = 0usize;
+    for p in 0..sample {
+        let part = outcome
+            .partitions
+            .iter()
+            .position(|set| set.contains(p))
+            .expect("every pattern is in a partition");
+        for c in 0..cells {
+            if xmap.is_x(p, config.cell_at(c)) && !outcome.masks[part].masks(c) {
+                masked.set(p, config.cell_at(c), Trit::X);
+                sample_leaked += 1;
+            }
+        }
+    }
+    let report = CancelSession::new(config, cancel, Taps::default_for(cancel.m())).run(&masked);
+    debug_assert_eq!(report.total_x, sample_leaked);
+
+    let cost = xhybrid::core::report_for_outcome(&xmap, cancel, outcome);
+    println!(
+        "partitions       : {} (after {} rounds)",
+        cost.outcome.partitions.len(),
+        cost.outcome.rounds.len()
+    );
+    println!(
+        "X's              : {} masked + {} leaked = {}",
+        cost.outcome.masked_x(),
+        cost.outcome.leaked_x(),
+        cost.total_x
+    );
+    println!(
+        "control bits     : {:.1} (mask {} + cancel {:.1})",
+        cost.proposed_bits, cost.outcome.cost.masking_bits, cost.outcome.cost.canceling_bits
+    );
+    println!(
+        "vs baselines     : {:.2}x over X-masking-only, {:.2}x over X-canceling-only",
+        cost.impv_over_masking, cost.impv_over_canceling
+    );
+    println!(
+        "validation       : first {sample} patterns -> {} halts, {} leaked X's canceled, {} control bits",
+        report.halts, report.total_x, report.total_control_bits
+    );
+
+    if let Some(out) = trace_out {
+        let trace = session.expect("session begun when --trace is set").finish();
+        std::fs::write(out, trace.to_chrome_json())
+            .map_err(|e| CliError::runtime(format!("cannot write {out}: {e}")))?;
+        eprintln!(
+            "wrote {out}: {} events, {} counters over {:.3} ms",
+            trace.events.len(),
+            trace.counters.len(),
+            trace.duration_ns() as f64 / 1e6
+        );
+        eprint!("{}", trace.summary());
+    }
     Ok(())
 }
 
@@ -470,6 +638,7 @@ fn run() -> CmdResult {
         "gen" => cmd_gen(&args),
         "analyze" => cmd_analyze(&args),
         "partition" => cmd_partition(&args),
+        "plan" => cmd_plan(&args),
         "schedule" => cmd_schedule(&args),
         "serve" => cmd_serve(&args),
         "fetch" => cmd_fetch(&args),
@@ -529,7 +698,15 @@ mod tests {
 
     #[test]
     fn every_command_has_help() {
-        for cmd in ["gen", "analyze", "partition", "schedule", "serve", "fetch"] {
+        for cmd in [
+            "gen",
+            "analyze",
+            "partition",
+            "plan",
+            "schedule",
+            "serve",
+            "fetch",
+        ] {
             assert!(command_help(cmd).is_some(), "{cmd} lacks help text");
         }
         assert!(command_help("bogus").is_none());

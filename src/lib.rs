@@ -21,30 +21,32 @@
 //! | [`core`] | `xhc-core` | **the paper's contribution**: correlation analysis, pattern partitioning, hybrid cost model, baselines |
 //! | [`workload`] | `xhc-workload` | synthetic CKT-A/B/C industrial X profiles |
 //! | [`par`] | `xhc-par` | scoped-thread work pool (deterministic `par_map`/`par_chunks`) |
+//! | [`trace`] | `xhc-trace` | zero-dependency structured tracing: spans, counters, chrome://tracing export |
 //! | [`wire`] | `xhc-wire` | versioned binary wire format + content addressing for artifacts |
 //! | [`serve`] | `xhc-serve` | HTTP planning daemon with a content-addressed plan cache |
+//!
+//! The [`prelude`] re-exports the handful of types nearly every user
+//! touches, so the common pipeline is one import.
 //!
 //! # Quickstart
 //!
 //! Reproduce the paper's Fig. 5/6 worked example:
 //!
 //! ```
-//! use xhybrid::core::{evaluate_hybrid, CellSelection};
-//! use xhybrid::misr::XCancelConfig;
-//! use xhybrid::scan::{CellId, ScanConfig, XMapBuilder};
+//! use xhybrid::prelude::*;
 //!
 //! // The Fig. 4 X map: 8 patterns, 5 chains x 3 cells, 28 X's.
 //! let cfg = ScanConfig::uniform(5, 3);
 //! let mut b = XMapBuilder::new(cfg, 8);
 //! for p in [0, 3, 4, 5] {
-//!     b.add_x(CellId::new(0, 0), p);
-//!     b.add_x(CellId::new(1, 0), p);
-//!     b.add_x(CellId::new(2, 0), p);
+//!     b.add_x(CellId::new(0, 0), p).unwrap();
+//!     b.add_x(CellId::new(1, 0), p).unwrap();
+//!     b.add_x(CellId::new(2, 0), p).unwrap();
 //! }
-//! for p in [0, 4] { b.add_x(CellId::new(1, 2), p); }
-//! for p in [0, 1, 2, 3, 4, 6, 7] { b.add_x(CellId::new(3, 2), p); }
-//! for p in [0, 1, 3, 4, 6, 7] { b.add_x(CellId::new(4, 1), p); }
-//! b.add_x(CellId::new(4, 2), 5);
+//! for p in [0, 4] { b.add_x(CellId::new(1, 2), p).unwrap(); }
+//! for p in [0, 1, 2, 3, 4, 6, 7] { b.add_x(CellId::new(3, 2), p).unwrap(); }
+//! for p in [0, 1, 3, 4, 6, 7] { b.add_x(CellId::new(4, 1), p).unwrap(); }
+//! b.add_x(CellId::new(4, 2), 5).unwrap();
 //! let xmap = b.finish();
 //!
 //! let report = evaluate_hybrid(&xmap, XCancelConfig::new(10, 2), CellSelection::First);
@@ -66,5 +68,30 @@ pub use xhc_misr as misr;
 pub use xhc_par as par;
 pub use xhc_scan as scan;
 pub use xhc_serve as serve;
+pub use xhc_trace as trace;
 pub use xhc_wire as wire;
 pub use xhc_workload as workload;
+
+pub mod prelude {
+    //! The one-line import for the common pipeline: build (or generate)
+    //! an X map, configure the canceler, run the partition engine.
+    //!
+    //! ```
+    //! use xhybrid::prelude::*;
+    //!
+    //! let xmap = WorkloadSpec::default().generate();
+    //! let outcome = PartitionEngine::with_options(
+    //!     XCancelConfig::new(32, 7),
+    //!     PlanOptions::default(),
+    //! )
+    //! .run(&xmap);
+    //! assert!(!outcome.partitions.is_empty());
+    //! ```
+    pub use xhc_core::{
+        evaluate_hybrid, CellSelection, HybridCost, HybridReport, PartitionEngine,
+        PartitionOutcome, PlanOptions, SplitStrategy,
+    };
+    pub use xhc_misr::XCancelConfig;
+    pub use xhc_scan::{CellId, ScanConfig, ScanError, XMap, XMapBuilder};
+    pub use xhc_workload::WorkloadSpec;
+}

@@ -4,7 +4,7 @@
 
 use xhc_prng::XhcRng;
 use xhybrid::bits::PatternSet;
-use xhybrid::core::{evaluate_hybrid, CellSelection, PartitionEngine};
+use xhybrid::core::{evaluate_hybrid, CellSelection, PartitionEngine, PlanOptions};
 use xhybrid::misr::XCancelConfig;
 use xhybrid::scan::{CellId, ScanConfig, XMap, XMapBuilder};
 use xhybrid::workload::WorkloadSpec;
@@ -15,7 +15,8 @@ fn random_xmap(rng: &mut XhcRng) -> XMap {
     let mut b = XMapBuilder::new(cfg, 24);
     for _ in 0..rng.gen_range(0..120) {
         let cell = rng.gen_index(12);
-        b.add_x(CellId::new(cell / 4, cell % 4), rng.gen_index(24));
+        b.add_x(CellId::new(cell / 4, cell % 4), rng.gen_index(24))
+            .unwrap();
     }
     b.finish()
 }
@@ -115,7 +116,14 @@ fn policies_all_satisfy_invariants() {
             CellSelection::Seeded(5),
             CellSelection::GlobalMaxX,
         ] {
-            let outcome = PartitionEngine::new(cancel).with_policy(policy).run(&xmap);
+            let outcome = PartitionEngine::with_options(
+                cancel,
+                PlanOptions {
+                    policy,
+                    ..PlanOptions::default()
+                },
+            )
+            .run(&xmap);
             assert_eq!(outcome.masked_x() + outcome.leaked_x(), xmap.total_x());
         }
     }
@@ -131,7 +139,14 @@ fn deeper_partitioning_never_masks_fewer_x() {
         let xmap = random_xmap(&mut rng);
         let cancel = XCancelConfig::new(10, 2);
         let stopped = PartitionEngine::new(cancel).run(&xmap);
-        let exhaustive = PartitionEngine::new(cancel).without_cost_stop().run(&xmap);
+        let exhaustive = PartitionEngine::with_options(
+            cancel,
+            PlanOptions {
+                cost_stop: false,
+                ..PlanOptions::default()
+            },
+        )
+        .run(&xmap);
         assert!(exhaustive.masked_x() >= stopped.masked_x());
         assert!(exhaustive.partitions.len() >= stopped.partitions.len());
     }

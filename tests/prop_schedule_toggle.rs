@@ -14,7 +14,8 @@ fn random_xmap(rng: &mut XhcRng) -> XMap {
     let mut b = XMapBuilder::new(cfg, 20);
     for _ in 0..rng.gen_range(0..100) {
         let cell = rng.gen_index(15);
-        b.add_x(CellId::new(cell / 5, cell % 5), rng.gen_index(20));
+        b.add_x(CellId::new(cell / 5, cell % 5), rng.gen_index(20))
+            .unwrap();
     }
     b.finish()
 }

@@ -1,0 +1,150 @@
+//! The deprecated `with_*` builder shims must stay bit-identical to the
+//! [`PlanOptions`] struct they delegate to — on the paper's Fig. 4
+//! worked example and on scaled CKT-A/B/C industrial profiles, at every
+//! engine thread count. This is the compatibility contract that lets
+//! downstream callers migrate at their own pace.
+
+// The whole point of this suite is to call the deprecated builders.
+#![allow(deprecated)]
+
+use xhybrid::prelude::*;
+
+/// The Fig. 4 X map: 8 patterns, 5 chains x 3 cells, 28 X's.
+fn fig4_xmap() -> XMap {
+    let cfg = ScanConfig::uniform(5, 3);
+    let mut b = XMapBuilder::new(cfg, 8);
+    for p in [0, 3, 4, 5] {
+        b.add_x(CellId::new(0, 0), p).unwrap();
+        b.add_x(CellId::new(1, 0), p).unwrap();
+        b.add_x(CellId::new(2, 0), p).unwrap();
+    }
+    for p in [0, 4] {
+        b.add_x(CellId::new(1, 2), p).unwrap();
+    }
+    for p in [0, 1, 2, 3, 4, 6, 7] {
+        b.add_x(CellId::new(3, 2), p).unwrap();
+    }
+    for p in [0, 1, 3, 4, 6, 7] {
+        b.add_x(CellId::new(4, 1), p).unwrap();
+    }
+    b.add_x(CellId::new(4, 2), 5).unwrap();
+    b.finish()
+}
+
+/// Shrinks a paper-scale profile so the suite stays fast while keeping
+/// its correlation structure (mirrors `xhybrid gen --scale`).
+fn scaled(mut spec: WorkloadSpec, scale: usize) -> XMap {
+    spec.total_cells = (spec.total_cells / scale).max(spec.num_chains.max(4));
+    spec.num_chains = (spec.num_chains / scale).max(4);
+    spec.num_patterns = (spec.num_patterns / scale).max(20);
+    spec.generate()
+}
+
+fn test_maps() -> Vec<(&'static str, XMap, XCancelConfig)> {
+    vec![
+        ("fig4", fig4_xmap(), XCancelConfig::new(10, 2)),
+        (
+            "ckt-a",
+            scaled(WorkloadSpec::ckt_a(), 60),
+            XCancelConfig::new(32, 7),
+        ),
+        (
+            "ckt-b",
+            scaled(WorkloadSpec::ckt_b(), 60),
+            XCancelConfig::new(32, 7),
+        ),
+        (
+            "ckt-c",
+            scaled(WorkloadSpec::ckt_c(), 60),
+            XCancelConfig::new(32, 7),
+        ),
+    ]
+}
+
+#[test]
+fn builder_shims_match_plan_options_bit_for_bit() {
+    for (name, xmap, cancel) in test_maps() {
+        for strategy in [SplitStrategy::LargestClass, SplitStrategy::BestCost] {
+            for policy in [CellSelection::First, CellSelection::GlobalMaxX] {
+                for threads in [1usize, 2, 8] {
+                    let via_builders = PartitionEngine::new(cancel)
+                        .with_strategy(strategy)
+                        .with_policy(policy)
+                        .with_threads(threads)
+                        .run(&xmap);
+                    let via_options = PartitionEngine::with_options(
+                        cancel,
+                        PlanOptions {
+                            strategy,
+                            policy,
+                            threads,
+                            ..PlanOptions::default()
+                        },
+                    )
+                    .run(&xmap);
+                    assert_eq!(
+                        via_builders, via_options,
+                        "shim/options divergence on {name} ({strategy:?}, {policy:?}, {threads} threads)"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn remaining_shims_match_their_option_fields() {
+    let (_, xmap, cancel) = test_maps().swap_remove(1); // scaled CKT-A
+    let via_builders = PartitionEngine::new(cancel)
+        .without_cost_stop()
+        .with_max_rounds(3)
+        .run(&xmap);
+    let via_options = PartitionEngine::with_options(
+        cancel,
+        PlanOptions {
+            cost_stop: false,
+            max_rounds: Some(3),
+            ..PlanOptions::default()
+        },
+    )
+    .run(&xmap);
+    assert_eq!(via_builders, via_options);
+
+    // Seeded policy carries its seed through both routes.
+    let seeded_builders = PartitionEngine::new(cancel)
+        .with_policy(CellSelection::Seeded(41))
+        .run(&xmap);
+    let seeded_options = PartitionEngine::with_options(
+        cancel,
+        PlanOptions {
+            policy: CellSelection::Seeded(41),
+            ..PlanOptions::default()
+        },
+    )
+    .run(&xmap);
+    assert_eq!(seeded_builders, seeded_options);
+}
+
+#[test]
+fn shims_compose_in_any_order() {
+    let (_, xmap, cancel) = test_maps().swap_remove(3); // scaled CKT-C
+    let a = PartitionEngine::new(cancel)
+        .with_threads(2)
+        .with_strategy(SplitStrategy::BestCost)
+        .run(&xmap);
+    let b = PartitionEngine::new(cancel)
+        .with_strategy(SplitStrategy::BestCost)
+        .with_threads(2)
+        .run(&xmap);
+    let c = PartitionEngine::with_options(
+        cancel,
+        PlanOptions {
+            strategy: SplitStrategy::BestCost,
+            threads: 2,
+            ..PlanOptions::default()
+        },
+    )
+    .run(&xmap);
+    assert_eq!(a, b);
+    assert_eq!(b, c);
+}
