@@ -4,6 +4,8 @@
 //! `SessionReport`), while the simulator's symbolic blocks grow when
 //! fewer halts split them — the two costs move independently.
 
+#![deny(deprecated)]
+
 use xhc_bench::timing::{black_box, Harness};
 use xhc_core::{apply_partition_masks, PartitionEngine};
 use xhc_misr::{CancelSession, Taps, XCancelConfig};

@@ -2,6 +2,8 @@
 //! checks — the analyzer must stay cheap enough to run on every
 //! engine invocation in CI.
 
+#![deny(deprecated)]
+
 use xhc_bench::timing::{black_box, Harness};
 use xhc_core::PartitionEngine;
 use xhc_lint::{check_netlist, check_outcome, check_xmap, LintConfig, NetlistFacts};

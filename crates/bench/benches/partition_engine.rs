@@ -1,6 +1,8 @@
 //! Bench: partitioning-engine runtime scaling with workload size and
 //! X-density (the algorithmic cost of the paper's Algorithm 1).
 
+#![deny(deprecated)]
+
 use xhc_bench::timing::{black_box, Harness};
 use xhc_core::{PartitionEngine, PlanOptions, SplitStrategy};
 use xhc_misr::XCancelConfig;
@@ -83,5 +85,18 @@ fn main() {
             PartitionEngine::with_options(XCancelConfig::paper_default(), best_cost)
                 .run(black_box(&xmap)),
         )
+    });
+
+    // Certificate overhead: plan once outside the timer, then time the
+    // full certify + independent-check pass the daemon runs on every
+    // write. The acceptance bound is <10% of plan time, measured by
+    // scripts/verify_smoke.sh; this case tracks the absolute cost.
+    let cancel = XCancelConfig::paper_default();
+    let outcome = PartitionEngine::with_options(cancel, best_cost).run(&xmap);
+    let plan_bytes = xhc_wire::encode_plan(&outcome, xmap.num_patterns());
+    h.bench("verify_overhead/certify_and_check", || {
+        let cert = xhc_verify::certify_plan(&xmap, cancel, &outcome, &plan_bytes, None);
+        xhc_verify::check(&cert, &outcome, &plan_bytes, &xmap, cancel).unwrap();
+        black_box(cert)
     });
 }

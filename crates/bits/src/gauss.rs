@@ -23,6 +23,11 @@ pub struct Elimination {
     pub combinations: BitMatrix,
     /// Rank of the input matrix.
     pub rank: usize,
+    /// The pivot column of each of the first `rank` reduced rows, in
+    /// reduction (strictly ascending) order. This is the rank
+    /// *certificate*: an independent checker can confirm the claimed rank
+    /// by re-eliminating in exactly this column order.
+    pub pivot_cols: Vec<usize>,
 }
 
 impl Elimination {
@@ -44,6 +49,7 @@ struct FlatElimination {
     stride: usize,
     dep_words: usize,
     rank: usize,
+    pivot_cols: Vec<usize>,
 }
 
 impl FlatElimination {
@@ -92,6 +98,7 @@ fn eliminate_flat_kernel(matrix: &BitMatrix) -> FlatElimination {
     }
 
     let mut rank = 0;
+    let mut pivot_cols = Vec::with_capacity(m.min(cols));
     let mut pivot_buf = vec![0u64; stride];
     for col in 0..cols {
         let wi = col / WORD_BITS;
@@ -114,6 +121,7 @@ fn eliminate_flat_kernel(matrix: &BitMatrix) -> FlatElimination {
             }
         }
         rank += 1;
+        pivot_cols.push(col);
         if rank == m {
             break;
         }
@@ -124,6 +132,7 @@ fn eliminate_flat_kernel(matrix: &BitMatrix) -> FlatElimination {
         stride,
         dep_words,
         rank,
+        pivot_cols,
     }
 }
 
@@ -169,6 +178,7 @@ pub fn eliminate(matrix: &BitMatrix) -> Elimination {
         reduced,
         combinations,
         rank: flat.rank,
+        pivot_cols: flat.pivot_cols,
     }
 }
 
@@ -308,6 +318,24 @@ mod tests {
                 acc.xor_with(m.row(orig));
             }
             assert_eq!(&acc, e.reduced.row(r));
+        }
+    }
+
+    #[test]
+    fn pivot_cols_certify_the_rank() {
+        // One pivot column per unit of rank, strictly ascending, and each
+        // pivot column has exactly one set bit in the reduced matrix (the
+        // Gauss–Jordan pass clears it above and below).
+        for m in [fig3_matrix(), BitMatrix::identity(4), BitMatrix::zero(3, 5)] {
+            let e = eliminate(&m);
+            assert_eq!(e.pivot_cols.len(), e.rank);
+            assert!(e.pivot_cols.windows(2).all(|w| w[0] < w[1]));
+            for (row, &col) in e.pivot_cols.iter().enumerate() {
+                assert!(col < m.num_cols());
+                assert!(e.reduced.get(row, col), "pivot ({row},{col}) must be set");
+                let ones = (0..m.num_rows()).filter(|&r| e.reduced.get(r, col)).count();
+                assert_eq!(ones, 1, "pivot column {col} must be a unit column");
+            }
         }
     }
 

@@ -14,8 +14,8 @@ use std::process::ExitCode;
 
 use xhc_core::PartitionEngine;
 use xhc_lint::{
-    check_cancel_params, check_misr_taps, check_outcome, check_xmap, lint_workload, LintCode,
-    LintConfig, LintReport, Severity,
+    check_cancel_params, check_certificate, check_misr_taps, check_outcome, check_xmap,
+    lint_workload, LintCode, LintConfig, LintReport, Severity,
 };
 use xhc_misr::{Taps, XCancelConfig};
 use xhc_scan::{CellId, ScanConfig, XMap, XMapBuilder};
@@ -35,7 +35,9 @@ Presets:
   all       every preset (default)
 
 Options:
-  --json         render findings as JSON instead of human text
+  --format FMT   output format: human (default), json, or sarif
+                 (sarif merges all presets into one SARIF 2.1.0 document)
+  --json         shorthand for --format json
   --full         run workload presets at paper size (slow)
   --scale N      divide workload dimensions by N (default 50)
   --deny CODE    escalate a rule (XLxxxx id or slug) to deny
@@ -62,6 +64,12 @@ fn describe(code: LintCode) -> &'static str {
         LintCode::DegenerateMisr => "degenerate / non-primitive MISR feedback",
         LintCode::BadCancelConfig => "inconsistent X-canceling (m, q)",
         LintCode::BestCostLatency => "BestCost planning latency above budget",
+        LintCode::CertPlanHash => "certificate not linked to this plan",
+        LintCode::CertCover => "certificate cover witness disagrees with plan",
+        LintCode::CertHistogram => "certificate histograms disagree with X map",
+        LintCode::CertAccounting => "certificate control-bit accounting wrong",
+        LintCode::CertRankBound => "block rank certificate fails re-elimination",
+        LintCode::CertScanMismatch => "certificate shape disagrees with scan config",
     }
 }
 
@@ -111,11 +119,30 @@ fn lint_fig4(config: &LintConfig) -> LintReport {
     report.merge(check_misr_taps(config, cancel.m(), &taps));
     let outcome = PartitionEngine::new(cancel).run(&xmap);
     report.merge(check_outcome(config, &xmap, &outcome, cancel));
+    // Exercise the XL04xx cross-artifact family end to end: certify the
+    // plan we just produced and check the certificate against it.
+    let plan_bytes = xhc_wire::encode_plan(&outcome, xmap.num_patterns());
+    let cert = xhc_verify::certify_plan(&xmap, cancel, &outcome, &plan_bytes, None);
+    report.merge(check_certificate(
+        config,
+        &cert,
+        &outcome,
+        &plan_bytes,
+        &xmap,
+        cancel,
+    ));
     report
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
+
 struct Options {
-    json: bool,
+    format: Format,
     scale: usize,
     config: LintConfig,
     presets: Vec<String>,
@@ -123,7 +150,7 @@ struct Options {
 
 fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut opts = Options {
-        json: false,
+        format: Format::Human,
         scale: 50,
         config: LintConfig::default(),
         presets: Vec::new(),
@@ -148,7 +175,16 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 }
                 return Ok(None);
             }
-            "--json" => opts.json = true,
+            "--json" => opts.format = Format::Json,
+            "--format" => {
+                let value = iter.next().ok_or("--format needs a value")?;
+                opts.format = match value.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => return Err(format!("unknown format '{other}'")),
+                };
+            }
             "--full" => opts.scale = 1,
             "--scale" => {
                 let value = iter.next().ok_or("--scale needs a value")?;
@@ -208,6 +244,7 @@ fn main() -> ExitCode {
     let cancel = XCancelConfig::paper_default();
     let taps = Taps::default_for(cancel.m());
     let mut any_deny = false;
+    let mut combined = LintReport::new();
     for target in targets {
         let report = match target {
             "fig4" => lint_fig4(&opts.config),
@@ -221,19 +258,26 @@ fn main() -> ExitCode {
             }
         };
         any_deny |= report.has_deny();
-        if opts.json {
-            println!("{{\"preset\":\"{target}\",\"findings\":{}}}", {
-                let json = report.render_json();
-                json.trim_end().to_string()
-            });
-        } else {
-            println!("== {target} ==");
-            if report.is_empty() {
-                println!("clean: no findings\n");
-            } else {
-                println!("{}", report.render_human());
+        match opts.format {
+            Format::Json => {
+                println!("{{\"preset\":\"{target}\",\"findings\":{}}}", {
+                    let json = report.render_json();
+                    json.trim_end().to_string()
+                });
+            }
+            Format::Sarif => combined.merge(report),
+            Format::Human => {
+                println!("== {target} ==");
+                if report.is_empty() {
+                    println!("clean: no findings\n");
+                } else {
+                    println!("{}", report.render_human());
+                }
             }
         }
+    }
+    if opts.format == Format::Sarif {
+        print!("{}", combined.render_sarif());
     }
     if any_deny {
         ExitCode::FAILURE

@@ -66,11 +66,31 @@ pub enum LintCode {
     /// XL0306: workload shape puts estimated BestCost planning latency
     /// above the interactive budget.
     BestCostLatency,
+    /// XL0401: certificate's content-hash link does not match the plan it
+    /// is presented with.
+    CertPlanHash,
+    /// XL0402: certificate's cover witness (pattern→partition assignment
+    /// plus cardinalities) disagrees with the plan's partitions.
+    CertCover,
+    /// XL0403: certificate's per-partition X-class histograms disagree
+    /// with the X map.
+    CertHistogram,
+    /// XL0404: certificate's control-bit accounting (masked/leaked splits,
+    /// mask populations, per-partition cancel bits, plan cost totals)
+    /// disagrees with the paper's cost model.
+    CertAccounting,
+    /// XL0405: a block's Gauss rank certificate (rank, pivot columns,
+    /// combination/control-bit counts) fails re-elimination.
+    CertRankBound,
+    /// XL0406: certificate's claimed shape (pattern universe, partition
+    /// count, mask width, total X, `(m, q)`) disagrees with the scan
+    /// config / X map it is checked against.
+    CertScanMismatch,
 }
 
 impl LintCode {
     /// All rules, in code order.
-    pub const ALL: [LintCode; 14] = [
+    pub const ALL: [LintCode; 20] = [
         LintCode::CombLoop,
         LintCode::FloatingNet,
         LintCode::DeadLogic,
@@ -85,6 +105,12 @@ impl LintCode {
         LintCode::DegenerateMisr,
         LintCode::BadCancelConfig,
         LintCode::BestCostLatency,
+        LintCode::CertPlanHash,
+        LintCode::CertCover,
+        LintCode::CertHistogram,
+        LintCode::CertAccounting,
+        LintCode::CertRankBound,
+        LintCode::CertScanMismatch,
     ];
 
     /// The stable `XLxxxx` identifier.
@@ -104,6 +130,12 @@ impl LintCode {
             LintCode::DegenerateMisr => "XL0304",
             LintCode::BadCancelConfig => "XL0305",
             LintCode::BestCostLatency => "XL0306",
+            LintCode::CertPlanHash => "XL0401",
+            LintCode::CertCover => "XL0402",
+            LintCode::CertHistogram => "XL0403",
+            LintCode::CertAccounting => "XL0404",
+            LintCode::CertRankBound => "XL0405",
+            LintCode::CertScanMismatch => "XL0406",
         }
     }
 
@@ -124,6 +156,12 @@ impl LintCode {
             LintCode::DegenerateMisr => "degenerate-misr",
             LintCode::BadCancelConfig => "bad-cancel-config",
             LintCode::BestCostLatency => "best-cost-latency",
+            LintCode::CertPlanHash => "cert-plan-hash",
+            LintCode::CertCover => "cert-cover",
+            LintCode::CertHistogram => "cert-histogram",
+            LintCode::CertAccounting => "cert-accounting",
+            LintCode::CertRankBound => "cert-rank-bound",
+            LintCode::CertScanMismatch => "cert-scan-mismatch",
         }
     }
 
@@ -137,7 +175,13 @@ impl LintCode {
             | LintCode::PartitionCover
             | LintCode::UnsafeMask
             | LintCode::CostMismatch
-            | LintCode::BadCancelConfig => Severity::Deny,
+            | LintCode::BadCancelConfig
+            | LintCode::CertPlanHash
+            | LintCode::CertCover
+            | LintCode::CertHistogram
+            | LintCode::CertAccounting
+            | LintCode::CertRankBound
+            | LintCode::CertScanMismatch => Severity::Deny,
             LintCode::DeadLogic
             | LintCode::UnreachableFlop
             | LintCode::ChainImbalance
@@ -375,6 +419,60 @@ impl LintReport {
         out.push_str("]\n");
         out
     }
+
+    /// SARIF 2.1.0 rendering (one run, one result per finding), the
+    /// interchange format code-scanning UIs ingest. `Deny` maps to SARIF
+    /// `error`, `Warn` to `warning`; the artifact location lands in the
+    /// result message (lint findings point at artifact structure, not
+    /// files), and every fired rule is declared in the tool's rule table.
+    pub fn render_sarif(&self) -> String {
+        let mut rules: Vec<LintCode> = self.diagnostics.iter().map(|d| d.code).collect();
+        rules.sort();
+        rules.dedup();
+        let mut out = String::from(
+            "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+             \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+             \"driver\": {\n          \"name\": \"xhc-lint\",\n          \"rules\": [",
+        );
+        for (i, code) in rules.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n            {{\"id\": {}, \"name\": {}}}",
+                json_string(code.id()),
+                json_string(code.name())
+            ));
+        }
+        if !rules.is_empty() {
+            out.push_str("\n          ");
+        }
+        out.push_str("]\n        }\n      },\n      \"results\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let level = match d.severity {
+                Severity::Deny => "error",
+                Severity::Warn => "warning",
+                Severity::Allow => "none",
+            };
+            out.push_str(&format!(
+                "\n        {{\"ruleId\": {}, \"level\": {}, \"message\": {{\"text\": {}}}}}",
+                json_string(d.code.id()),
+                json_string(level),
+                json_string(&format!(
+                    "{} [at {}] help: {}",
+                    d.message, d.location, d.help
+                ))
+            ));
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("]\n    }\n  ]\n}\n");
+        out
+    }
 }
 
 fn json_string(s: &str) -> String {
@@ -439,6 +537,38 @@ mod tests {
         assert!(text.contains("partition 0"));
         assert!(text.contains("help: unmask the cell"));
         assert!(text.contains("1 deny, 0 warn"));
+    }
+
+    #[test]
+    fn sarif_rendering_declares_rules_and_levels() {
+        let mut report = LintReport::new();
+        report.push(
+            &LintConfig::default(),
+            LintCode::CertPlanHash,
+            "plan certificate",
+            "hash mismatch",
+            "re-certify",
+        );
+        report.push(
+            &LintConfig::default(),
+            LintCode::ChainImbalance,
+            "chain 3",
+            "ragged chain",
+            "rebalance",
+        );
+        let sarif = report.render_sarif();
+        assert!(sarif.contains("\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\""));
+        assert!(sarif.contains("\"name\": \"xhc-lint\""));
+        // Fired rules are declared once each in the driver's rule table.
+        assert_eq!(sarif.matches("{\"id\": \"XL0401\"").count(), 1);
+        assert_eq!(sarif.matches("{\"id\": \"XL0201\"").count(), 1);
+        // Deny -> error, Warn -> warning.
+        assert!(sarif.contains("\"ruleId\": \"XL0401\", \"level\": \"error\""));
+        assert!(sarif.contains("\"ruleId\": \"XL0201\", \"level\": \"warning\""));
+        assert!(sarif.contains("hash mismatch [at plan certificate] help: re-certify"));
+        // Empty report is still a valid single-run document.
+        let empty = LintReport::new().render_sarif();
+        assert!(empty.contains("\"results\": []"));
     }
 
     #[test]

@@ -3,14 +3,15 @@
 //!
 //! The crate checks the artifacts the workspace produces and consumes —
 //! netlists, scan topologies, X maps, partition plans, mask words, cost
-//! accounting and MISR configurations — against fourteen rules grouped by
-//! pipeline stage:
+//! accounting, MISR configurations and plan certificates — against twenty
+//! rules grouped by pipeline stage:
 //!
 //! | Codes | Stage | Rules |
 //! |-------|-------|-------|
 //! | `XL01xx` | netlist | combinational loops, floating nets, dead logic, gate arity, unreachable flops |
 //! | `XL02xx` | scan / X map | chain imbalance, out-of-range X entries, duplicate X entries |
 //! | `XL03xx` | hybrid | partition cover, unsafe masks, cost accounting, MISR feedback, `(m, q)` sanity, BestCost planning latency |
+//! | `XL04xx` | certificate | plan-hash link, cover witness, X-class histograms, control-bit accounting, Gauss rank bounds, scan-config consistency (cross-artifact, via `xhc-verify`) |
 //!
 //! Each rule carries a default [`Severity`] (`Deny` for correctness
 //! violations, `Warn` for quality findings) that a [`LintConfig`] can
@@ -40,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cert_rules;
 mod diag;
 mod graph;
 mod hybrid_rules;
@@ -47,6 +49,7 @@ mod netlist_rules;
 mod poly;
 mod scan_rules;
 
+pub use cert_rules::{check_certificate, check_certificate_artifacts};
 pub use diag::{Diagnostic, LintCode, LintConfig, LintReport, Severity};
 pub use graph::nontrivial_sccs;
 pub use hybrid_rules::{

@@ -4,10 +4,10 @@
 use xhc_bits::PatternSet;
 use xhc_core::PartitionEngine;
 use xhc_lint::{
-    check_cancel_params, check_cost_accounting, check_masks_safe, check_misr_taps, check_netlist,
-    check_netlist_facts, check_outcome, check_partition_cover, check_plan_latency,
-    check_scan_config, check_xmap, check_xmap_facts, LintCode, LintConfig, LintReport,
-    NetlistFacts, NodeFact, XMapFacts,
+    check_cancel_params, check_certificate, check_cost_accounting, check_masks_safe,
+    check_misr_taps, check_netlist, check_netlist_facts, check_outcome, check_partition_cover,
+    check_plan_latency, check_scan_config, check_xmap, check_xmap_facts, LintCode, LintConfig,
+    LintReport, NetlistFacts, NodeFact, XMapFacts,
 };
 use xhc_logic::{FlopInit, GateKind, NetlistBuilder};
 use xhc_misr::{MaskWord, Taps, XCancelConfig};
@@ -443,6 +443,186 @@ fn xl0306_interactive_specs_pass() {
         ..WorkloadSpec::default()
     };
     assert!(check_plan_latency(&lc, &spec).is_empty());
+}
+
+// ---------------------------------------------------------------- XL04xx
+
+/// A certified two-cell plan: engine outcome, its wire bytes and a valid
+/// certificate to mutate per-rule.
+fn certified_two_cell() -> (
+    XMap,
+    XCancelConfig,
+    xhc_core::PartitionOutcome,
+    Vec<u8>,
+    xhc_verify::PlanCertificate,
+) {
+    let xmap = two_cell_xmap();
+    let cancel = XCancelConfig::new(4, 1);
+    let outcome = PartitionEngine::new(cancel).run(&xmap);
+    let plan_bytes = xhc_wire::encode_plan(&outcome, xmap.num_patterns());
+    let cert = xhc_verify::certify_plan(&xmap, cancel, &outcome, &plan_bytes, None);
+    (xmap, cancel, outcome, plan_bytes, cert)
+}
+
+#[test]
+fn xl04_valid_certificate_passes() {
+    let (xmap, cancel, outcome, plan_bytes, cert) = certified_two_cell();
+    let report = check_certificate(
+        &LintConfig::default(),
+        &cert,
+        &outcome,
+        &plan_bytes,
+        &xmap,
+        cancel,
+    );
+    assert!(report.is_empty(), "{}", report.render_human());
+}
+
+#[test]
+fn xl0401_broken_plan_link_fires() {
+    let (xmap, cancel, outcome, plan_bytes, mut cert) = certified_two_cell();
+    cert.plan_hash ^= 0xFF;
+    let report = check_certificate(
+        &LintConfig::default(),
+        &cert,
+        &outcome,
+        &plan_bytes,
+        &xmap,
+        cancel,
+    );
+    assert_eq!(codes(&report), vec![LintCode::CertPlanHash]);
+    assert!(report.has_deny());
+}
+
+#[test]
+fn xl0402_cover_witness_fires() {
+    let (xmap, cancel, outcome, plan_bytes, mut cert) = certified_two_cell();
+    cert.partitions[0].patterns += 1;
+    let report = check_certificate(
+        &LintConfig::default(),
+        &cert,
+        &outcome,
+        &plan_bytes,
+        &xmap,
+        cancel,
+    );
+    assert_eq!(codes(&report), vec![LintCode::CertCover]);
+}
+
+#[test]
+fn xl0403_histogram_fires() {
+    let (xmap, cancel, outcome, plan_bytes, mut cert) = certified_two_cell();
+    let hist = &mut cert.partitions[0].histogram;
+    assert!(!hist.is_empty(), "two-cell fixture partition has X classes");
+    hist[0].1 += 1;
+    let report = check_certificate(
+        &LintConfig::default(),
+        &cert,
+        &outcome,
+        &plan_bytes,
+        &xmap,
+        cancel,
+    );
+    assert!(codes(&report).contains(&LintCode::CertHistogram));
+}
+
+#[test]
+fn xl0404_accounting_fires() {
+    let (xmap, cancel, outcome, plan_bytes, mut cert) = certified_two_cell();
+    cert.partitions[0].mask_cells += 1;
+    let report = check_certificate(
+        &LintConfig::default(),
+        &cert,
+        &outcome,
+        &plan_bytes,
+        &xmap,
+        cancel,
+    );
+    assert_eq!(codes(&report), vec![LintCode::CertAccounting]);
+}
+
+#[test]
+fn xl0405_rank_bound_fires() {
+    let (xmap, cancel, outcome, plan_bytes, mut cert) = certified_two_cell();
+    // A hand-built block whose claimed rank overstates its dependency
+    // matrix (m = 4 rows, 2 X columns, only one independent row).
+    cert.blocks = Some(vec![xhc_verify::BlockCertificate {
+        patterns: (0, 4),
+        num_x: 2,
+        rank: 2,
+        pivot_cols: vec![0, 1],
+        combinations: 1,
+        control_bits: 4,
+        dependency: vec![0b01, 0b01, 0, 0],
+    }]);
+    let report = check_certificate(
+        &LintConfig::default(),
+        &cert,
+        &outcome,
+        &plan_bytes,
+        &xmap,
+        cancel,
+    );
+    assert!(codes(&report).contains(&LintCode::CertRankBound));
+
+    // And the matching honest block passes.
+    let (xmap, cancel, outcome, plan_bytes, mut cert) = certified_two_cell();
+    cert.blocks = Some(vec![xhc_verify::BlockCertificate {
+        patterns: (0, 4),
+        num_x: 2,
+        rank: 1,
+        pivot_cols: vec![0],
+        combinations: 1,
+        control_bits: 4,
+        dependency: vec![0b01, 0b01, 0, 0],
+    }]);
+    let report = check_certificate(
+        &LintConfig::default(),
+        &cert,
+        &outcome,
+        &plan_bytes,
+        &xmap,
+        cancel,
+    );
+    assert!(report.is_empty(), "{}", report.render_human());
+}
+
+#[test]
+fn xl0406_scan_mismatch_fires() {
+    let (xmap, cancel, outcome, plan_bytes, mut cert) = certified_two_cell();
+    cert.total_x += 1;
+    let report = check_certificate(
+        &LintConfig::default(),
+        &cert,
+        &outcome,
+        &plan_bytes,
+        &xmap,
+        cancel,
+    );
+    assert_eq!(codes(&report), vec![LintCode::CertScanMismatch]);
+}
+
+#[test]
+fn xl04_artifact_dataflow_pass_roundtrips() {
+    // The wire-level entry point: encode all three artifacts, lint them.
+    let (xmap, _, _, plan_bytes, cert) = certified_two_cell();
+    let cert_bytes = xhc_wire::encode_certificate(&cert);
+    let xmap_bytes = xhc_wire::encode_xmap(&xmap);
+    let lc = LintConfig::default();
+    let report =
+        xhc_lint::check_certificate_artifacts(&lc, &cert_bytes, &plan_bytes, &xmap_bytes).unwrap();
+    assert!(report.is_empty(), "{}", report.render_human());
+
+    // A certificate re-pointed at a different plan hash fires XL0401.
+    let mut bad = cert.clone();
+    bad.plan_hash ^= 1;
+    let bad_bytes = xhc_wire::encode_certificate(&bad);
+    let report =
+        xhc_lint::check_certificate_artifacts(&lc, &bad_bytes, &plan_bytes, &xmap_bytes).unwrap();
+    assert_eq!(codes(&report), vec![LintCode::CertPlanHash]);
+
+    // Garbage artifacts are a transport error, not a finding.
+    assert!(xhc_lint::check_certificate_artifacts(&lc, b"junk", &plan_bytes, &xmap_bytes).is_err());
 }
 
 // ------------------------------------------------------- severity plumbing

@@ -10,7 +10,7 @@
 use crate::canceling::XCancelConfig;
 use crate::misr::Taps;
 use crate::symbolic::{known_part_values, x_dependency_matrix, SymbolicMisr};
-use xhc_bits::{gauss, BitVec};
+use xhc_bits::{gauss, BitMatrix, BitVec};
 use xhc_scan::{CellId, ResponseMatrix, ScanConfig};
 
 /// One block of patterns compacted between two halts.
@@ -26,6 +26,15 @@ pub struct BlockOutcome {
     pub canceled_values: BitVec,
     /// Select bits consumed: `m` per combination.
     pub control_bits: usize,
+    /// The block's X-dependency matrix (`m` rows, `num_x` columns) — the
+    /// input of the Gauss pass, retained as certificate evidence.
+    pub dependency: BitMatrix,
+    /// GF(2) rank of [`BlockOutcome::dependency`].
+    pub rank: usize,
+    /// The pivot column of each rank step, strictly ascending — together
+    /// with `rank` this forms the rank certificate an independent checker
+    /// (`xhc-verify`) re-derives from `dependency` alone.
+    pub pivot_cols: Vec<usize>,
 }
 
 /// The result of a whole [`CancelSession`] run.
@@ -113,9 +122,17 @@ impl CancelSession {
                 .arg("patterns", (range.1 - range.0) as u64)
                 .arg("block_x", block_x.len() as u64);
             let dep = x_dependency_matrix(sym.rows(), block_x);
-            // Only q combinations are ever streamed per halt; skip
-            // materialising the rest of the null-space basis.
-            let combos = gauss::x_free_combinations_limited(&dep, q);
+            // The full elimination also yields the rank certificate
+            // (pivot columns) the verify layer embeds in plan
+            // certificates; only q combinations are ever streamed per
+            // halt, so the basis rows past q stay unmaterialised.
+            let elim = gauss::eliminate(&dep);
+            let combos: Vec<BitVec> = elim
+                .zero_rows()
+                .into_iter()
+                .take(q)
+                .map(|r| elim.combinations.row(r).clone())
+                .collect();
             let known = known_part_values(sym.rows(), |s| {
                 responses.get_linear(s / cells, s % cells).to_bool()
             });
@@ -135,6 +152,9 @@ impl CancelSession {
                 combinations: combos,
                 canceled_values,
                 control_bits,
+                dependency: dep,
+                rank: elim.rank,
+                pivot_cols: elim.pivot_cols,
             }
         };
 
@@ -201,6 +221,16 @@ impl CancelSession {
                 debug_assert!(
                     block.combinations.len() <= q,
                     "a block never streams more than q combinations"
+                );
+                debug_assert_eq!(
+                    block.combinations.len(),
+                    (m - block.rank).min(q),
+                    "combinations are the q-capped null space of the block"
+                );
+                debug_assert_eq!(
+                    block.pivot_cols.len(),
+                    block.rank,
+                    "one pivot column per unit of rank"
                 );
             }
         }
@@ -313,6 +343,25 @@ mod tests {
                 }
             }
             let _ = got;
+        }
+    }
+
+    #[test]
+    fn blocks_carry_a_consistent_rank_certificate() {
+        let (scan, resp) = responses_with_x(&[(0, 0), (0, 4), (1, 1), (2, 2), (3, 3), (4, 5)]);
+        let session = CancelSession::new(scan, XCancelConfig::new(6, 2), Taps::default_for(6));
+        let report = session.run(&resp);
+        assert!(!report.blocks.is_empty());
+        for b in &report.blocks {
+            assert_eq!(b.dependency.num_rows(), 6);
+            assert_eq!(b.dependency.num_cols(), b.num_x);
+            assert_eq!(b.pivot_cols.len(), b.rank);
+            assert!(b.pivot_cols.windows(2).all(|w| w[0] < w[1]));
+            // Re-eliminating the retained matrix reproduces the claim.
+            let elim = gauss::eliminate(&b.dependency);
+            assert_eq!(elim.rank, b.rank);
+            assert_eq!(elim.pivot_cols, b.pivot_cols);
+            assert_eq!(b.combinations.len(), (6 - b.rank).min(2));
         }
     }
 

@@ -12,6 +12,7 @@
 //! |-------|--------|-----------|
 //! | `/v1/plan?m=&q=&strategy=&policy=&seed=&max_rounds=&cost_stop=&mode=&trace=` | POST | Body is a wire-encoded X map, workload spec or plan request, or `xmap v1` text. Lints it, plans it (or serves the cached plan) and returns the wire-encoded plan. `mode=async` returns `202` and a job id instead. |
 //! | `/v1/plan/{hash}` | GET | Fetches a cached plan by its 16-hex content address. |
+//! | `/v1/plan/{hash}/verify` | GET | Re-checks the cached plan against its stored certificate and X map with the `xhc-verify` static checker: `200` when clean, `422` with the rendered XL04xx findings otherwise. |
 //! | `/v1/jobs/{id}` | GET | Status of an async job. |
 //! | `/healthz` | GET | Liveness probe. |
 //! | `/metrics` | GET | Plaintext counters and latency histograms. |
@@ -41,6 +42,15 @@
 //! Decoded artifacts pass through the `xhc-lint` gate before planning —
 //! any `Deny` finding short-circuits into HTTP `422` with the rendered
 //! diagnostics, so the engine only ever sees inputs it cannot panic on.
+//!
+//! Every cold plan is *certified*: the daemon emits a
+//! [`xhc_wire::PlanCertificate`] alongside the plan and persists it (plus
+//! the canonical X map) as `.cert` / `.xmap` siblings in the store, so
+//! the verify route can re-check any cached plan offline. With
+//! [`ServerConfig::with_verify_on_write`] the checker additionally runs
+//! inline before the plan is stored or returned — a failed check becomes
+//! HTTP `500` (it indicates an engine/certifier bug, not a client error)
+//! and increments `xhc_verify_failures_total`.
 //!
 //! # Example
 //!
@@ -98,6 +108,10 @@ pub struct ServerConfig {
     pub threads: usize,
     /// HTTP worker threads.
     pub workers: usize,
+    /// Run the `xhc-verify` checker on every fresh plan's certificate
+    /// before it is stored or returned (off by default: certificates are
+    /// always emitted and persisted; this adds the inline check).
+    pub verify_on_write: bool,
 }
 
 impl ServerConfig {
@@ -108,6 +122,7 @@ impl ServerConfig {
             store_dir: store_dir.to_path_buf(),
             threads: 0,
             workers: 4,
+            verify_on_write: false,
         }
     }
 
@@ -122,6 +137,14 @@ impl ServerConfig {
     #[must_use]
     pub fn with_workers(mut self, workers: usize) -> ServerConfig {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Enables (or disables) verifying every fresh plan's certificate
+    /// inline before it is stored.
+    #[must_use]
+    pub fn with_verify_on_write(mut self, verify_on_write: bool) -> ServerConfig {
+        self.verify_on_write = verify_on_write;
         self
     }
 }
@@ -326,6 +349,12 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Result<Response, Handle
         ("GET", "/healthz") => Ok(Response::text(200, "ok\n")),
         ("GET", "/metrics") => Ok(Response::text(200, state.metrics.render())),
         ("POST", "/v1/plan") => plan_endpoint(state, request),
+        ("GET", path) if path.starts_with("/v1/plan/") && path.ends_with("/verify") => {
+            verify_endpoint(
+                state,
+                &path["/v1/plan/".len()..path.len() - "/verify".len()],
+            )
+        }
         ("GET", path) if path.starts_with("/v1/plan/") => {
             fetch_endpoint(state, &path["/v1/plan/".len()..])
         }
@@ -349,6 +378,56 @@ fn fetch_endpoint(state: &ServerState, hex: &str) -> Result<Response, HandlerErr
         .ok_or_else(|| HandlerError::new(404, format!("no plan stored under {hex}")))?;
     Ok(Response::new(200, "application/octet-stream", bytes)
         .with_header("X-Xhc-Plan-Hash", hash_hex(key)))
+}
+
+/// `GET /v1/plan/{hash}/verify`: re-checks a cached plan against its
+/// stored certificate and canonical X map. The checker shares no code
+/// with the engine, so a clean pass is independent evidence the stored
+/// plan is what its certificate claims.
+fn verify_endpoint(state: &ServerState, hex: &str) -> Result<Response, HandlerError> {
+    let key = parse_hash_hex(hex)
+        .ok_or_else(|| HandlerError::new(400, format!("`{hex}` is not a 16-hex plan hash")))?;
+    let store_err = |e: io::Error| HandlerError::new(500, format!("store read failed: {e}"));
+    let plan_bytes = state
+        .store
+        .load(key)
+        .map_err(store_err)?
+        .ok_or_else(|| HandlerError::new(404, format!("no plan stored under {hex}")))?;
+    let cert_bytes = state
+        .store
+        .load_ext(key, "cert")
+        .map_err(store_err)?
+        .ok_or_else(|| HandlerError::new(404, format!("no certificate stored under {hex}")))?;
+    let xmap_bytes = state
+        .store
+        .load_ext(key, "xmap")
+        .map_err(store_err)?
+        .ok_or_else(|| HandlerError::new(404, format!("no X map stored under {hex}")))?;
+    let started = Instant::now();
+    state.metrics.verify_total.fetch_add(1, Ordering::Relaxed);
+    let report = xhc_lint::check_certificate_artifacts(
+        &LintConfig::default(),
+        &cert_bytes,
+        &plan_bytes,
+        &xmap_bytes,
+    )
+    .map_err(|e| HandlerError::new(500, format!("stored artifacts are malformed: {e}")))?;
+    state
+        .metrics
+        .verify_ns
+        .record_ns(started.elapsed().as_nanos() as u64);
+    if report.has_deny() {
+        state
+            .metrics
+            .verify_failures
+            .fetch_add(1, Ordering::Relaxed);
+        return Err(HandlerError::new(422, report.render_human()));
+    }
+    Ok(Response::text(
+        200,
+        "verified: certificate matches plan, X map and cost model\n",
+    )
+    .with_header("X-Xhc-Plan-Hash", hash_hex(key)))
 }
 
 fn jobs_endpoint(state: &ServerState, raw_id: &str) -> Result<Response, HandlerError> {
@@ -680,9 +759,20 @@ fn compute_plan(
         inflight.remove(&key);
     }
     state.inflight_cv.notify_all();
-    let (bytes, engine_ns) = result?;
+    let (bytes, cert_bytes, engine_ns) = result?;
     let store_started = Instant::now();
     let span = xhc_trace::span("serve.store");
+    // Persist the certificate and the canonical X map first: the `.plan`
+    // file is the cache-hit signal, so a reader that sees it can rely on
+    // the siblings being complete.
+    state
+        .store
+        .save_ext(key, "cert", &cert_bytes)
+        .map_err(store_err)?;
+    state
+        .store
+        .save_ext(key, "xmap", &encode_xmap(xmap))
+        .map_err(store_err)?;
     state.store.save(key, &bytes).map_err(store_err)?;
     drop(span);
     state
@@ -693,15 +783,16 @@ fn compute_plan(
     Ok((bytes, Some(engine_ns)))
 }
 
-/// Runs the partition engine and encodes the plan, converting panics into
-/// HTTP 500 instead of poisoning the worker. Returns the wire-encoded
-/// plan and the engine wall time in nanoseconds (also accumulated into
+/// Runs the partition engine, encodes the plan and certifies it,
+/// converting panics into HTTP 500 instead of poisoning the worker.
+/// Returns the wire-encoded plan, its wire-encoded certificate, and the
+/// engine wall time in nanoseconds (also accumulated into
 /// `xhc_plan_engine_seconds`).
 fn run_engine(
     state: &ServerState,
     xmap: &XMap,
     params: &PlanParams,
-) -> Result<(Vec<u8>, u64), HandlerError> {
+) -> Result<(Vec<u8>, Vec<u8>, u64), HandlerError> {
     // The server owns worker sizing: its configured count replaces
     // whatever the request carried, and `0` stays `0` — the engine
     // resolves auto-threading itself.
@@ -709,7 +800,8 @@ fn run_engine(
         threads: state.config.threads,
         ..params.options
     };
-    let engine = PartitionEngine::with_options(XCancelConfig::new(params.m, params.q), opts);
+    let cancel = XCancelConfig::new(params.m, params.q);
+    let engine = PartitionEngine::with_options(cancel, opts);
     let plan_started = Instant::now();
     let span = xhc_trace::span("serve.plan");
     let outcome = catch_unwind(AssertUnwindSafe(|| engine.run(xmap)))
@@ -721,10 +813,35 @@ fn run_engine(
     let encode_started = Instant::now();
     let span = xhc_trace::span("serve.encode");
     let bytes = encode_plan(&outcome, xmap.num_patterns());
+    let cert = xhc_verify::certify_plan(xmap, cancel, &outcome, &bytes, None);
+    let cert_bytes = xhc_wire::encode_certificate(&cert);
     drop(span);
     state
         .metrics
         .encode_ns
         .record_ns(encode_started.elapsed().as_nanos() as u64);
-    Ok((bytes, engine_ns))
+    if state.config.verify_on_write {
+        let verify_started = Instant::now();
+        let span = xhc_trace::span("serve.verify");
+        state.metrics.verify_total.fetch_add(1, Ordering::Relaxed);
+        let result = xhc_verify::check(&cert, &outcome, &bytes, xmap, cancel);
+        drop(span);
+        state
+            .metrics
+            .verify_ns
+            .record_ns(verify_started.elapsed().as_nanos() as u64);
+        if let Err(e) = result {
+            // Can only mean an engine or certifier bug — refuse to cache
+            // or serve the plan.
+            state
+                .metrics
+                .verify_failures
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(HandlerError::new(
+                500,
+                format!("plan failed verify-on-write: {e}"),
+            ));
+        }
+    }
+    Ok((bytes, cert_bytes, engine_ns))
 }

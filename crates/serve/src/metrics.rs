@@ -106,6 +106,13 @@ pub struct Metrics {
     pub encode_ns: Histogram,
     /// Wall time spent persisting cold plans into the store.
     pub store_ns: Histogram,
+    /// Certificate verifications run (verify-on-write plus
+    /// `GET /v1/plan/{hash}/verify`).
+    pub verify_total: AtomicU64,
+    /// Certificate verifications that found at least one violation.
+    pub verify_failures: AtomicU64,
+    /// Wall time spent in the certificate checker.
+    pub verify_ns: Histogram,
     /// End-to-end request handling time.
     pub total_ns: Histogram,
     /// Cumulative wall time spent inside `PartitionEngine::run` (cache
@@ -185,6 +192,16 @@ impl Metrics {
         );
         let _ = writeln!(
             out,
+            "xhc_verify_total {}",
+            self.verify_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "xhc_verify_failures_total {}",
+            self.verify_failures.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
             "xhc_plan_engine_seconds_sum {:.9}",
             self.plan_engine_ns_sum.load(Ordering::Relaxed) as f64 / 1e9
         );
@@ -200,6 +217,7 @@ impl Metrics {
             ("plan", &self.plan_ns),
             ("encode", &self.encode_ns),
             ("store", &self.store_ns),
+            ("verify", &self.verify_ns),
             ("total", &self.total_ns),
         ] {
             hist.render(&mut out, stage);
@@ -247,5 +265,8 @@ mod tests {
         assert!(page.contains("stage=\"plan\""));
         assert!(page.contains("stage=\"queue_wait\""));
         assert!(page.contains("stage=\"store\""));
+        assert!(page.contains("stage=\"verify\""));
+        assert!(page.contains("xhc_verify_total 0"));
+        assert!(page.contains("xhc_verify_failures_total 0"));
     }
 }

@@ -1,10 +1,13 @@
 //! The content-addressed on-disk plan store.
 //!
-//! One file per plan, named by the request's [cache key] rendered as 16
-//! hex characters plus a `.plan` extension. Writes go through a
-//! temporary file in the same directory followed by a rename, so
-//! concurrent readers never observe a half-written plan and two writers
-//! racing on the same key both leave a complete file behind.
+//! One file per artifact, named by the request's [cache key] rendered as
+//! 16 hex characters plus an extension: `.plan` for the plan itself, and
+//! sibling `.cert` / `.xmap` files carrying the plan certificate and the
+//! canonical X map so `GET /v1/plan/{hash}/verify` can re-check a cached
+//! plan without re-planning. Writes go through a temporary file in the
+//! same directory followed by a rename, so concurrent readers never
+//! observe a half-written artifact and two writers racing on the same
+//! key both leave a complete file behind.
 //!
 //! [cache key]: xhc_wire::plan_request_hash
 
@@ -44,7 +47,12 @@ impl PlanStore {
 
     /// The path a given key is (or would be) stored at.
     pub fn path_for(&self, key: u64) -> PathBuf {
-        self.dir.join(format!("{}.plan", hash_hex(key)))
+        self.path_for_ext(key, "plan")
+    }
+
+    /// The path of a sibling artifact (`cert`, `xmap`, ...) for `key`.
+    pub fn path_for_ext(&self, key: u64, ext: &str) -> PathBuf {
+        self.dir.join(format!("{}.{ext}", hash_hex(key)))
     }
 
     /// Loads the plan stored under `key`, if any.
@@ -53,7 +61,16 @@ impl PlanStore {
     ///
     /// Returns I/O errors other than "not found".
     pub fn load(&self, key: u64) -> io::Result<Option<Vec<u8>>> {
-        match fs::read(self.path_for(key)) {
+        self.load_ext(key, "plan")
+    }
+
+    /// Loads the sibling artifact with extension `ext` for `key`, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors other than "not found".
+    pub fn load_ext(&self, key: u64, ext: &str) -> io::Result<Option<Vec<u8>>> {
+        match fs::read(self.path_for_ext(key, ext)) {
             Ok(bytes) => Ok(Some(bytes)),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
             Err(e) => Err(e),
@@ -67,6 +84,15 @@ impl PlanStore {
     ///
     /// Returns the underlying I/O error on write or rename failure.
     pub fn save(&self, key: u64, bytes: &[u8]) -> io::Result<()> {
+        self.save_ext(key, "plan", bytes)
+    }
+
+    /// Atomically stores a sibling artifact with extension `ext`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error on write or rename failure.
+    pub fn save_ext(&self, key: u64, ext: &str, bytes: &[u8]) -> io::Result<()> {
         let unique = self.tmp_counter.fetch_add(1, Ordering::Relaxed);
         let tmp = self.dir.join(format!(
             ".{}.{}.{unique}.tmp",
@@ -74,7 +100,7 @@ impl PlanStore {
             std::process::id()
         ));
         fs::write(&tmp, bytes)?;
-        match fs::rename(&tmp, self.path_for(key)) {
+        match fs::rename(&tmp, self.path_for_ext(key, ext)) {
             Ok(()) => Ok(()),
             Err(e) => {
                 let _ = fs::remove_file(&tmp);
@@ -137,6 +163,27 @@ mod tests {
             .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
             .collect();
         assert!(leftovers.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sibling_artifacts_live_beside_the_plan() {
+        let dir = temp_dir("siblings");
+        let store = PlanStore::open(&dir).unwrap();
+        store.save(3, b"plan").unwrap();
+        store.save_ext(3, "cert", b"cert").unwrap();
+        store.save_ext(3, "xmap", b"xmap").unwrap();
+        assert_eq!(
+            store.load_ext(3, "cert").unwrap().as_deref(),
+            Some(&b"cert"[..])
+        );
+        assert_eq!(
+            store.load_ext(3, "xmap").unwrap().as_deref(),
+            Some(&b"xmap"[..])
+        );
+        assert_eq!(store.load_ext(4, "cert").unwrap(), None);
+        // Only `.plan` files count toward the store size.
+        assert_eq!(store.len().unwrap(), 1);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -37,6 +37,10 @@ struct TestServer {
 
 impl TestServer {
     fn start(tag: &str, engine_threads: usize) -> TestServer {
+        TestServer::start_with(tag, engine_threads, false)
+    }
+
+    fn start_with(tag: &str, engine_threads: usize, verify_on_write: bool) -> TestServer {
         let store_dir = std::env::temp_dir().join(format!(
             "xhc-loopback-{tag}-{}-{engine_threads}",
             std::process::id()
@@ -44,7 +48,8 @@ impl TestServer {
         let _ = fs::remove_dir_all(&store_dir);
         let config = ServerConfig::new(&store_dir)
             .with_threads(engine_threads)
-            .with_workers(8);
+            .with_workers(8)
+            .with_verify_on_write(verify_on_write);
         let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
         let addr = server.local_addr();
         let handle = server.handle();
@@ -419,6 +424,57 @@ fn traced_requests_return_plan_bytes_plus_chrome_json() {
     assert_eq!(again.header("x-xhc-cache"), Some("hit"));
     assert_eq!(again.header("x-xhc-plan-bytes"), None);
     assert_eq!(again.body, plan);
+}
+
+#[test]
+fn verify_route_checks_stored_certificates() {
+    let spec = test_spec();
+    let xmap = spec.generate();
+    let server = TestServer::start_with("verify", 2, true);
+    let body = encode_xmap(&xmap);
+    let r = client::post(
+        server.addr,
+        "/v1/plan?m=32&q=7",
+        "application/octet-stream",
+        &body,
+    )
+    .unwrap();
+    // verify-on-write ran inline and passed, or this would be a 500.
+    assert_eq!(r.status, 200, "{}", r.body_text());
+    let hash = r.header("x-xhc-plan-hash").unwrap().to_string();
+
+    // The cached plan re-verifies from its stored .cert/.xmap siblings.
+    let v = client::get(server.addr, &format!("/v1/plan/{hash}/verify")).unwrap();
+    assert_eq!(v.status, 200, "{}", v.body_text());
+    assert!(v.body_text().contains("verified"));
+    assert_eq!(v.header("x-xhc-plan-hash"), Some(hash.as_str()));
+
+    // Both the write-time and the GET-time checks were counted.
+    assert_eq!(server.metric("xhc_verify_total"), 2);
+    assert_eq!(server.metric("xhc_verify_failures_total"), 0);
+
+    // Unknown hash 404s; malformed hash 400s.
+    let missing = client::get(server.addr, "/v1/plan/0000000000000001/verify").unwrap();
+    assert_eq!(missing.status, 404);
+    let bad = client::get(server.addr, "/v1/plan/zzz/verify").unwrap();
+    assert_eq!(bad.status, 400);
+
+    // Tamper with the stored certificate (re-point its plan hash): the
+    // checker must reject it under the XL0401 cross-artifact rule.
+    let cert_path = server.store_dir.join(format!("{hash}.cert"));
+    let mut cert = xhc_wire::decode_certificate(&fs::read(&cert_path).unwrap()).unwrap();
+    cert.plan_hash ^= 1;
+    fs::write(&cert_path, xhc_wire::encode_certificate(&cert)).unwrap();
+    let v = client::get(server.addr, &format!("/v1/plan/{hash}/verify")).unwrap();
+    assert_eq!(v.status, 422, "{}", v.body_text());
+    assert!(v.body_text().contains("XL0401"), "{}", v.body_text());
+    assert_eq!(server.metric("xhc_verify_failures_total"), 1);
+
+    // A certificate that no longer decodes is a malformed-store 500, not
+    // a lint finding.
+    fs::write(&cert_path, b"garbage").unwrap();
+    let v = client::get(server.addr, &format!("/v1/plan/{hash}/verify")).unwrap();
+    assert_eq!(v.status, 500);
 }
 
 #[test]

@@ -1,0 +1,68 @@
+//! `xhc-verify`: plan certificates and their engine-independent checker.
+//!
+//! The partition engine is the trusted-computing-base problem of this
+//! workspace: its incremental split evaluator, pruning bounds and scratch
+//! reuse are exactly the kind of optimized code where an accounting bug
+//! would silently misreport control-bit savings. Instead of trusting it,
+//! every plan can travel with a [`PlanCertificate`] — a witness of the
+//! claims the plan makes — and this crate's checker re-validates the
+//! witness against the plan and its X map in one linear pass, **sharing
+//! no code with the engine**: its own popcounts, its own word-level set
+//! membership, its own Gaussian elimination, `#![forbid(unsafe_code)]`,
+//! and no imports from `xhc-core`'s planning internals (the only
+//! `xhc-core` items used are the plain-data [`PartitionOutcome`] and
+//! [`HybridCost`](xhc_core::HybridCost) structs the wire layer already
+//! exposes).
+//!
+//! # What is certified
+//!
+//! * **Cover** — the certificate's pattern→partition assignment is walked
+//!   once; combined with per-partition popcounts it witnesses that the
+//!   plan's pattern sets are a disjoint cover of the pattern universe.
+//! * **Accounting** — per-partition X-class histograms, masked/leaked X
+//!   splits and mask-cell counts are recomputed from the X map alone and
+//!   compared field by field; mask safety (a masked cell is X under the
+//!   *entire* partition) falls out of the same pass.
+//! * **Cost** — the paper's §4 cost model (`L·C·#partitions` masking bits
+//!   plus `m·q·leakedX/(m−q)` canceling bits) is recomputed with the same
+//!   expression shape the engine uses, so agreement is bit-exact, and
+//!   compared against the plan's claimed [`HybridCost`](xhc_core::HybridCost).
+//! * **Rank** — optional per-block Gauss certificates (dependency matrix,
+//!   claimed rank, pivot columns) are re-eliminated by the checker's own
+//!   naive elimination and must reproduce rank and pivots exactly.
+//!
+//! # Examples
+//!
+//! ```
+//! use xhc_core::{PartitionEngine, PlanOptions};
+//! use xhc_misr::XCancelConfig;
+//! use xhc_scan::{CellId, ScanConfig, XMapBuilder};
+//! use xhc_verify::{certify_plan, check};
+//!
+//! let mut b = XMapBuilder::new(ScanConfig::uniform(5, 3), 8);
+//! for p in [0, 3, 4, 5] {
+//!     b.add_x(CellId::new(0, 0), p).unwrap();
+//! }
+//! let xmap = b.finish();
+//!
+//! let cancel = XCancelConfig::new(10, 2);
+//! let outcome = PartitionEngine::with_options(cancel, PlanOptions::default()).run(&xmap);
+//! let plan_bytes = xhc_wire::encode_plan(&outcome, xmap.num_patterns());
+//!
+//! let cert = certify_plan(&xmap, cancel, &outcome, &plan_bytes, None);
+//! check(&cert, &outcome, &plan_bytes, &xmap, cancel).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod check;
+mod emit;
+
+pub use check::{check, verify, VerifyError};
+pub use emit::{certify_blocks, certify_plan};
+
+// Re-exported so downstream users (lint, serve, the CLI) need only this
+// crate to certify and check.
+pub use xhc_core::PartitionOutcome;
+pub use xhc_wire::{BlockCertificate, PartitionAccount, PlanCertificate};

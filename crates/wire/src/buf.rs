@@ -193,11 +193,15 @@ impl<'a> Sections<'a> {
 
     /// The payload of a required section.
     pub(crate) fn require(&self, tag: u32) -> Result<&'a [u8], WireError> {
+        self.get(tag).ok_or(WireError::MissingSection { tag })
+    }
+
+    /// The payload of an optional section, if present.
+    pub(crate) fn get(&self, tag: u32) -> Option<&'a [u8]> {
         self.entries
             .iter()
             .find(|(t, _)| *t == tag)
             .map(|(_, p)| *p)
-            .ok_or(WireError::MissingSection { tag })
     }
 }
 

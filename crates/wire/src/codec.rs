@@ -28,7 +28,7 @@ const SEC_ARTIFACT: u32 = 12;
 /// Guards a `count x width`-byte batch read against a section too short
 /// to hold it, so an untrusted count can never drive an allocation: after
 /// this check, per-item buffers are bounded by bytes actually present.
-fn check_batch(
+pub(crate) fn check_batch(
     r: &Reader<'_>,
     count: usize,
     width: usize,

@@ -58,9 +58,13 @@
 #![warn(missing_docs)]
 
 mod buf;
+mod cert;
 mod codec;
 mod hash;
 
+pub use cert::{
+    decode_certificate, encode_certificate, BlockCertificate, PartitionAccount, PlanCertificate,
+};
 pub use codec::{
     decode_plan, decode_plan_request, decode_scan_config, decode_session_summary,
     decode_workload_spec, decode_xmap, encode_plan, encode_plan_request, encode_scan_config,
@@ -95,6 +99,10 @@ pub enum Kind {
     /// A fully-specified planning request ([`PlanRequest`]): cancel
     /// parameters, engine options and the nested artifact to plan over.
     PlanRequest,
+    /// A plan certificate ([`PlanCertificate`]): the accounting witness a
+    /// partition plan travels with, content-hash linked to its plan and
+    /// checkable without the engine (see `xhc-verify`).
+    PlanCertificate,
 }
 
 impl Kind {
@@ -106,6 +114,7 @@ impl Kind {
             Kind::PartitionPlan => 4,
             Kind::CancelSummary => 5,
             Kind::PlanRequest => 6,
+            Kind::PlanCertificate => 7,
         }
     }
 
@@ -117,6 +126,7 @@ impl Kind {
             4 => Some(Kind::PartitionPlan),
             5 => Some(Kind::CancelSummary),
             6 => Some(Kind::PlanRequest),
+            7 => Some(Kind::PlanCertificate),
             _ => None,
         }
     }
@@ -131,6 +141,7 @@ impl Kind {
             Kind::PartitionPlan => "partition-plan",
             Kind::CancelSummary => "cancel-summary",
             Kind::PlanRequest => "plan-request",
+            Kind::PlanCertificate => "plan-certificate",
         }
     }
 }
@@ -287,6 +298,7 @@ mod tests {
             Kind::PartitionPlan,
             Kind::CancelSummary,
             Kind::PlanRequest,
+            Kind::PlanCertificate,
         ] {
             assert_eq!(Kind::from_code(kind.code()), Some(kind));
             assert!(!kind.name().is_empty());

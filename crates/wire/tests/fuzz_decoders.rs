@@ -7,9 +7,10 @@ use xhc_misr::XCancelConfig;
 use xhc_prng::XhcRng;
 use xhc_scan::{CellId, ScanConfig, XMapBuilder};
 use xhc_wire::{
-    decode_plan, decode_scan_config, decode_session_summary, decode_workload_spec, decode_xmap,
-    encode_plan, encode_scan_config, encode_session_summary, encode_workload_spec, encode_xmap,
-    peek_kind, CancelBlockSummary, CancelSummary,
+    decode_certificate, decode_plan, decode_scan_config, decode_session_summary,
+    decode_workload_spec, decode_xmap, encode_certificate, encode_plan, encode_scan_config,
+    encode_session_summary, encode_workload_spec, encode_xmap, peek_kind, BlockCertificate,
+    CancelBlockSummary, CancelSummary, PartitionAccount, PlanCertificate,
 };
 use xhc_workload::WorkloadSpec;
 
@@ -24,8 +25,51 @@ fn decoders() -> Vec<Decoder> {
         ("workload_spec", |b| decode_workload_spec(b).is_ok()),
         ("plan", |b| decode_plan(b).is_ok()),
         ("session_summary", |b| decode_session_summary(b).is_ok()),
+        ("certificate", |b| decode_certificate(b).is_ok()),
         ("peek_kind", |b| peek_kind(b).is_ok()),
     ]
+}
+
+/// A small but fully-populated certificate (two partitions, one block)
+/// as a mutation seed.
+fn seed_certificate() -> PlanCertificate {
+    PlanCertificate {
+        plan_hash: 0xDEAD_BEEF,
+        num_patterns: 12,
+        num_partitions: 2,
+        mask_bits: 8,
+        total_x: 3,
+        m: 8,
+        q: 2,
+        assignment: vec![0, 0, 1, 1, 0, 0, 1, 1, 0, 0, 1, 1],
+        partitions: vec![
+            PartitionAccount {
+                patterns: 6,
+                masked_x: 2,
+                leaked_x: 0,
+                mask_cells: 1,
+                cancel_bits: 0.0,
+                histogram: vec![(2, 1)],
+            },
+            PartitionAccount {
+                patterns: 6,
+                masked_x: 0,
+                leaked_x: 1,
+                mask_cells: 0,
+                cancel_bits: 8.0 * 2.0 / 6.0,
+                histogram: vec![(1, 1)],
+            },
+        ],
+        blocks: Some(vec![BlockCertificate {
+            patterns: (0, 12),
+            num_x: 1,
+            rank: 1,
+            pivot_cols: vec![0],
+            combinations: 2,
+            control_bits: 16,
+            dependency: vec![1, 0, 0, 0, 0, 0, 0, 0],
+        }]),
+    }
 }
 
 /// One valid buffer of every artifact kind, as mutation seeds.
@@ -54,6 +98,7 @@ fn seed_buffers() -> Vec<Vec<u8>> {
         encode_workload_spec(&WorkloadSpec::default()),
         encode_plan(&outcome, xmap.num_patterns()),
         encode_session_summary(&summary),
+        encode_certificate(&seed_certificate()),
     ]
 }
 
@@ -106,7 +151,7 @@ fn random_garbage_never_panics() {
         if rng.gen_bool(0.5) && buf.len() >= 8 {
             buf[..4].copy_from_slice(b"XHCW");
             buf[4..6].copy_from_slice(&1u16.to_le_bytes());
-            let kind = 1 + (rng.gen_index(5) as u16);
+            let kind = 1 + (rng.gen_index(7) as u16);
             buf[6..8].copy_from_slice(&kind.to_le_bytes());
         }
         for (_, decode) in decoders() {

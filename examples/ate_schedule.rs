@@ -9,6 +9,8 @@
 //!
 //! Run with: `cargo run --release --example ate_schedule`
 
+#![deny(deprecated)]
+
 use xhybrid::core::{
     mask_switches, pattern_order, schedule_hybrid, PartitionEngine, ScheduleOptions,
 };

@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release --example baseline_tour`
 
+#![deny(deprecated)]
+
 use xhybrid::core::baselines::{
     canceling_only_bits, masking_only_bits, superset_canceling, SupersetConfig,
 };

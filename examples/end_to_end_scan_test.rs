@@ -8,6 +8,8 @@
 //!
 //! Run with: `cargo run --example end_to_end_scan_test`
 
+#![deny(deprecated)]
+
 use xhybrid::atpg::{generate_tests, AtpgConfig};
 use xhybrid::core::{apply_partition_masks, CellSelection, PartitionEngine, PlanOptions};
 use xhybrid::fault::{all_output_faults, fault_coverage, FullObservability};

@@ -7,6 +7,8 @@
 //!
 //! Run with: `cargo run --release --example industrial_profile [-- --full]`
 
+#![deny(deprecated)]
+
 use xhybrid::core::{evaluate_hybrid, inter_correlation_stats, CellSelection};
 use xhybrid::misr::XCancelConfig;
 use xhybrid::workload::WorkloadSpec;

@@ -7,6 +7,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
+#![deny(deprecated)]
+
 use xhybrid::core::{evaluate_hybrid, CellSelection};
 use xhybrid::misr::XCancelConfig;
 use xhybrid::scan::{CellId, ScanConfig, XMap, XMapBuilder};

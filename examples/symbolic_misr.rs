@@ -7,6 +7,8 @@
 //!
 //! Run with: `cargo run --example symbolic_misr`
 
+#![deny(deprecated)]
+
 use xhybrid::bits::gauss;
 use xhybrid::logic::Trit;
 use xhybrid::misr::{pattern_signature_rows, x_dependency_matrix, Taps, XCancelingMisr};

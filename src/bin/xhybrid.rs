@@ -5,6 +5,7 @@
 //! xhybrid analyze FILE
 //! xhybrid partition FILE [--m 32] [--q 7] [--strategy largest|best-cost]
 //! xhybrid schedule FILE [--m 32] [--q 7] [--channels 32]
+//! xhybrid verify FILE [--m 32] [--q 7] [--plan-out FILE] [--cert-out FILE]
 //! xhybrid serve [--addr 127.0.0.1:7878] [--store DIR] [--threads N]
 //! xhybrid fetch --addr HOST:PORT (FILE | --hash HASH) [--out FILE]
 //! ```
@@ -40,7 +41,10 @@ fn usage() -> &'static str {
                [--policy first|seeded|global-max-x] [--seed S] [--threads N]
                [--max-rounds N] [--cost-stop 0|1] [--trace FILE]
   xhybrid schedule FILE [--m 32] [--q 7] [--channels 32]
+  xhybrid verify FILE [--m 32] [--q 7] [engine flags] [--plan-out FILE]
+                [--cert-out FILE] | FILE --plan FILE --cert FILE
   xhybrid serve [--addr 127.0.0.1:7878] [--store DIR] [--threads N] [--workers N]
+                [--verify-on-write 0|1]
   xhybrid fetch --addr HOST:PORT (FILE | --hash HASH) [--m 32] [--q 7]
                 [--strategy largest|best-cost] [--out FILE]
 
@@ -105,18 +109,44 @@ Schedules the hybrid plan on an ATE model and reports cycle counts.
   --q         X-cancel quotient (default 7)
   --channels  ATE channel count (default 32)",
         ),
+        "verify" => Some(
+            "xhybrid verify FILE [--m 32] [--q 7] [--strategy largest|best-cost]
+               [--policy first|seeded|global-max-x] [--seed S] [--threads N]
+               [--max-rounds N] [--cost-stop 0|1]
+               [--plan-out FILE] [--cert-out FILE]
+xhybrid verify FILE --plan FILE --cert FILE
+
+Plans the X map, emits a plan certificate (partition cover witness,
+X-class histograms, control-bit accounting) and statically re-checks it
+with the engine-independent verifier, reporting plan vs verify wall
+time. With --plan/--cert, skips planning and verifies the existing
+wire-encoded artifacts against the X map instead; any violated
+invariant exits 1 with a typed error.
+
+  --m, --q      cancel parameters (defaults 32, 7; fresh mode only)
+  engine flags  as for `xhybrid plan` (fresh mode only)
+  --plan-out    write the wire-encoded plan to FILE
+  --cert-out    write the wire-encoded certificate to FILE
+  --plan        verify this wire-encoded plan instead of planning
+  --cert        its certificate (required with --plan; carries (m, q))",
+        ),
         "serve" => Some(
             "xhybrid serve [--addr 127.0.0.1:7878] [--store DIR] [--threads N] [--workers N]
+              [--verify-on-write 0|1]
 
 Runs the planning daemon. POST an X map (text or wire format) to
 /v1/plan and receive the wire-encoded partition plan; plans are cached
-on disk keyed by content hash. See README `Running as a service`.
+on disk keyed by content hash, alongside a plan certificate that
+`GET /v1/plan/{hash}/verify` re-checks. See README `Running as a
+service`.
 
-  --addr     listen address (port 0 picks a free port; the bound
-             address is printed on startup)
-  --store    plan cache directory (default plan-store)
-  --threads  engine threads per plan, 0 = auto (default 0)
-  --workers  HTTP worker threads (default 4)",
+  --addr             listen address (port 0 picks a free port; the bound
+                     address is printed on startup)
+  --store            plan cache directory (default plan-store)
+  --threads          engine threads per plan, 0 = auto (default 0)
+  --workers          HTTP worker threads (default 4)
+  --verify-on-write  statically verify every fresh plan's certificate
+                     before caching it (1 = on, default 0)",
         ),
         "fetch" => Some(
             "xhybrid fetch --addr HOST:PORT (FILE | --hash HASH) [--m 32] [--q 7]
@@ -506,14 +536,102 @@ fn cmd_schedule(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// `xhybrid verify`: plan + certify + independently re-check, or verify
+/// existing wire artifacts against the X map.
+fn cmd_verify(args: &Args) -> CmdResult {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("verify needs a FILE"))?;
+    let xmap = load(path)?;
+
+    if let Some(plan_path) = args.flag("plan") {
+        // Artifact mode: the certificate carries its own (m, q).
+        let cert_path = args
+            .flag("cert")
+            .ok_or_else(|| CliError::usage("--plan requires --cert FILE"))?;
+        let plan_bytes = std::fs::read(plan_path)
+            .map_err(|e| CliError::runtime(format!("cannot read {plan_path}: {e}")))?;
+        let cert_bytes = std::fs::read(cert_path)
+            .map_err(|e| CliError::runtime(format!("cannot read {cert_path}: {e}")))?;
+        let cert = xhybrid::wire::decode_certificate(&cert_bytes)
+            .map_err(|e| CliError::runtime(format!("cannot decode {cert_path}: {e}")))?;
+        let (outcome, num_patterns) = decode_plan(&plan_bytes)
+            .map_err(|e| CliError::runtime(format!("cannot decode {plan_path}: {e}")))?;
+        let cancel = XCancelConfig::new(cert.m, cert.q);
+        let started = std::time::Instant::now();
+        xhybrid::verify::check(&cert, &outcome, &plan_bytes, &xmap, cancel)
+            .map_err(|e| CliError::runtime(format!("certificate verification FAILED: {e}")))?;
+        let verify_ns = started.elapsed().as_nanos();
+        println!(
+            "verified         : {} partitions over {} patterns, m={} q={}",
+            cert.num_partitions, num_patterns, cert.m, cert.q
+        );
+        println!("verify time      : {:.3} ms", verify_ns as f64 / 1e6);
+        return Ok(());
+    }
+
+    let cancel = cancel_config(args)?;
+    let opts = plan_options(args)?;
+    let plan_started = std::time::Instant::now();
+    let outcome = PartitionEngine::with_options(cancel, opts).run(&xmap);
+    let plan_ns = plan_started.elapsed().as_nanos();
+    let plan_bytes = xhybrid::wire::encode_plan(&outcome, xmap.num_patterns());
+    let cert = xhybrid::verify::certify_plan(&xmap, cancel, &outcome, &plan_bytes, None);
+    let verify_started = std::time::Instant::now();
+    let checked = xhybrid::verify::check(&cert, &outcome, &plan_bytes, &xmap, cancel);
+    let verify_ns = verify_started.elapsed().as_nanos();
+    println!(
+        "plan             : {} partitions over {} patterns (after {} rounds)",
+        outcome.partitions.len(),
+        xmap.num_patterns(),
+        outcome.rounds.len()
+    );
+    println!(
+        "certificate      : mask {} + cancel {:.1} control bits, {} masked + {} leaked X's",
+        cert.mask_bits as u128 * cert.num_partitions as u128,
+        cert.partitions.iter().map(|p| p.cancel_bits).sum::<f64>(),
+        cert.partitions.iter().map(|p| p.masked_x).sum::<usize>(),
+        cert.partitions.iter().map(|p| p.leaked_x).sum::<usize>(),
+    );
+    println!(
+        "plan time        : {:.3} ms, verify time {:.3} ms ({:.1}% of plan)",
+        plan_ns as f64 / 1e6,
+        verify_ns as f64 / 1e6,
+        100.0 * verify_ns as f64 / plan_ns.max(1) as f64
+    );
+    if let Some(out) = args.flag("plan-out") {
+        std::fs::write(out, &plan_bytes)
+            .map_err(|e| CliError::runtime(format!("cannot write {out}: {e}")))?;
+        eprintln!("wrote {out}: {} bytes", plan_bytes.len());
+    }
+    if let Some(out) = args.flag("cert-out") {
+        let cert_bytes = xhybrid::wire::encode_certificate(&cert);
+        std::fs::write(out, &cert_bytes)
+            .map_err(|e| CliError::runtime(format!("cannot write {out}: {e}")))?;
+        eprintln!("wrote {out}: {} bytes", cert_bytes.len());
+    }
+    checked.map_err(|e| CliError::runtime(format!("certificate verification FAILED: {e}")))
+}
+
 fn cmd_serve(args: &Args) -> CmdResult {
     let addr = args.flag("addr").unwrap_or("127.0.0.1:7878");
     let store = args.flag("store").unwrap_or("plan-store");
     let threads: usize = args.flag_parse("threads", 0).map_err(CliError::Usage)?;
     let workers: usize = args.flag_parse("workers", 4).map_err(CliError::Usage)?;
+    let verify_on_write = match args.flag("verify-on-write").unwrap_or("0") {
+        "1" => true,
+        "0" => false,
+        other => {
+            return Err(CliError::usage(format!(
+                "bad --verify-on-write `{other}` (expected 0 or 1)"
+            )))
+        }
+    };
     let config = ServerConfig::new(Path::new(store))
         .with_threads(threads)
-        .with_workers(workers);
+        .with_workers(workers)
+        .with_verify_on_write(verify_on_write);
     let server = Server::bind(addr, config)
         .map_err(|e| CliError::runtime(format!("cannot bind {addr}: {e}")))?;
     println!("listening on {}", server.local_addr());
@@ -640,6 +758,7 @@ fn run() -> CmdResult {
         "partition" => cmd_partition(&args),
         "plan" => cmd_plan(&args),
         "schedule" => cmd_schedule(&args),
+        "verify" => cmd_verify(&args),
         "serve" => cmd_serve(&args),
         "fetch" => cmd_fetch(&args),
         other => Err(CliError::usage(format!(
@@ -704,6 +823,7 @@ mod tests {
             "partition",
             "plan",
             "schedule",
+            "verify",
             "serve",
             "fetch",
         ] {

@@ -23,6 +23,7 @@
 //! | [`par`] | `xhc-par` | scoped-thread work pool (deterministic `par_map`/`par_chunks`) |
 //! | [`trace`] | `xhc-trace` | zero-dependency structured tracing: spans, counters, chrome://tracing export |
 //! | [`wire`] | `xhc-wire` | versioned binary wire format + content addressing for artifacts |
+//! | [`verify`] | `xhc-verify` | plan certificates + engine-independent static checker |
 //! | [`serve`] | `xhc-serve` | HTTP planning daemon with a content-addressed plan cache |
 //!
 //! The [`prelude`] re-exports the handful of types nearly every user
@@ -69,6 +70,7 @@ pub use xhc_par as par;
 pub use xhc_scan as scan;
 pub use xhc_serve as serve;
 pub use xhc_trace as trace;
+pub use xhc_verify as verify;
 pub use xhc_wire as wire;
 pub use xhc_workload as workload;
 
