@@ -87,6 +87,26 @@ fn main() {
         )
     });
 
+    // The full-size paper circuits, unscaled: the workloads the sharded
+    // + lane-unrolled kernel and the streaming matrix ingestion target.
+    // Generation happens outside the timer; the iteration cap keeps the
+    // multi-hundred-ms cases from eating the whole bench budget while
+    // still reporting a real median (bench_gate.sh enforces an absolute
+    // wall-clock budget on the CKT-A case).
+    for (name, spec, cap) in [
+        ("ckt_a", WorkloadSpec::ckt_a(), 7),
+        ("ckt_b", WorkloadSpec::ckt_b(), 5),
+        ("ckt_c", WorkloadSpec::ckt_c(), 5),
+    ] {
+        let xmap = spec.generate();
+        h.bench_capped(&format!("strategy/best_cost_full_{name}"), cap, || {
+            black_box(
+                PartitionEngine::with_options(XCancelConfig::paper_default(), best_cost)
+                    .run(black_box(&xmap)),
+            )
+        });
+    }
+
     // Certificate overhead: plan once outside the timer, then time the
     // full certify + independent-check pass the daemon runs on every
     // write. The acceptance bound is <10% of plan time, measured by

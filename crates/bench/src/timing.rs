@@ -94,7 +94,16 @@ impl Harness {
 
     /// Runs one case: calibrates an iteration count against the budget,
     /// then times each iteration and prints the summary line.
-    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+    pub fn bench<T>(&mut self, name: &str, f: impl FnMut() -> T) {
+        self.bench_capped(name, usize::MAX, f);
+    }
+
+    /// Like [`Harness::bench`] with the calibrated iteration count capped
+    /// at `max_iters` (floored at 1). For multi-second cases — the
+    /// full-size CKT workloads — where even the minimum calibration of 3
+    /// iterations would dominate the whole bench run, a cap keeps the
+    /// case affordable while still reporting a real median.
+    pub fn bench_capped<T>(&mut self, name: &str, max_iters: usize, mut f: impl FnMut() -> T) {
         let full = format!("{}/{}", self.group, name);
         if let Some(filter) = &self.filter {
             if !full.contains(filter.as_str()) {
@@ -105,7 +114,8 @@ impl Harness {
         let start = Instant::now();
         black_box(f());
         let est = start.elapsed().max(Duration::from_nanos(50));
-        let iters = (self.budget.as_nanos() / est.as_nanos()).clamp(3, 10_000) as usize;
+        let iters = ((self.budget.as_nanos() / est.as_nanos()).clamp(3, 10_000) as usize)
+            .min(max_iters.max(1));
 
         let mut samples: Vec<Duration> = Vec::with_capacity(iters);
         for _ in 0..iters {
@@ -227,6 +237,18 @@ mod tests {
         assert!(calls >= 4, "warmup + >=3 samples, got {calls}");
         assert_eq!(h.results().len(), 1);
         assert_eq!(h.results()[0].name, "case");
+    }
+
+    #[test]
+    fn bench_capped_limits_iterations() {
+        let mut h = test_harness(None);
+        let mut calls = 0u32;
+        h.bench_capped("capped", 2, || calls += 1);
+        assert_eq!(calls, 3, "warmup + 2 capped samples, got {calls}");
+        assert_eq!(h.results()[0].iters, 2);
+        // A zero cap is floored to one timed iteration.
+        h.bench_capped("floor", 0, || ());
+        assert_eq!(h.results()[1].iters, 1);
     }
 
     #[test]

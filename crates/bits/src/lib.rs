@@ -62,7 +62,7 @@ mod pattern_set;
 
 pub mod gauss;
 
-pub use bitmatrix::XBitMatrix;
+pub use bitmatrix::{XBitMatrix, XBitMatrixBuilder};
 pub use bitvec::BitVec;
 pub use matrix::BitMatrix;
 pub use pattern_set::PatternSet;

@@ -150,6 +150,21 @@ impl SplitScratch {
     }
 }
 
+/// Fewest rows a kernel shard is allowed to hold: below this the scoped
+/// fan-out costs more than the band sweep it parallelizes.
+const MIN_SHARD_ROWS: usize = 64;
+
+/// Shard count for one candidate's superset sweep over `rows` active
+/// rows on a `kernel_threads`-wide pool: one shard per worker, but never
+/// so many that a shard drops under [`MIN_SHARD_ROWS`] rows.
+fn kernel_shards(rows: usize, kernel_threads: usize) -> usize {
+    if kernel_threads <= 1 {
+        1
+    } else {
+        kernel_threads.min(rows / MIN_SHARD_ROWS).max(1)
+    }
+}
+
 /// Per-round, per-partition context shared by all of that partition's
 /// split candidates: the partition's word mask and a suffix histogram of
 /// active-cell counts for the pruning bound.
@@ -495,8 +510,16 @@ impl PartitionEngine {
                     // active in the parent, so the sweep is restricted to
                     // the parent's active entries and the parent's
                     // nonzero words.
+                    // `kernel_threads` is the pool width this one
+                    // candidate may fan its row sweep over: 1 when the
+                    // pool is already busy across candidates, the full
+                    // width when candidates are evaluated sequentially
+                    // (the seed, and starved late rounds). Counts are
+                    // identical either way — sharding only re-bands the
+                    // row loop.
                     let eval = |scratch: &mut SplitScratch,
-                                &(pi, count, rep, _size): &(usize, usize, usize, usize)|
+                                &(pi, count, rep, _size): &(usize, usize, usize, usize),
+                                kernel_threads: usize|
                      -> usize {
                         let info = &infos[pi];
                         let pc = &ctx[pi];
@@ -511,11 +534,14 @@ impl PartitionEngine {
                             scratch.child_a[w] = p & v;
                             scratch.child_b[w] = p & !v;
                         }
-                        let (na, nb) = matrix.count_supersets_pair(
-                            info.analysis.active_entries(),
+                        let rows = info.analysis.active_entries();
+                        let (na, nb) = matrix.count_supersets_pair_sharded(
+                            rows,
                             &pc.word_ids,
                             &scratch.child_a,
                             &scratch.child_b,
+                            kernel_shards(rows.len(), kernel_threads),
+                            kernel_threads,
                         );
                         let card = info.patterns.card();
                         masked_total - info.masked_x + na * count + nb * (card - count)
@@ -560,7 +586,9 @@ impl PartitionEngine {
                         if scratch_pool.is_empty() {
                             scratch_pool.push(SplitScratch::default());
                         }
-                        let seed_masked = eval(&mut scratch_pool[0], &candidates[seed]);
+                        // The seed is evaluated alone, so its sweep gets
+                        // the whole pool.
+                        let seed_masked = eval(&mut scratch_pool[0], &candidates[seed], threads);
                         let seed_cost = cost_from(seed_masked, num_next).total();
 
                         let retained: Vec<usize> = (0..candidates.len())
@@ -569,12 +597,26 @@ impl PartitionEngine {
                         let pruned = (candidates.len() - 1 - retained.len()) as u64;
                         round_span.set_arg("pruned", pruned);
                         xhc_trace::counter_add("partition.pruned", pruned);
-                        let evald = xhc_par::par_map_scratch_threads(
-                            threads,
-                            &mut scratch_pool,
-                            &retained,
-                            |scratch, &i| eval(scratch, &candidates[i]),
-                        );
+                        // Pick the parallel axis: enough survivors keep
+                        // every worker busy across candidates (unsharded
+                        // kernels); starved rounds — the final rounds of
+                        // a full-size run, where pruning leaves a handful
+                        // of candidates — flip to sequential candidates
+                        // with each kernel sharded across the pool.
+                        let evald: Vec<usize> = if retained.len() >= threads {
+                            xhc_par::par_map_scratch_threads(
+                                threads,
+                                &mut scratch_pool,
+                                &retained,
+                                |scratch, &i| eval(scratch, &candidates[i], 1),
+                            )
+                        } else {
+                            let scratch = &mut scratch_pool[0];
+                            retained
+                                .iter()
+                                .map(|&i| eval(scratch, &candidates[i], threads))
+                                .collect()
+                        };
                         let mut masked_vals: Vec<Option<usize>> = vec![None; candidates.len()];
                         masked_vals[seed] = Some(seed_masked);
                         for (&i, m) in retained.iter().zip(evald) {

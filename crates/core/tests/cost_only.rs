@@ -136,6 +136,128 @@ fn packed_evaluation_matches_materializing_reference() {
     }
 }
 
+/// A scalar (one word at a time, no lanes, no shards) re-implementation
+/// of the superset pair count — the semantics the unrolled kernel must
+/// reproduce bit-for-bit.
+fn scalar_count_pair(
+    matrix: &xhc_bits::XBitMatrix,
+    row_ids: &[u32],
+    word_ids: &[u32],
+    a: &[u64],
+    b: &[u64],
+) -> (usize, usize) {
+    let mut na = 0usize;
+    let mut nb = 0usize;
+    for &r in row_ids {
+        let row = matrix.row(r as usize);
+        let mut a_sub = true;
+        let mut b_sub = true;
+        for &w in word_ids {
+            let w = w as usize;
+            let not_row = !row[w];
+            a_sub &= a[w] & not_row == 0;
+            b_sub &= b[w] & not_row == 0;
+        }
+        na += usize::from(a_sub);
+        nb += usize::from(b_sub);
+    }
+    (na, nb)
+}
+
+#[test]
+fn sharded_and_unrolled_kernels_match_the_scalar_reference() {
+    // The full word-boundary sweep from the issue: universes one bit
+    // either side of 64 and 256 exercise the lane remainder (stride % 4)
+    // at every residue; shard counts {1, 3, 8} × threads {1, 2, 8} pin
+    // the band decomposition to the unsharded result.
+    for patterns in [63usize, 64, 65, 255, 256, 257] {
+        for seed in 0..2u64 {
+            let xmap = random_xmap(seed ^ (patterns as u64) << 9, 8, 10, patterns, 5);
+            if xmap.num_x_cells() == 0 {
+                continue;
+            }
+            let matrix = xmap.to_bitmatrix();
+            let part = PatternSet::all(patterns);
+            let analysis = CorrelationAnalysis::analyze(&xmap, &part);
+            let card = part.card();
+            for (count, cells) in analysis.classes().take(3) {
+                if count == 0 || count >= card {
+                    continue;
+                }
+                // Same garbage-scratch setup as the engine: only the
+                // partition's nonzero words carry real query bits.
+                let word_ids: Vec<u32> = part
+                    .as_bits()
+                    .nonzero_word_indices()
+                    .map(|w| w as u32)
+                    .collect();
+                let mut a = vec![!0u64; matrix.stride()];
+                let mut b = vec![!0u64; matrix.stride()];
+                let part_words = part.as_bits().as_words();
+                let pivot_row = matrix.row(xmap.find_entry(cells[0]).expect("pivot captures X"));
+                for &w in &word_ids {
+                    let w = w as usize;
+                    a[w] = part_words[w] & pivot_row[w];
+                    b[w] = part_words[w] & !pivot_row[w];
+                }
+                let rows = analysis.active_entries();
+                let want = scalar_count_pair(&matrix, rows, &word_ids, &a, &b);
+                let unrolled = matrix.count_supersets_pair(rows, &word_ids, &a, &b);
+                assert_eq!(
+                    unrolled, want,
+                    "unrolled vs scalar: patterns={patterns} seed={seed}"
+                );
+                for shards in [1usize, 3, 8] {
+                    for threads in [1usize, 2, 8] {
+                        let got = matrix
+                            .count_supersets_pair_sharded(rows, &word_ids, &a, &b, shards, threads);
+                        assert_eq!(
+                            got, want,
+                            "sharded vs scalar: patterns={patterns} seed={seed} \
+                             shards={shards} threads={threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_outcome_is_thread_invariant_when_sharding_engages() {
+    // Large enough that the root partition's active-entry list exceeds
+    // the engine's minimum shard size (64 rows), so the intra-candidate
+    // sharded path really runs at threads > 1; the outcome must stay
+    // bit-identical to the single-threaded run.
+    for patterns in [255usize, 257] {
+        let xmap = random_xmap(0xC0FFEE ^ patterns as u64, 20, 14, patterns, 6);
+        let analysis = CorrelationAnalysis::analyze(&xmap, &PatternSet::all(patterns));
+        assert!(
+            analysis.active_entries().len() >= 128,
+            "profile too small to engage sharding: {} active entries",
+            analysis.active_entries().len()
+        );
+        let cancel = XCancelConfig::new(32, 7);
+        let run = |threads: usize| {
+            PartitionEngine::with_options(
+                cancel,
+                xhc_core::PlanOptions {
+                    strategy: SplitStrategy::BestCost,
+                    threads,
+                    ..xhc_core::PlanOptions::default()
+                },
+            )
+            .run(&xmap)
+        };
+        let want = run(1);
+        assert!(!want.rounds.is_empty(), "degenerate profile never splits");
+        for threads in [2usize, 8] {
+            let got = run(threads);
+            assert_eq!(got, want, "patterns={patterns} threads={threads}");
+        }
+    }
+}
+
 /// An unpruned, sequential reference for the BestCost selection rule:
 /// every candidate is materialised and priced, and the first strict
 /// minimum in candidate order wins — the semantics the engine's pruned,

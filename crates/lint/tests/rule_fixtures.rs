@@ -445,6 +445,24 @@ fn xl0306_interactive_specs_pass() {
     assert!(check_plan_latency(&lc, &spec).is_empty());
 }
 
+#[test]
+fn xl0306_mid_size_spec_passes_under_the_sharded_model() {
+    // A shape the pre-sharding latency model flagged (~45 ms at 1 word
+    // visit/ns on one worker): with the 4-wide lanes and the assumed
+    // 8-way intra-candidate sharding it prices at ~3 ms, inside the
+    // interactive budget — the lint must follow the kernel it models.
+    let spec = WorkloadSpec {
+        name: "mid-size",
+        total_cells: 4_000,
+        num_chains: 8,
+        num_patterns: 3000,
+        x_density: 0.01,
+        ..WorkloadSpec::default()
+    };
+    let report = check_plan_latency(&LintConfig::default(), &spec);
+    assert!(report.is_empty(), "{}", report.render_human());
+}
+
 // ---------------------------------------------------------------- XL04xx
 
 /// A certified two-cell plan: engine outcome, its wire bytes and a valid

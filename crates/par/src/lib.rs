@@ -16,6 +16,11 @@
 //! * [`par_map_scratch_threads`] — `par_map` with a caller-owned pool of
 //!   per-worker scratch objects, for kernels that would otherwise
 //!   allocate working buffers on every item;
+//! * [`par_shard_reduce_threads`] — split an index range into contiguous
+//!   shards, map each shard on the pool, and fold the partial results
+//!   **in shard order**, for reductions that must parallelize *inside*
+//!   one logical task (e.g. one split candidate's superset sweep) without
+//!   perturbing the result;
 //! * [`max_threads`] — the pool width: the `XHC_THREADS` environment
 //!   variable when set, otherwise [`std::thread::available_parallelism`].
 //!
@@ -220,6 +225,73 @@ where
         .collect()
 }
 
+/// Splits `0..len` into `shards` contiguous, near-equal index ranges,
+/// maps each range on up to `threads` scoped workers, and folds the
+/// partial results over `init` **in shard order**.
+///
+/// This is the primitive for parallelizing *inside* one logical task — a
+/// reduction whose partial results are combined with an associative fold
+/// whose operand order must not depend on scheduling. Because every
+/// shard covers a fixed contiguous range and the fold always runs
+/// `init ⊕ r₀ ⊕ r₁ ⊕ …` left-to-right, the result is identical for every
+/// `threads` value (only *which worker* computes a shard varies), and for
+/// commutative-associative `fold` (integer sums) it is also identical
+/// for every `shards` value.
+///
+/// `shards` is clamped to `1..=len`; `shards <= 1` (or `len <= 1`)
+/// degenerates to `fold(init, map(0..len))` on the caller's thread with
+/// no pool involvement. `len == 0` returns `init` untouched.
+///
+/// # Examples
+///
+/// ```
+/// let data: Vec<u64> = (0..100).collect();
+/// let sum = xhc_par::par_shard_reduce_threads(
+///     4,
+///     data.len(),
+///     3,
+///     0u64,
+///     |range| data[range].iter().sum::<u64>(),
+///     |acc, part| acc + part,
+/// );
+/// assert_eq!(sum, (0..100).sum());
+/// ```
+pub fn par_shard_reduce_threads<R, M, F>(
+    threads: usize,
+    len: usize,
+    shards: usize,
+    init: R,
+    map: M,
+    fold: F,
+) -> R
+where
+    R: Send,
+    M: Fn(std::ops::Range<usize>) -> R + Sync,
+    F: Fn(R, R) -> R,
+{
+    if len == 0 {
+        return init;
+    }
+    let shards = shards.clamp(1, len);
+    if shards <= 1 {
+        return fold(init, map(0..len));
+    }
+    // Near-equal bands: the first `len % shards` bands get one extra
+    // index, so band boundaries are a pure function of (len, shards).
+    let base = len / shards;
+    let extra = len % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    for s in 0..shards {
+        let band = base + usize::from(s < extra);
+        ranges.push(start..start + band);
+        start += band;
+    }
+    debug_assert_eq!(start, len);
+    let partials = par_map_threads(threads, &ranges, |r| map(r.clone()));
+    partials.into_iter().fold(init, fold)
+}
+
 /// Applies `f` to consecutive chunks of `items` (each of `chunk_size`
 /// elements, the last possibly shorter) on the default pool, returning
 /// one result per chunk in chunk order.
@@ -350,6 +422,52 @@ mod tests {
         let got = par_map_scratch_threads(4, &mut pool, &empty, |_, &x| x);
         assert!(got.is_empty());
         assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn shard_reduce_matches_sequential_for_every_shape() {
+        let data: Vec<u64> = (0..257).map(|i| i * 7 + 3).collect();
+        let want: u64 = data.iter().sum();
+        for shards in [1usize, 2, 3, 8, 64, 300] {
+            for threads in [1usize, 2, 8] {
+                let got = par_shard_reduce_threads(
+                    threads,
+                    data.len(),
+                    shards,
+                    0u64,
+                    |r| data[r].iter().sum::<u64>(),
+                    |a, b| a + b,
+                );
+                assert_eq!(got, want, "shards={shards} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_reduce_folds_in_shard_order() {
+        // A non-commutative fold (concatenation) exposes any ordering
+        // slip: the bands must come back 0..len in order.
+        let concat = par_shard_reduce_threads(
+            4,
+            10,
+            3,
+            Vec::new(),
+            |r| r.collect::<Vec<usize>>(),
+            |mut acc: Vec<usize>, mut part| {
+                acc.append(&mut part);
+                acc
+            },
+        );
+        assert_eq!(concat, (0..10).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn shard_reduce_empty_and_oversharded() {
+        let got = par_shard_reduce_threads(4, 0, 8, 42u64, |_| unreachable!(), |a, b| a + b);
+        assert_eq!(got, 42);
+        // More shards than items: clamped to one index per shard.
+        let got = par_shard_reduce_threads(4, 2, 100, 0usize, |r| r.len(), |a, b| a + b);
+        assert_eq!(got, 2);
     }
 
     #[test]

@@ -198,7 +198,15 @@ impl XMap {
     /// evaluator then prices every candidate with word sweeps over these
     /// rows instead of materialising child partitions.
     pub fn to_bitmatrix(&self) -> xhc_bits::XBitMatrix {
-        xhc_bits::XBitMatrix::from_rows(self.num_patterns, self.xsets.iter().map(|xs| xs.as_bits()))
+        // Streamed straight out of the columnar xsets array with the full
+        // row count reserved up front: one pass, no intermediate row
+        // materialisation, no growth reallocations — a 505k × 3000 matrix
+        // (CKT-A) packs in a single allocation.
+        let mut b = xhc_bits::XBitMatrixBuilder::with_capacity(self.num_patterns, self.xsets.len());
+        for xs in &self.xsets {
+            b.push_row_words(xs.as_bits().as_words());
+        }
+        b.finish()
     }
 
     /// Number of X's per pattern (indexed by pattern).

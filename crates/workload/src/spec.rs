@@ -141,6 +141,41 @@ impl WorkloadSpec {
         }
     }
 
+    /// Looks up a preset by CLI name: `ckt-a`, `ckt-b`, `ckt-c` (the
+    /// paper's circuits, full size) or `demo` (the small default).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use xhc_workload::WorkloadSpec;
+    ///
+    /// assert_eq!(WorkloadSpec::profile("ckt-a"), Some(WorkloadSpec::ckt_a()));
+    /// assert_eq!(WorkloadSpec::profile("bogus"), None);
+    /// ```
+    pub fn profile(name: &str) -> Option<Self> {
+        match name {
+            "ckt-a" => Some(Self::ckt_a()),
+            "ckt-b" => Some(Self::ckt_b()),
+            "ckt-c" => Some(Self::ckt_c()),
+            "demo" => Some(Self::default()),
+            _ => None,
+        }
+    }
+
+    /// Shrinks the workload by an integer factor: cells, chains and
+    /// patterns are divided by `scale` (floored to a workable minimum
+    /// topology), densities and fractions untouched. `scale <= 1` is the
+    /// identity. This is the `--scale` knob shared by `xhybrid gen` and
+    /// `xhybrid plan --profile`.
+    pub fn scaled(mut self, scale: usize) -> Self {
+        if scale > 1 {
+            self.total_cells = (self.total_cells / scale).max(self.num_chains.max(4));
+            self.num_chains = (self.num_chains / scale).max(4);
+            self.num_patterns = (self.num_patterns / scale).max(20);
+        }
+        self
+    }
+
     /// The scan topology the workload uses.
     pub fn scan_config(&self) -> ScanConfig {
         ScanConfig::balanced(self.total_cells, self.num_chains)
@@ -379,6 +414,24 @@ mod tests {
         );
         let c = WorkloadSpec::ckt_c();
         assert_eq!(c.num_patterns, 3000);
+    }
+
+    #[test]
+    fn profile_lookup_and_scaling() {
+        assert_eq!(WorkloadSpec::profile("ckt-b"), Some(WorkloadSpec::ckt_b()));
+        assert_eq!(WorkloadSpec::profile("demo"), Some(WorkloadSpec::default()));
+        assert_eq!(WorkloadSpec::profile("CKT-B"), None);
+
+        let scaled = WorkloadSpec::ckt_a().scaled(10);
+        assert_eq!(scaled.total_cells, 50_505);
+        assert_eq!(scaled.num_chains, 100);
+        assert_eq!(scaled.num_patterns, 300);
+        assert_eq!(scaled.seed, WorkloadSpec::ckt_a().seed);
+        assert_eq!(WorkloadSpec::ckt_a().scaled(1), WorkloadSpec::ckt_a());
+        // Extreme scales bottom out at a workable topology.
+        let tiny = WorkloadSpec::default().scaled(10_000);
+        assert!(tiny.num_chains >= 4 && tiny.num_patterns >= 20);
+        assert!(tiny.total_cells >= tiny.num_chains);
     }
 
     #[test]

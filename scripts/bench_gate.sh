@@ -11,6 +11,11 @@
 # medians before comparison; CI runs the gate a second time with 2 to
 # prove it really fails on a 2x slip.
 #
+# On top of the relative gate, the full-size CKT-A BestCost case must
+# finish under an absolute wall-clock budget (FULL_CKT_A_BUDGET_NS,
+# default 8s — the "low single-digit seconds" acceptance bar for the
+# paper's 505,050-cell circuit).
+#
 # Usage: scripts/bench_gate.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -57,4 +62,22 @@ if failed:
           f"vs the committed snapshot")
     sys.exit(1)
 print(f"[gate] ok: no median regressed more than {tol}%")
+EOF
+
+python3 - "$tmp" "${FULL_CKT_A_BUDGET_NS:-8000000000}" <<'EOF'
+import json, sys
+
+fresh = {c["name"]: c
+         for c in json.load(open(f"{sys.argv[1]}/BENCH_partition.json"))["cases"]}
+budget = int(sys.argv[2])
+case = fresh.get("strategy/best_cost_full_ckt_a")
+if case is None:
+    print("[gate] FAILED: strategy/best_cost_full_ckt_a missing from fresh run")
+    sys.exit(1)
+med = case["median_ns"]
+verdict = "FAIL" if med > budget else "ok"
+print(f"[gate] full ckt-a absolute: median {med} ns vs budget {budget} ns [{verdict}]")
+if med > budget:
+    print("[gate] FAILED: full CKT-A BestCost exceeded the absolute wall-clock budget")
+    sys.exit(1)
 EOF

@@ -2,7 +2,12 @@
 # End-to-end smoke test of the tracing layer: generate a scaled CKT-A
 # workload, run `xhybrid plan --trace`, and assert the chrome://tracing
 # export parses as JSON and contains the engine spans the DESIGN doc
-# promises (partition.round, gauss.eliminate) plus the cancel counters.
+# promises (partition.round, gauss.eliminate) plus the cancel counters
+# and the packed-kernel counters (xbm.stream_rows from the streaming
+# matrix build, xbm.lane_words from the unrolled sweep, xbm.shards from
+# the intra-candidate sharded path — scale 10 keeps the active-cell pool
+# above the engine's minimum shard size, and --threads 4 makes the pool
+# wide enough that the seed evaluation shards its sweep).
 #
 # Usage: scripts/trace_smoke.sh
 set -euo pipefail
@@ -15,8 +20,8 @@ trap cleanup EXIT
 cargo build -q --release --bin xhybrid
 xhybrid=target/release/xhybrid
 
-"$xhybrid" gen --profile ckt-a --scale 40 --out "$work/ckta.xmap"
-"$xhybrid" plan "$work/ckta.xmap" --strategy best-cost \
+"$xhybrid" gen --profile ckt-a --scale 10 --out "$work/ckta.xmap"
+"$xhybrid" plan "$work/ckta.xmap" --strategy best-cost --threads 4 \
   --trace "$work/trace.json" | tee "$work/plan.txt"
 grep -q '^partitions' "$work/plan.txt"
 
@@ -40,6 +45,12 @@ for name in ("partition.run", "partition.round", "gauss.eliminate", "cancel.bloc
     assert spans.get(name, 0) >= 1, (name, spans)
 for name in ("cancel.halts", "cancel.x_total"):
     assert name in counters, (name, counters)
+
+# Packed-kernel counters: the streaming matrix build reports its row
+# count, the unrolled sweep its full-lane word coverage, and the
+# intra-candidate sharded path its shard fan-out.
+for name in ("xbm.superset_calls", "xbm.stream_rows", "xbm.lane_words", "xbm.shards"):
+    assert counters.get(name, 0) > 0, (name, counters)
 
 rounds = [e for e in events if e["ph"] == "X" and e["name"] == "partition.round"]
 assert all("round" in e["args"] for e in rounds), rounds

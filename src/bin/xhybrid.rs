@@ -37,7 +37,8 @@ fn usage() -> &'static str {
   xhybrid gen --profile <ckt-a|ckt-b|ckt-c|demo> [--scale N] [--seed S] --out FILE
   xhybrid analyze FILE
   xhybrid partition FILE [--m 32] [--q 7] [--strategy largest|best-cost]
-  xhybrid plan FILE [--m 32] [--q 7] [--strategy largest|best-cost]
+  xhybrid plan (FILE | --profile <ckt-a|ckt-b|ckt-c|demo> [--scale N])
+               [--m 32] [--q 7] [--strategy largest|best-cost]
                [--policy first|seeded|global-max-x] [--seed S] [--threads N]
                [--max-rounds N] [--cost-stop 0|1] [--trace FILE]
   xhybrid schedule FILE [--m 32] [--q 7] [--channels 32]
@@ -80,14 +81,20 @@ baselines.
   --strategy  partition split heuristic (default largest)",
         ),
         "plan" => Some(
-            "xhybrid plan FILE [--m 32] [--q 7] [--strategy largest|best-cost]
+            "xhybrid plan (FILE | --profile <ckt-a|ckt-b|ckt-c|demo> [--scale N])
+             [--m 32] [--q 7] [--strategy largest|best-cost]
              [--policy first|seeded|global-max-x] [--seed S] [--threads N]
              [--max-rounds N] [--cost-stop 0|1] [--trace FILE]
 
 Runs the partition engine with the full option set, validates the plan
 by running a bounded X-canceling session over the masked responses, and
 optionally records the whole run as a chrome://tracing JSON file.
+Instead of a FILE, --profile plans a freshly generated paper workload
+in memory (full size; --scale N shrinks it), skipping the text format
+round trip — `--profile ckt-a` is the full 505,050-cell circuit.
 
+  --profile     generate and plan a workload preset instead of a FILE
+  --scale       divide the profile's cells/chains/patterns by N
   --m, --q      cancel parameters (defaults 32, 7)
   --strategy    partition split heuristic (default largest)
   --policy      pivot-cell selection policy (default first)
@@ -244,19 +251,10 @@ fn cancel_config(args: &Args) -> Result<XCancelConfig, CliError> {
 
 fn cmd_gen(args: &Args) -> CmdResult {
     let profile = args.flag("profile").unwrap_or("demo");
-    let mut spec = match profile {
-        "ckt-a" => WorkloadSpec::ckt_a(),
-        "ckt-b" => WorkloadSpec::ckt_b(),
-        "ckt-c" => WorkloadSpec::ckt_c(),
-        "demo" => WorkloadSpec::default(),
-        other => return Err(CliError::usage(format!("unknown profile `{other}`"))),
-    };
     let scale: usize = args.flag_parse("scale", 1).map_err(CliError::Usage)?;
-    if scale > 1 {
-        spec.total_cells = (spec.total_cells / scale).max(spec.num_chains.max(4));
-        spec.num_chains = (spec.num_chains / scale).max(4);
-        spec.num_patterns = (spec.num_patterns / scale).max(20);
-    }
+    let mut spec = WorkloadSpec::profile(profile)
+        .ok_or_else(|| CliError::usage(format!("unknown profile `{profile}`")))?
+        .scaled(scale);
     spec.seed = args
         .flag_parse("seed", spec.seed)
         .map_err(CliError::Usage)?;
@@ -416,14 +414,34 @@ const PLAN_VALIDATE_PATTERNS: usize = 64;
 const PLAN_VALIDATE_SYMBOLS: usize = 1 << 18;
 
 fn cmd_plan(args: &Args) -> CmdResult {
-    let path = args
-        .positional
-        .first()
-        .ok_or_else(|| CliError::usage("plan needs a FILE"))?;
     let cancel = cancel_config(args)?;
     let opts = plan_options(args)?;
     let trace_out = args.flag("trace");
-    let xmap = load(path)?;
+    // Input: a FILE positional, or a generated full-size paper profile
+    // (`--profile ckt-a`, optionally shrunk with `--scale N`).
+    let xmap = match (args.positional.first(), args.flag("profile")) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::usage("plan takes a FILE or --profile, not both"))
+        }
+        (Some(path), None) => load(path)?,
+        (None, Some(profile)) => {
+            let scale: usize = args.flag_parse("scale", 1).map_err(CliError::Usage)?;
+            let spec = WorkloadSpec::profile(profile)
+                .ok_or_else(|| CliError::usage(format!("unknown profile `{profile}`")))?
+                .scaled(scale);
+            let xmap = spec.generate();
+            eprintln!(
+                "generated {}: {} cells / {} patterns, {} X's ({:.3}%)",
+                spec.name,
+                xmap.config().total_cells(),
+                xmap.num_patterns(),
+                xmap.total_x(),
+                100.0 * xmap.x_density()
+            );
+            xmap
+        }
+        (None, None) => return Err(CliError::usage("plan needs a FILE or --profile NAME")),
+    };
 
     let session = if trace_out.is_some() {
         Some(
