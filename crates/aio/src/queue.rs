@@ -1,0 +1,196 @@
+//! A bounded multi-producer multi-consumer job queue.
+//!
+//! The serve front end uses one of these between its event loop and the
+//! worker pool: the loop `try_push`es (a full queue is the admission
+//! -control signal, answered with HTTP 429 upstream) and workers block
+//! in `pop` until a job or shutdown arrives. Plain `Mutex` + two
+//! `Condvar`s — at planning-request granularity the lock is nowhere near
+//! contended, and the bound is the point.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push did not enqueue; carries the rejected value back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity (admission control should shed).
+    Full(T),
+    /// The queue was closed; no more jobs are accepted.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded MPMC queue. Clone-free: share it behind an `Arc`.
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue holding at most `capacity` jobs (clamped to at least 1).
+    pub fn new(capacity: usize) -> JobQueue<T> {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Enqueues without blocking. A `Full` error is the backpressure
+    /// signal callers turn into load shedding.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`JobQueue::close`]; both return the value.
+    pub fn try_push(&self, value: T) -> Result<(), PushError<T>> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushError::Closed(value));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(value));
+        }
+        inner.items.push_back(value);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job arrives or the queue closes. `None` means
+    /// closed *and* drained — the worker-thread exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Closes the queue: future pushes fail, and blocked `pop`s return
+    /// once the backlog drains. Idempotent.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Jobs currently queued (racy by nature; a monitoring value).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty (racy by nature).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The capacity the queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn bounded_push_pop_fifo() {
+        let q = JobQueue::new(2);
+        assert_eq!(q.capacity(), 2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_drains_then_releases_consumers() {
+        let q = Arc::new(JobQueue::new(4));
+        q.try_push(10).unwrap();
+        q.close();
+        assert_eq!(q.try_push(11), Err(PushError::Closed(11)));
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), None);
+
+        // A consumer blocked before close wakes up with None.
+        let q2 = Arc::clone(&q);
+        let consumer = thread::spawn(move || q2.pop());
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn many_producers_many_consumers() {
+        const PER_PRODUCER: usize = 200;
+        let q = Arc::new(JobQueue::new(8));
+        let mut producers = Vec::new();
+        for p in 0..4u64 {
+            let q = Arc::clone(&q);
+            producers.push(thread::spawn(move || {
+                for i in 0..PER_PRODUCER as u64 {
+                    let mut v = p * 10_000 + i;
+                    // Spin on Full: this test wants throughput, not shed.
+                    loop {
+                        match q.try_push(v) {
+                            Ok(()) => break,
+                            Err(PushError::Full(back)) => {
+                                v = back;
+                                thread::yield_now();
+                            }
+                            Err(PushError::Closed(_)) => panic!("closed early"),
+                        }
+                    }
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let q = Arc::clone(&q);
+            consumers.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 4 * PER_PRODUCER, "every job seen exactly once");
+    }
+}

@@ -1,0 +1,123 @@
+//! The one `unsafe` module of the workspace: raw Linux epoll and eventfd
+//! bindings.
+//!
+//! `std` already links libc on every Unix target, so declaring the five
+//! syscall wrappers we need as `extern "C"` items adds no dependency.
+//! Everything unsafe is confined to this file; the rest of the crate
+//! (and the workspace) stays `forbid(unsafe_code)` or `deny(unsafe_code)`.
+//! On non-Linux targets this module is not compiled at all — the
+//! portable fallback backend in the crate root takes over.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::RawFd;
+
+// Values from the Linux UAPI headers; part of the stable kernel ABI.
+pub const EPOLL_CTL_ADD: i32 = 1;
+pub const EPOLL_CTL_DEL: i32 = 2;
+pub const EPOLL_CTL_MOD: i32 = 3;
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+/// One readiness record as the kernel fills it in. x86-64 packs the
+/// struct (12 bytes); other architectures use natural alignment — this
+/// must match the kernel ABI exactly or `epoll_wait` corrupts the array.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Bitmask of `EPOLL*` readiness flags.
+    pub events: u32,
+    /// The caller's token, passed back verbatim.
+    pub u64: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Creates a close-on-exec epoll instance and returns its fd.
+pub fn epoll_create() -> io::Result<RawFd> {
+    // SAFETY: epoll_create1 takes no pointers; any return is handled.
+    cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+}
+
+/// Adds, modifies or removes `fd` on the epoll set.
+pub fn epoll_control(epfd: RawFd, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+    let mut ev = EpollEvent { events, u64: token };
+    // SAFETY: `ev` outlives the call; the kernel copies it before
+    // returning. For EPOLL_CTL_DEL the pointer is ignored (but must be
+    // non-null on kernels before 2.6.9, which passing `&mut ev` covers).
+    cvt(unsafe { epoll_ctl(epfd, op, fd, &mut ev) })?;
+    Ok(())
+}
+
+/// Blocks until readiness or `timeout_ms` (-1 = forever), filling
+/// `events` from the front; returns how many records were written.
+pub fn epoll_wait_events(
+    epfd: RawFd,
+    events: &mut [EpollEvent],
+    timeout_ms: i32,
+) -> io::Result<usize> {
+    // SAFETY: the pointer/length pair describes a live, writable slice;
+    // the kernel writes at most `len` records.
+    let n = cvt(unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms) })?;
+    Ok(n as usize)
+}
+
+/// Creates a nonblocking close-on-exec eventfd (the wakeup channel).
+pub fn eventfd_create() -> io::Result<RawFd> {
+    // SAFETY: eventfd takes no pointers.
+    cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })
+}
+
+/// Posts one wakeup tick to an eventfd. Saturation (EAGAIN when the
+/// counter is full) still leaves the fd readable, so it is not an error.
+pub fn eventfd_write(fd: RawFd) -> io::Result<()> {
+    let one: u64 = 1;
+    // SAFETY: the buffer is 8 live bytes, exactly what eventfd expects.
+    let ret = unsafe { write(fd, (&one as *const u64).cast(), 8) };
+    if ret < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::WouldBlock {
+            return Ok(());
+        }
+        return Err(err);
+    }
+    Ok(())
+}
+
+/// Drains an eventfd so it stops reporting readable.
+pub fn eventfd_drain(fd: RawFd) {
+    let mut buf = [0u8; 8];
+    // SAFETY: the buffer is 8 live bytes; the fd is nonblocking, so
+    // this never hangs. Errors (EAGAIN after a race) are ignorable.
+    let _ = unsafe { read(fd, buf.as_mut_ptr(), 8) };
+}
+
+/// Closes a raw fd owned by this crate.
+pub fn close_fd(fd: RawFd) {
+    // SAFETY: callers only pass fds they own and never reuse after.
+    let _ = unsafe { close(fd) };
+}

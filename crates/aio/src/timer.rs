@@ -1,0 +1,161 @@
+//! A hashed timer wheel for connection deadlines.
+//!
+//! Deadlines are coarse (one tick of resolution, default 16 ms) because
+//! they guard against stalled peers, not real-time scheduling. Insertion
+//! and cancellation-by-staleness are O(1); expiry scans only the slots
+//! the clock hand passes over. Keys are opaque `u64`s chosen by the
+//! caller (the serve front end packs a connection slot and a generation
+//! so a reused slot never sees a stale deadline fire).
+
+/// Default tick width in milliseconds.
+pub const DEFAULT_TICK_MS: u64 = 16;
+
+/// Default number of wheel slots (one full turn covers
+/// `slots * tick_ms` ≈ 4 s at the defaults; longer deadlines simply
+/// survive extra turns).
+pub const DEFAULT_SLOTS: usize = 256;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    deadline_ms: u64,
+    key: u64,
+}
+
+/// The wheel itself. All times are caller-supplied milliseconds on a
+/// monotonic clock of the caller's choosing.
+#[derive(Debug)]
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    tick_ms: u64,
+    /// The tick index the hand has fully processed up to (exclusive).
+    hand: u64,
+    len: usize,
+}
+
+impl TimerWheel {
+    /// A wheel with the default geometry, starting at `now_ms`.
+    pub fn new(now_ms: u64) -> TimerWheel {
+        TimerWheel::with_geometry(now_ms, DEFAULT_TICK_MS, DEFAULT_SLOTS)
+    }
+
+    /// A wheel with explicit tick width and slot count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick_ms` is 0 or `slots` is 0.
+    pub fn with_geometry(now_ms: u64, tick_ms: u64, slots: usize) -> TimerWheel {
+        assert!(tick_ms > 0, "tick width must be positive");
+        assert!(slots > 0, "the wheel needs at least one slot");
+        TimerWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            tick_ms,
+            hand: now_ms / tick_ms,
+            len: 0,
+        }
+    }
+
+    /// Arms a deadline. Deadlines already in the past fire on the next
+    /// [`TimerWheel::expire`] call.
+    pub fn insert(&mut self, deadline_ms: u64, key: u64) {
+        let tick = (deadline_ms / self.tick_ms).max(self.hand);
+        let slot = (tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Entry { deadline_ms, key });
+        self.len += 1;
+    }
+
+    /// Advances the hand to `now_ms`, returning every key whose deadline
+    /// has passed (in slot order; order within a tick is insertion
+    /// order). Keys the caller no longer cares about are simply ignored
+    /// on return — the wheel does not support explicit cancellation.
+    pub fn expire(&mut self, now_ms: u64) -> Vec<u64> {
+        let target = now_ms / self.tick_ms;
+        let mut fired = Vec::new();
+        let slots = self.slots.len() as u64;
+        // Scan at most one full turn; beyond that every slot has been
+        // visited once and re-scanning would double-count survivors.
+        let last = self.hand + slots.min(target.saturating_sub(self.hand) + 1);
+        for tick in self.hand..last {
+            let slot = (tick % slots) as usize;
+            let entries = &mut self.slots[slot];
+            let mut i = 0;
+            while i < entries.len() {
+                if entries[i].deadline_ms <= now_ms {
+                    fired.push(entries.swap_remove(i).key);
+                    self.len -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.hand = target.max(self.hand);
+        fired
+    }
+
+    /// The soonest armed deadline, if any — what an event loop should
+    /// cap its poll timeout at.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.slots
+            .iter()
+            .flat_map(|s| s.iter().map(|e| e.deadline_ms))
+            .min()
+    }
+
+    /// Armed deadlines (including ones whose keys the caller has
+    /// logically abandoned but that have not fired yet).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no deadline is armed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_deadline_order_across_slots() {
+        let mut w = TimerWheel::with_geometry(0, 10, 8);
+        w.insert(25, 1);
+        w.insert(5, 2);
+        w.insert(1000, 3); // more than one full turn away
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.expire(4), Vec::<u64>::new());
+        assert_eq!(w.expire(9), vec![2]);
+        assert_eq!(w.expire(30), vec![1]);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.next_deadline(), Some(1000));
+        assert_eq!(w.expire(2000), vec![3]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn past_deadlines_fire_immediately() {
+        let mut w = TimerWheel::new(10_000);
+        w.insert(1, 7);
+        assert_eq!(w.expire(10_000), vec![7]);
+    }
+
+    #[test]
+    fn same_tick_multiple_keys() {
+        let mut w = TimerWheel::with_geometry(0, 16, 4);
+        w.insert(20, 1);
+        w.insert(20, 2);
+        let mut fired = w.expire(40);
+        fired.sort_unstable();
+        assert_eq!(fired, vec![1, 2]);
+    }
+
+    #[test]
+    fn hand_never_moves_backwards() {
+        let mut w = TimerWheel::with_geometry(0, 10, 8);
+        w.insert(55, 9);
+        assert!(w.expire(50).is_empty());
+        // A stale (smaller) now must not re-scan or lose entries.
+        assert!(w.expire(20).is_empty());
+        assert_eq!(w.expire(60), vec![9]);
+    }
+}

@@ -39,6 +39,8 @@ pub struct CaseResult {
     pub median_ns: u128,
     /// 95th-percentile iteration (nearest-rank), in nanoseconds.
     pub p95_ns: u128,
+    /// 99th-percentile iteration (nearest-rank), in nanoseconds.
+    pub p99_ns: u128,
     /// Mean iteration, in nanoseconds.
     pub mean_ns: u128,
 }
@@ -126,14 +128,16 @@ impl Harness {
         samples.sort_unstable();
         let min = samples[0];
         let median = samples[samples.len() / 2];
-        // Nearest-rank p95: ceil(0.95 * n) as a 1-based rank.
+        // Nearest-rank percentiles: ceil(q * n) as a 1-based rank.
         let p95 = samples[(samples.len() * 95).div_ceil(100) - 1];
+        let p99 = samples[(samples.len() * 99).div_ceil(100) - 1];
         let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
         println!(
-            "{full:<48} {iters:>6} iters   min {:>12}   median {:>12}   p95 {:>12}   mean {:>12}",
+            "{full:<48} {iters:>6} iters   min {:>12}   median {:>12}   p95 {:>12}   p99 {:>12}   mean {:>12}",
             fmt_duration(min),
             fmt_duration(median),
             fmt_duration(p95),
+            fmt_duration(p99),
             fmt_duration(mean),
         );
         self.results.push(CaseResult {
@@ -142,6 +146,7 @@ impl Harness {
             min_ns: min.as_nanos(),
             median_ns: median.as_nanos(),
             p95_ns: p95.as_nanos(),
+            p99_ns: p99.as_nanos(),
             mean_ns: mean.as_nanos(),
         });
     }
@@ -160,12 +165,13 @@ impl Harness {
         out.push_str("  \"cases\": [\n");
         for (i, c) in self.results.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"iters\": {}, \"min_ns\": {}, \"median_ns\": {}, \"p95_ns\": {}, \"mean_ns\": {}}}{}\n",
+                "    {{\"name\": \"{}\", \"iters\": {}, \"min_ns\": {}, \"median_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"mean_ns\": {}}}{}\n",
                 escape(&c.name),
                 c.iters,
                 c.min_ns,
                 c.median_ns,
                 c.p95_ns,
+                c.p99_ns,
                 c.mean_ns,
                 if i + 1 < self.results.len() { "," } else { "" }
             ));
@@ -261,6 +267,7 @@ mod tests {
         assert!(json.contains("\"name\": \"a/b\""));
         assert!(json.contains("\"median_ns\":"));
         assert!(json.contains("\"p95_ns\":"));
+        assert!(json.contains("\"p99_ns\":"));
         // Exactly one trailing-comma-free last element: valid JSON shape.
         assert_eq!(json.matches("\"name\"").count(), 2);
     }

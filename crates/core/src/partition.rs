@@ -379,6 +379,21 @@ impl PartitionEngine {
     /// stop is active — accepts the split only if the total control-bit
     /// cost strictly decreases.
     pub fn run(&self, xmap: &XMap) -> PartitionOutcome {
+        self.run_with_matrix(xmap, None)
+    }
+
+    /// Like [`PartitionEngine::run`], but reuses an already-packed
+    /// `cells × patterns` matrix for `xmap` instead of building one.
+    ///
+    /// The serve front end batches concurrent submissions of the same
+    /// workload this way: one packed build serves many engine passes
+    /// (different options, same X map). Passing `None` builds the matrix
+    /// internally exactly as [`PartitionEngine::run`] does; passing a
+    /// matrix that was not packed from this `xmap` produces garbage
+    /// plans, so callers key shared matrices by workload content hash.
+    /// Only the `BestCost` strategy prices candidates on the packed
+    /// matrix; under `LargestClass` the shared matrix is ignored.
+    pub fn run_with_matrix(&self, xmap: &XMap, shared: Option<&XBitMatrix>) -> PartitionOutcome {
         let num_patterns = xmap.num_patterns();
         let total_x = xmap.total_x();
         let word_bits = xmap.config().mask_word_bits() as u128;
@@ -412,9 +427,14 @@ impl PartitionEngine {
         let mut masked_total = infos[0].masked_x;
         // The packed cells × patterns matrix drives the cost-only
         // candidate evaluator; only the BestCost strategy prices
-        // candidates, so only it pays for the build.
-        let matrix: Option<XBitMatrix> = match self.opts.strategy {
-            SplitStrategy::BestCost => Some(xmap.to_bitmatrix()),
+        // candidates, so only it pays for the build — or borrows the
+        // caller's shared build when batching.
+        let built: Option<XBitMatrix> = match (self.opts.strategy, shared) {
+            (SplitStrategy::BestCost, None) => Some(xmap.to_bitmatrix()),
+            _ => None,
+        };
+        let matrix: Option<&XBitMatrix> = match self.opts.strategy {
+            SplitStrategy::BestCost => shared.or(built.as_ref()),
             SplitStrategy::LargestClass => None,
         };
         let mut scratch_pool: Vec<SplitScratch> = Vec::new();
@@ -485,7 +505,7 @@ impl PartitionEngine {
                     // pruning and the parallel fan-out are arranged so
                     // the selected pivot is exactly the one the original
                     // sequential fold over all candidates would pick.
-                    let matrix = matrix.as_ref().expect("matrix built for BestCost");
+                    let matrix = matrix.expect("matrix built for BestCost");
                     let stride = matrix.stride();
                     let num_next = infos.len() + 1;
                     let candidates: Vec<(usize, usize, usize, usize)> = infos

@@ -1,0 +1,196 @@
+//! Request batching: one packed bit-matrix build serves every
+//! concurrent plan submission that shares a workload.
+//!
+//! The single-flight set upstream already dedups *identical* requests
+//! (same X map **and** same engine options). This pool extends the idea
+//! to the shared-prefix case — same X map, different options — where the
+//! most expensive shared step is packing the `cells × patterns`
+//! [`XBitMatrix`]. Entries are keyed by the content hash of the
+//! canonical X map encoding and hold only a [`Weak`] reference, so the
+//! pool batches strictly *concurrent* work: the matrix lives exactly as
+//! long as some engine run holds it, and an idle daemon caches nothing.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, Weak};
+
+use xhc_bits::XBitMatrix;
+
+enum Slot {
+    /// Some caller is packing the matrix right now.
+    Building,
+    /// The matrix exists while at least one engine run still holds it.
+    Ready(Weak<XBitMatrix>),
+}
+
+/// The pool. One per daemon, shared by every worker.
+#[derive(Default)]
+pub struct MatrixPool {
+    slots: Mutex<HashMap<u64, Slot>>,
+    changed: Condvar,
+}
+
+/// Removes a `Building` claim if the builder unwinds, so a panicking
+/// engine request cannot wedge every later request for the same
+/// workload.
+struct BuildGuard<'a> {
+    pool: &'a MatrixPool,
+    key: u64,
+    armed: bool,
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.pool.lock().remove(&self.key);
+            self.pool.changed.notify_all();
+        }
+    }
+}
+
+impl MatrixPool {
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Slot>> {
+        self.slots.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Returns the packed matrix for the workload identified by `key`,
+    /// building it with `build` only if no concurrent caller already is
+    /// (or did, and the result is still alive). Exactly one build runs
+    /// per batch of concurrent callers; the rest block until it is ready
+    /// and share the same [`Arc`]. The `bool` is true for reusers, who
+    /// also bump the `serve.batched` trace counter — the observable
+    /// proof that batching happened.
+    pub fn get_or_build(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> XBitMatrix,
+    ) -> (Arc<XBitMatrix>, bool) {
+        let mut slots = self.lock();
+        loop {
+            match slots.get(&key) {
+                Some(Slot::Ready(weak)) => {
+                    if let Some(matrix) = weak.upgrade() {
+                        xhc_trace::counter_add("serve.batched", 1);
+                        return (matrix, true);
+                    }
+                    // The last holder dropped it; this caller rebuilds.
+                    slots.remove(&key);
+                }
+                Some(Slot::Building) => {
+                    slots = self.changed.wait(slots).unwrap_or_else(|p| p.into_inner());
+                    continue;
+                }
+                None => {}
+            }
+            slots.insert(key, Slot::Building);
+            break;
+        }
+        drop(slots);
+        let mut guard = BuildGuard {
+            pool: self,
+            key,
+            armed: true,
+        };
+        let matrix = Arc::new(build());
+        guard.armed = false;
+        let mut slots = self.lock();
+        slots.insert(key, Slot::Ready(Arc::downgrade(&matrix)));
+        drop(slots);
+        self.changed.notify_all();
+        (matrix, false)
+    }
+
+    /// Live + building entries, for tests and metrics.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the pool currently tracks nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    fn tiny_matrix() -> XBitMatrix {
+        let mut b = xhc_bits::XBitMatrixBuilder::with_capacity(8, 2);
+        b.push_row_words(&[0b1001]);
+        b.push_row_words(&[0b0010]);
+        b.finish()
+    }
+
+    #[test]
+    fn concurrent_callers_share_one_build() {
+        let pool = Arc::new(MatrixPool::default());
+        let builds = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let pool = Arc::clone(&pool);
+            let builds = Arc::clone(&builds);
+            let barrier = Arc::clone(&barrier);
+            handles.push(thread::spawn(move || {
+                barrier.wait();
+                let (m, _reused) = pool.get_or_build(42, || {
+                    builds.fetch_add(1, Ordering::SeqCst);
+                    // Widen the race window so reusers really overlap.
+                    thread::sleep(std::time::Duration::from_millis(20));
+                    tiny_matrix()
+                });
+                assert_eq!(m.num_rows(), 2);
+                m
+            }));
+        }
+        let mats: Vec<Arc<XBitMatrix>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "exactly one packed build");
+        for m in &mats[1..] {
+            assert!(Arc::ptr_eq(&mats[0], m), "all callers share one matrix");
+        }
+    }
+
+    #[test]
+    fn dead_entries_are_rebuilt() {
+        let pool = MatrixPool::default();
+        let (first, reused) = pool.get_or_build(7, tiny_matrix);
+        assert!(!reused, "first build is not a reuse");
+        drop(first);
+        // The weak entry is dead now; a new caller must rebuild, not
+        // panic or hang.
+        let built = AtomicUsize::new(0);
+        let (second, reused) = pool.get_or_build(7, || {
+            built.fetch_add(1, Ordering::SeqCst);
+            tiny_matrix()
+        });
+        assert!(!reused, "a dead weak entry forces a fresh build");
+        assert_eq!(built.load(Ordering::SeqCst), 1);
+        assert_eq!(second.num_rows(), 2);
+    }
+
+    #[test]
+    fn panicking_builder_releases_the_claim() {
+        let pool = Arc::new(MatrixPool::default());
+        let p = Arc::clone(&pool);
+        let result = thread::spawn(move || {
+            p.get_or_build(9, || panic!("boom"));
+        })
+        .join();
+        assert!(result.is_err(), "builder panic propagates");
+        // The slot must be free again: a later caller builds fresh.
+        let (m, reused) = pool.get_or_build(9, tiny_matrix);
+        assert!(!reused);
+        assert_eq!(m.num_rows(), 2);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_share() {
+        let pool = MatrixPool::default();
+        let (a, _) = pool.get_or_build(1, tiny_matrix);
+        let (b, _) = pool.get_or_build(2, tiny_matrix);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(pool.len(), 2);
+    }
+}

@@ -1,8 +1,12 @@
 //! A minimal blocking HTTP client for the daemon, used by the
-//! `xhybrid fetch` subcommand, the loopback tests and the latency bench.
+//! `xhybrid fetch` subcommand, the loopback tests and the latency
+//! benches. The free functions ([`request`], [`get`], [`post`]) open a
+//! fresh `Connection: close` socket per call; [`Client`] keeps one
+//! connection alive across calls, which is what the load generator and
+//! anything latency-sensitive should use.
 
-use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 
 /// A parsed HTTP response.
 #[derive(Debug)]
@@ -28,39 +32,52 @@ impl HttpResponse {
     pub fn body_text(&self) -> String {
         String::from_utf8_lossy(&self.body).into_owned()
     }
+
+    /// Whether the server asked for the connection to be closed.
+    fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
 }
 
 fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-/// Sends one request and reads the response (`Connection: close`
-/// framing; the body is read to EOF or `Content-Length`).
-///
-/// # Errors
-///
-/// Returns transport errors and malformed-response errors.
-pub fn request(
-    addr: impl ToSocketAddrs,
+/// Serializes a request head plus body into one buffer (one write per
+/// request keeps a keep-alive exchange to a single segment when small).
+fn render_request(
     method: &str,
     path_and_query: &str,
     content_type: Option<&str>,
     body: &[u8],
-) -> io::Result<HttpResponse> {
-    let mut stream = TcpStream::connect(addr)?;
+    keep_alive: bool,
+) -> Vec<u8> {
     let mut head = format!("{method} {path_and_query} HTTP/1.1\r\nHost: xhc-serve\r\n");
     if let Some(ct) = content_type {
         head.push_str(&format!("Content-Type: {ct}\r\n"));
     }
     head.push_str(&format!("Content-Length: {}\r\n", body.len()));
-    head.push_str("Connection: close\r\n\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
-    stream.flush()?;
+    if !keep_alive {
+        head.push_str("Connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    let mut buf = head.into_bytes();
+    buf.extend_from_slice(body);
+    buf
+}
 
-    let mut reader = BufReader::new(stream);
+/// Reads one response off `reader`. With `to_eof_ok`, a missing
+/// `Content-Length` falls back to read-to-EOF (only sound on a
+/// `Connection: close` exchange); without it the header is required.
+fn read_response(reader: &mut impl BufRead, to_eof_ok: bool) -> io::Result<HttpResponse> {
     let mut status_line = String::new();
-    reader.read_line(&mut status_line)?;
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before a response",
+        ));
+    }
     let mut parts = status_line.split_ascii_whitespace();
     let version = parts.next().ok_or_else(|| bad("empty response"))?;
     if !version.starts_with("HTTP/1.") {
@@ -97,10 +114,15 @@ pub fn request(
             reader.read_exact(&mut buf)?;
             buf
         }
-        None => {
+        None if to_eof_ok => {
             let mut buf = Vec::new();
             reader.read_to_end(&mut buf)?;
             buf
+        }
+        None => {
+            return Err(bad(
+                "response without Content-Length on a keep-alive exchange",
+            ))
         }
     };
     Ok(HttpResponse {
@@ -108,6 +130,31 @@ pub fn request(
         headers,
         body,
     })
+}
+
+/// Sends one request and reads the response (`Connection: close`
+/// framing; the body is read to EOF or `Content-Length`).
+///
+/// # Errors
+///
+/// Returns transport errors and malformed-response errors.
+pub fn request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path_and_query: &str,
+    content_type: Option<&str>,
+    body: &[u8],
+) -> io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(&render_request(
+        method,
+        path_and_query,
+        content_type,
+        body,
+        false,
+    ))?;
+    stream.flush()?;
+    read_response(&mut BufReader::new(stream), true)
 }
 
 /// `GET path` against the daemon at `addr`.
@@ -131,4 +178,109 @@ pub fn post(
     body: &[u8],
 ) -> io::Result<HttpResponse> {
     request(addr, "POST", path_and_query, Some(content_type), body)
+}
+
+/// A keep-alive HTTP client: one TCP connection reused across requests,
+/// reconnecting transparently when the server closes it (an explicit
+/// `Connection: close` response, a timed-out idle connection, a daemon
+/// restart). One request is in flight at a time.
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+}
+
+impl Client {
+    /// A client for the daemon at `addr`. No connection is opened until
+    /// the first request.
+    pub fn new(addr: SocketAddr) -> Client {
+        Client { addr, stream: None }
+    }
+
+    /// The address this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a live connection is currently cached.
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Sends `method path` with an optional body over the cached
+    /// connection, reconnecting (and retrying once) if the server
+    /// dropped it between requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors and malformed-response errors.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path_and_query: &str,
+        content_type: Option<&str>,
+        body: &[u8],
+    ) -> io::Result<HttpResponse> {
+        let wire = render_request(method, path_and_query, content_type, body, true);
+        let reused = self.stream.is_some();
+        match self.exchange(&wire) {
+            Ok(response) => Ok(response),
+            // A dead cached connection (server idle-timeout, restart) is
+            // indistinguishable from a send/read error; retry exactly
+            // once on a fresh connection, but only if we were reusing —
+            // a fresh connection's failure is real.
+            Err(_) if reused => {
+                self.stream = None;
+                self.exchange(&wire)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn exchange(&mut self, wire: &[u8]) -> io::Result<HttpResponse> {
+        if self.stream.is_none() {
+            self.stream = Some(TcpStream::connect(self.addr)?);
+        }
+        let stream = self.stream.as_mut().expect("connected above");
+        let result = (|| {
+            stream.write_all(wire)?;
+            stream.flush()?;
+            read_response(&mut BufReader::new(&mut *stream), false)
+        })();
+        match result {
+            Ok(response) => {
+                if response.wants_close() {
+                    self.stream = None;
+                }
+                Ok(response)
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// `GET path` over the kept-alive connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors and malformed-response errors.
+    pub fn get(&mut self, path_and_query: &str) -> io::Result<HttpResponse> {
+        self.request("GET", path_and_query, None, &[])
+    }
+
+    /// `POST path` with a body over the kept-alive connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors and malformed-response errors.
+    pub fn post(
+        &mut self,
+        path_and_query: &str,
+        content_type: &str,
+        body: &[u8],
+    ) -> io::Result<HttpResponse> {
+        self.request("POST", path_and_query, Some(content_type), body)
+    }
 }

@@ -1,14 +1,27 @@
 //! A deliberately small HTTP/1.1 subset on top of `std::net`: enough for
-//! the daemon's five routes and its loopback clients, with hard limits on
-//! header and body sizes. One request per connection (`Connection:
-//! close` semantics) keeps the framing trivial and the worker pool
-//! honest.
+//! the daemon's routes and its loopback clients, with hard limits on
+//! header and body sizes.
+//!
+//! Two parsing front ends share one grammar:
+//!
+//! * [`parse_request`] — incremental, for the nonblocking event loop: it
+//!   takes whatever bytes have arrived so far and answers
+//!   [`ParseStatus::Partial`] (keep reading) or
+//!   [`ParseStatus::Complete`] with how many bytes the request consumed,
+//!   which is what makes fragmented *and* pipelined requests work.
+//! * [`read_request`] — blocking, for the thread-per-connection fallback
+//!   server and tests.
+//!
+//! Responses render through [`render_response`], which the event loop
+//! uses with keep-alive framing and [`write_response`] uses with
+//! `Connection: close` framing; the bytes are otherwise identical, so
+//! the two server front ends stay byte-comparable.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 
 /// Upper bound on the request line plus all headers.
-const MAX_HEAD_BYTES: usize = 64 * 1024;
+pub(crate) const MAX_HEAD_BYTES: usize = 64 * 1024;
 
 /// Upper bound on a request body (a CKT-A scale X map encodes well under
 /// this).
@@ -45,6 +58,15 @@ impl Request {
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
     }
+
+    /// Whether the client wants the connection kept open after the
+    /// response. HTTP/1.1 default is yes; an explicit
+    /// `Connection: close` opts out.
+    pub fn wants_keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
 }
 
 /// Why a request could not be parsed off the wire.
@@ -64,6 +86,22 @@ impl From<io::Error> for ReadRequestError {
     }
 }
 
+/// What [`parse_request`] concluded from the bytes seen so far.
+#[derive(Debug)]
+pub enum ParseStatus {
+    /// No complete request yet; read more and call again.
+    Partial,
+    /// One complete request, which occupied the first `consumed` bytes
+    /// of the buffer. Anything after `consumed` is the start of the
+    /// next pipelined request.
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer this request consumed (head + body).
+        consumed: usize,
+    },
+}
+
 fn parse_query(raw: &str) -> Vec<(String, String)> {
     raw.split('&')
         .filter(|kv| !kv.is_empty())
@@ -74,12 +112,124 @@ fn parse_query(raw: &str) -> Vec<(String, String)> {
         .collect()
 }
 
-/// Reads one request from the stream.
+/// Parses a complete header block (request line + headers, without the
+/// trailing blank line's framing requirements) into request parts.
+#[allow(clippy::type_complexity)]
+fn parse_head(
+    head: &[u8],
+) -> Result<(String, String, Vec<(String, String)>, Vec<(String, String)>), String> {
+    let head_str =
+        std::str::from_utf8(head).map_err(|_| "header block is not UTF-8".to_string())?;
+    let mut lines = head_str.split("\r\n").flat_map(|l| l.split('\n'));
+    let request_line = lines
+        .next()
+        .ok_or_else(|| "missing request line".to_string())?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| "missing method".to_string())?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| "missing request target".to_string())?;
+    let version = parts
+        .next()
+        .ok_or_else(|| "missing HTTP version".to_string())?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported protocol {version}"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target.to_string(), Vec::new()),
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("malformed header `{line}`"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok((method, path, query, headers))
+}
+
+fn content_length(headers: &[(String, String)]) -> Result<usize, String> {
+    let Some((_, v)) = headers.iter().find(|(n, _)| n == "content-length") else {
+        return Ok(0);
+    };
+    let n: usize = v.parse().map_err(|_| format!("bad content-length `{v}`"))?;
+    if n > MAX_BODY_BYTES {
+        return Err(format!(
+            "body of {n} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        ));
+    }
+    Ok(n)
+}
+
+/// Finds the end of the header block (index one past the blank line), if
+/// the buffer contains one. Accepts both CRLFCRLF and bare LFLF framing,
+/// like the blocking reader.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    // A valid head ends within MAX_HEAD_BYTES, so never scan past it —
+    // re-parses of a connection buffering a large body stay cheap.
+    let buf = &buf[..buf.len().min(MAX_HEAD_BYTES + 4)];
+    // The earliest terminator wins, whichever framing it uses.
+    let crlf = buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4);
+    let lf = buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2);
+    match (crlf, lf) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
+}
+
+/// Incrementally parses one request from the bytes received so far.
+///
+/// Never blocks and never consumes: the caller drains `consumed` bytes
+/// from its buffer after a [`ParseStatus::Complete`], leaving any
+/// pipelined follow-up request in place for the next call.
+///
+/// # Errors
+///
+/// A `String` diagnostic when the bytes can never become a valid
+/// request (malformed framing, oversized head or body) — the caller
+/// should answer 400 and close.
+pub fn parse_request(buf: &[u8]) -> Result<ParseStatus, String> {
+    let Some(head_end) = head_end(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err("header block too large".to_string());
+        }
+        return Ok(ParseStatus::Partial);
+    };
+    if head_end > MAX_HEAD_BYTES {
+        return Err("header block too large".to_string());
+    }
+    let (method, path, query, headers) = parse_head(&buf[..head_end])?;
+    let body_len = content_length(&headers)?;
+    let consumed = head_end + body_len;
+    if buf.len() < consumed {
+        return Ok(ParseStatus::Partial);
+    }
+    Ok(ParseStatus::Complete {
+        request: Request {
+            method,
+            path,
+            query,
+            headers,
+            body: buf[head_end..consumed].to_vec(),
+        },
+        consumed,
+    })
+}
+
+/// Reads one request from the stream, blocking until it is complete.
 ///
 /// # Errors
 ///
 /// [`ReadRequestError::Closed`] on EOF before any byte, `Bad` on
-/// malformed or oversized requests, `Io` on transport failures.
+/// malformed or oversized requests, `Io` on transport failures
+/// (including read timeouts, which the fallback server maps to 408).
 pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadRequestError> {
     let mut reader = BufReader::new(stream);
     let mut head = Vec::with_capacity(512);
@@ -100,64 +250,11 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadRequestError>
         if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
             break;
         }
-        // A bare first CRLF means an empty line before any request line;
-        // tolerate nothing and keep reading until the blank line.
     }
-    let head_str = String::from_utf8(head)
-        .map_err(|_| ReadRequestError::Bad("header block is not UTF-8".into()))?;
-    let mut lines = head_str.split("\r\n").flat_map(|l| l.split('\n'));
-    let request_line = lines
-        .next()
-        .ok_or_else(|| ReadRequestError::Bad("missing request line".into()))?;
-    let mut parts = request_line.split_ascii_whitespace();
-    let method = parts
-        .next()
-        .ok_or_else(|| ReadRequestError::Bad("missing method".into()))?
-        .to_string();
-    let target = parts
-        .next()
-        .ok_or_else(|| ReadRequestError::Bad("missing request target".into()))?;
-    let version = parts
-        .next()
-        .ok_or_else(|| ReadRequestError::Bad("missing HTTP version".into()))?;
-    if !version.starts_with("HTTP/1.") {
-        return Err(ReadRequestError::Bad(format!(
-            "unsupported protocol {version}"
-        )));
-    }
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p.to_string(), parse_query(q)),
-        None => (target.to_string(), Vec::new()),
-    };
-
-    let mut headers = Vec::new();
-    for line in lines {
-        if line.is_empty() {
-            continue;
-        }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or_else(|| ReadRequestError::Bad(format!("malformed header `{line}`")))?;
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
-    }
-
-    let content_length = headers
-        .iter()
-        .find(|(n, _)| n == "content-length")
-        .map(|(_, v)| {
-            v.parse::<usize>()
-                .map_err(|_| ReadRequestError::Bad(format!("bad content-length `{v}`")))
-        })
-        .transpose()?
-        .unwrap_or(0);
-    if content_length > MAX_BODY_BYTES {
-        return Err(ReadRequestError::Bad(format!(
-            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
-        )));
-    }
-    let mut body = vec![0u8; content_length];
+    let (method, path, query, headers) = parse_head(&head).map_err(ReadRequestError::Bad)?;
+    let body_len = content_length(&headers).map_err(ReadRequestError::Bad)?;
+    let mut body = vec![0u8; body_len];
     reader.read_exact(&mut body)?;
-
     Ok(Request {
         method,
         path,
@@ -213,18 +310,20 @@ pub fn reason_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Response",
     }
 }
 
-/// Writes `response` with `Connection: close` framing and flushes.
-///
-/// # Errors
-///
-/// Returns the underlying I/O error.
-pub fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+/// Serializes a response to wire bytes. `keep_alive` only switches the
+/// `Connection` header; every other byte is identical between the event
+/// loop and the blocking server, which is what the fragmented-request
+/// tests compare.
+pub fn render_response(response: &Response, keep_alive: bool) -> Vec<u8> {
     let mut head = format!(
         "HTTP/1.1 {} {}\r\n",
         response.status,
@@ -237,9 +336,23 @@ pub fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result
         head.push_str("\r\n");
     }
     head.push_str(&format!("Content-Length: {}\r\n", response.body.len()));
-    head.push_str("Connection: close\r\n\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(&response.body)?;
+    head.push_str(if keep_alive {
+        "Connection: keep-alive\r\n\r\n"
+    } else {
+        "Connection: close\r\n\r\n"
+    });
+    let mut out = head.into_bytes();
+    out.extend_from_slice(&response.body);
+    out
+}
+
+/// Writes `response` with `Connection: close` framing and flushes.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    stream.write_all(&render_response(response, false))?;
     stream.flush()
 }
 
@@ -277,6 +390,7 @@ mod tests {
         assert_eq!(req.query_param("strategy"), Some("best-cost"));
         assert_eq!(req.header("content-type"), Some("application/octet-stream"));
         assert_eq!(req.body, b"BODY");
+        assert!(req.wants_keep_alive());
     }
 
     #[test]
@@ -290,5 +404,63 @@ mod tests {
             exchange(b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
             Err(ReadRequestError::Bad(_))
         ));
+    }
+
+    #[test]
+    fn incremental_parse_grows_byte_by_byte() {
+        let raw: &[u8] = b"POST /v1/plan?m=8 HTTP/1.1\r\nContent-Length: 4\r\n\r\nBODYnext";
+        // Every strict prefix short of head+body is Partial; the full
+        // buffer parses and reports the pipelined tail via `consumed`.
+        let complete_at = raw.len() - 4; // "next" belongs to the next request
+        for cut in 0..complete_at {
+            match parse_request(&raw[..cut]).unwrap() {
+                ParseStatus::Partial => {}
+                ParseStatus::Complete { .. } => panic!("complete at {cut} bytes"),
+            }
+        }
+        match parse_request(raw).unwrap() {
+            ParseStatus::Complete { request, consumed } => {
+                assert_eq!(consumed, complete_at);
+                assert_eq!(request.body, b"BODY");
+                assert_eq!(request.query_param("m"), Some("8"));
+            }
+            ParseStatus::Partial => panic!("full request not recognised"),
+        }
+    }
+
+    #[test]
+    fn incremental_parse_rejects_bad_requests() {
+        assert!(parse_request(b"NOT A REQUEST\r\n\r\n").is_err());
+        assert!(parse_request(b"GET / HTTP/9.9\r\n\r\n").is_err());
+        assert!(parse_request(b"GET / HTTP/1.1\r\nContent-Length: x\r\n\r\n").is_err());
+        let oversized = vec![b'a'; MAX_HEAD_BYTES + 1];
+        assert!(parse_request(&oversized).is_err());
+    }
+
+    #[test]
+    fn connection_close_header_is_honoured() {
+        let req = match parse_request(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap() {
+            ParseStatus::Complete { request, .. } => request,
+            ParseStatus::Partial => panic!("complete request expected"),
+        };
+        assert!(!req.wants_keep_alive());
+        let req = match parse_request(b"GET / HTTP/1.1\r\nConnection: Keep-Alive\r\n\r\n").unwrap()
+        {
+            ParseStatus::Complete { request, .. } => request,
+            ParseStatus::Partial => panic!("complete request expected"),
+        };
+        assert!(req.wants_keep_alive());
+    }
+
+    #[test]
+    fn render_keep_alive_differs_only_in_connection_header() {
+        let resp = Response::text(200, "ok\n").with_header("X-Test", "1".to_string());
+        let close = String::from_utf8(render_response(&resp, false)).unwrap();
+        let keep = String::from_utf8(render_response(&resp, true)).unwrap();
+        assert_eq!(
+            close.replace("Connection: close", "Connection: keep-alive"),
+            keep
+        );
+        assert!(close.contains("Content-Length: 3\r\n"));
     }
 }

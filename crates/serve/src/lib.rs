@@ -3,8 +3,35 @@
 //! A std-only HTTP/1.1 service that turns X maps (or workload specs)
 //! into partition plans, caches every plan in a content-addressed
 //! on-disk store keyed by [`xhc_wire::plan_request_hash`], and exposes
-//! plaintext metrics. Zero external dependencies: `std::net` sockets, a
-//! fixed worker pool, and the workspace's own crates for everything else.
+//! plaintext metrics. Zero external dependencies: an `xhc-aio` event
+//! loop over `std::net` sockets, a fixed worker pool, and the
+//! workspace's own crates for everything else.
+//!
+//! # Front end
+//!
+//! [`Server::run`] drives a single event-loop thread (epoll on Linux, a
+//! portable polling fallback elsewhere) that owns every connection:
+//! nonblocking accept, incremental request parsing with HTTP/1.1
+//! keep-alive and pipelining, per-connection read/write deadlines on a
+//! timer wheel (a stalled request answers `408`), and graceful drain on
+//! shutdown (in-flight requests finish, new ones answer `503`).
+//! Complete requests pass admission control — a bounded job queue plus
+//! an in-flight ceiling — and are executed by the worker pool; an
+//! overloaded daemon sheds with `429` and a `Retry-After` derived from
+//! the observed queue-wait p95 instead of queueing without bound.
+//! [`Server::run_blocking`] keeps the original thread-per-request
+//! front end (one blocking read with [`ServerConfig::read_timeout_ms`]
+//! as the socket timeout, `Connection: close` semantics) behind the
+//! same routing and planning stack.
+//!
+//! Concurrent submissions that share a workload but differ in engine
+//! options additionally share one packed bit-matrix build (the
+//! dominant setup cost of a `best-cost` plan): the first arrival packs,
+//! the rest reuse the same in-memory matrix, observable as
+//! `xhc_batched_total` on `/metrics` and the `serve.batched` trace
+//! counter. With [`ServerConfig::with_push_metrics`] the daemon also
+//! pushes its counters as Influx line protocol to an HTTP collector on
+//! an interval (`XHC_PUSH_INTERVAL_MS`, default 2000).
 //!
 //! # Routes
 //!
@@ -67,13 +94,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
+mod event_loop;
 mod http;
 mod jobs;
 mod metrics;
+mod push;
 mod store;
 
 pub mod client;
 
+pub use batch::MatrixPool;
 pub use http::{ReadRequestError, Request, Response, MAX_BODY_BYTES};
 pub use jobs::{JobRegistry, JobStatus};
 pub use metrics::{Histogram, Metrics};
@@ -84,11 +115,15 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+use xhc_aio::queue::JobQueue;
+use xhc_aio::Waker;
+use xhc_bits::XBitMatrix;
 
 use xhc_core::{CellSelection, PartitionEngine, PlanOptions, SplitStrategy};
 use xhc_lint::{check_cancel_params, check_xmap, LintConfig, LintReport};
@@ -112,17 +147,32 @@ pub struct ServerConfig {
     /// before it is stored or returned (off by default: certificates are
     /// always emitted and persisted; this adds the inline check).
     pub verify_on_write: bool,
+    /// How long a connection may sit between bytes of a request before
+    /// it is timed out (`408`); also the idle keep-alive lifetime.
+    pub read_timeout_ms: u64,
+    /// Admission ceiling: requests simultaneously queued or executing
+    /// before the daemon sheds with `429`.
+    pub max_inflight: usize,
+    /// Bounded job-queue depth between the event loop and the workers.
+    pub queue_depth: usize,
+    /// Push-metrics collector (`http://host:port/path`); `None` = off.
+    pub push_metrics: Option<String>,
 }
 
 impl ServerConfig {
     /// A config with defaults: engine threads from `XHC_THREADS`, four
-    /// HTTP workers.
+    /// HTTP workers, 10 s read timeout, 256 in-flight requests over a
+    /// 128-deep job queue, no metrics push.
     pub fn new(store_dir: &Path) -> ServerConfig {
         ServerConfig {
             store_dir: store_dir.to_path_buf(),
             threads: 0,
             workers: 4,
             verify_on_write: false,
+            read_timeout_ms: 10_000,
+            max_inflight: 256,
+            queue_depth: 128,
+            push_metrics: None,
         }
     }
 
@@ -145,6 +195,37 @@ impl ServerConfig {
     #[must_use]
     pub fn with_verify_on_write(mut self, verify_on_write: bool) -> ServerConfig {
         self.verify_on_write = verify_on_write;
+        self
+    }
+
+    /// Overrides the per-connection read timeout (clamped to ≥ 10 ms so
+    /// a handshake always has a chance to land).
+    #[must_use]
+    pub fn with_read_timeout_ms(mut self, read_timeout_ms: u64) -> ServerConfig {
+        self.read_timeout_ms = read_timeout_ms.max(10);
+        self
+    }
+
+    /// Overrides the admission ceiling (clamped to at least 1).
+    #[must_use]
+    pub fn with_max_inflight(mut self, max_inflight: usize) -> ServerConfig {
+        self.max_inflight = max_inflight.max(1);
+        self
+    }
+
+    /// Overrides the job-queue depth (clamped to at least 1).
+    #[must_use]
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> ServerConfig {
+        self.queue_depth = queue_depth.max(1);
+        self
+    }
+
+    /// Pushes metrics as Influx line protocol to `url`
+    /// (`http://host:port/path`) every `XHC_PUSH_INTERVAL_MS`
+    /// milliseconds (default 2000) while the server runs.
+    #[must_use]
+    pub fn with_push_metrics(mut self, url: impl Into<String>) -> ServerConfig {
+        self.push_metrics = Some(url.into());
         self
     }
 }
@@ -176,6 +257,28 @@ pub fn parse_policy(s: &str, seed: u64) -> Option<CellSelection> {
     }
 }
 
+/// A parsed request travelling from the event loop to the worker pool.
+struct Job {
+    /// Connection slot in the event loop's table.
+    slot: usize,
+    /// Slot generation, so a recycled slot never sees a stale response.
+    generation: u64,
+    request: Request,
+    /// Whether the client asked to keep the connection open.
+    keep_alive: bool,
+    queued_at: Instant,
+}
+
+/// Rendered response bytes travelling back from a worker.
+struct Completion {
+    slot: usize,
+    generation: u64,
+    bytes: Vec<u8>,
+    /// Close the connection after writing (client sent
+    /// `Connection: close`).
+    close: bool,
+}
+
 /// Shared mutable state behind every worker.
 struct ServerState {
     config: ServerConfig,
@@ -185,6 +288,18 @@ struct ServerState {
     inflight: Mutex<HashSet<u64>>,
     inflight_cv: Condvar,
     shutdown: AtomicBool,
+    /// Event-loop → worker job queue (bounded: its capacity is the
+    /// backpressure signal admission control keys off).
+    jobs_queue: JobQueue<Job>,
+    /// Worker → event-loop completions, drained after every poll.
+    completions: Mutex<Vec<Completion>>,
+    /// The event loop's waker, present while [`Server::run`] is live; a
+    /// shutdown pokes it so the loop observes the flag immediately.
+    waker: Mutex<Option<Waker>>,
+    /// Requests currently queued or executing (admission ceiling).
+    inflight_jobs: AtomicU64,
+    /// Shared packed-matrix builds for concurrent same-workload plans.
+    matrix_pool: MatrixPool,
 }
 
 /// A handle for observing and stopping a running [`Server`] from another
@@ -201,11 +316,23 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Asks the accept loop to stop. Idempotent; returns once the flag is
-    /// set (the accept loop observes it on its next wakeup).
+    /// Asks the serving loop to stop. Idempotent; returns once the flag
+    /// is set. The event loop is woken directly and drains gracefully;
+    /// the blocking accept loop is unblocked with a throwaway
+    /// connection.
     pub fn shutdown(&self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection.
+        let waker = self
+            .state
+            .waker
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+        // Unblock a blocking accept loop with a throwaway connection (a
+        // no-op for the event loop, which sheds it during drain).
         let _ = TcpStream::connect(self.addr);
     }
 }
@@ -228,6 +355,7 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let store = PlanStore::open(&config.store_dir)?;
+        let jobs_queue = JobQueue::new(config.queue_depth.max(1));
         let state = Arc::new(ServerState {
             config,
             metrics: Metrics::default(),
@@ -236,6 +364,11 @@ impl Server {
             inflight: Mutex::new(HashSet::new()),
             inflight_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            jobs_queue,
+            completions: Mutex::new(Vec::new()),
+            waker: Mutex::new(None),
+            inflight_jobs: AtomicU64::new(0),
+            matrix_pool: MatrixPool::default(),
         });
         Ok(Server {
             listener,
@@ -257,13 +390,35 @@ impl Server {
         }
     }
 
-    /// Runs the accept loop until [`ServerHandle::shutdown`] is called.
-    /// Connections are handed to a fixed pool of worker threads.
+    /// Runs the event-loop front end until [`ServerHandle::shutdown`] is
+    /// called: one loop thread multiplexes every connection (keep-alive,
+    /// pipelining, read/write deadlines, admission control) while the
+    /// worker pool plans. Shutdown drains gracefully: in-flight requests
+    /// finish, new ones answer `503`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the poller or the listener
+    /// fails.
+    pub fn run(self) -> io::Result<()> {
+        let pusher = push::spawn_exporter(&self.state, self.addr);
+        let result = event_loop::run_event_loop(self.listener, Arc::clone(&self.state));
+        if let Some(pusher) = pusher {
+            let _ = pusher.join();
+        }
+        result
+    }
+
+    /// Runs the original blocking front end: one connection per worker,
+    /// one request per connection (`Connection: close`). Kept as the
+    /// reference implementation the event loop is tested against, and
+    /// as the conservative fallback for unusual platforms.
     ///
     /// # Errors
     ///
     /// Returns the underlying I/O error if `accept` fails.
-    pub fn run(self) -> io::Result<()> {
+    pub fn run_blocking(self) -> io::Result<()> {
+        let pusher = push::spawn_exporter(&self.state, self.addr);
         let (tx, rx) = mpsc::channel::<(TcpStream, Instant)>();
         let rx = Arc::new(Mutex::new(rx));
         let mut workers = Vec::with_capacity(self.state.config.workers);
@@ -300,8 +455,79 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
+        if let Some(pusher) = pusher {
+            let _ = pusher.join();
+        }
         Ok(())
     }
+}
+
+/// Spawns the planning workers behind the event loop's job queue. Each
+/// worker pops, plans, renders, hands the bytes back through the
+/// completion list and pokes the loop; they exit when the queue is
+/// closed and drained.
+fn spawn_workers(state: &Arc<ServerState>, waker: &Waker) -> Vec<thread::JoinHandle<()>> {
+    let mut workers = Vec::with_capacity(state.config.workers.max(1));
+    for _ in 0..state.config.workers.max(1) {
+        let state = Arc::clone(state);
+        let waker = waker.clone();
+        workers.push(thread::spawn(move || {
+            while let Some(job) = state.jobs_queue.pop() {
+                state.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                state
+                    .metrics
+                    .queue_wait_ns
+                    .record_ns(job.queued_at.elapsed().as_nanos() as u64);
+                let response = process_request(&state, &job.request);
+                let close = !job.keep_alive;
+                let bytes = http::render_response(&response, !close);
+                state.inflight_jobs.fetch_sub(1, Ordering::Relaxed);
+                state
+                    .completions
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push(Completion {
+                        slot: job.slot,
+                        generation: job.generation,
+                        bytes,
+                        close,
+                    });
+                waker.wake();
+                // Hand this thread's spans to any live trace session so
+                // in-process tests and `trace=1` recordings see them.
+                xhc_trace::flush_thread();
+            }
+        }));
+    }
+    workers
+}
+
+/// Routes one parsed request and accounts for it — the front-end-neutral
+/// core shared by the event loop's workers and the blocking path.
+fn process_request(state: &Arc<ServerState>, request: &Request) -> Response {
+    state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+    let started = Instant::now();
+    let response = match route(state, request) {
+        Ok(r) => r,
+        Err(e) => Response::text(e.status, format!("{}\n", e.message.trim_end())),
+    };
+    state
+        .metrics
+        .total_ns
+        .record_ns(started.elapsed().as_nanos() as u64);
+    state.metrics.count_status(response.status);
+    response
+}
+
+/// How long a shed client should back off: the observed queue-wait p95
+/// times the work currently ahead of it, spread over the workers,
+/// clamped to `1..=60` seconds (`Retry-After` on `429`).
+fn retry_after_secs(state: &ServerState) -> u64 {
+    let p95_ns = state.metrics.queue_wait_ns.quantile_ns(0.95);
+    let pending = state.jobs_queue.len() as u64 + 1;
+    let workers = state.config.workers.max(1) as u64;
+    let estimate_ns = p95_ns.saturating_mul(pending) / workers;
+    estimate_ns.div_ceil(1_000_000_000).clamp(1, 60)
 }
 
 /// A routing failure carrying the HTTP status it maps to.
@@ -320,6 +546,11 @@ impl HandlerError {
 }
 
 fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
+    // The blocking front end's slow-loris defence: a socket timeout, so
+    // a stalled sender costs one worker at most `read_timeout_ms`.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(
+        state.config.read_timeout_ms.max(10),
+    )));
     let request = match http::read_request(&mut stream) {
         Ok(r) => r,
         Err(http::ReadRequestError::Closed) => return,
@@ -328,19 +559,24 @@ fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
             let _ = http::write_response(&mut stream, &Response::text(400, format!("{msg}\n")));
             return;
         }
+        Err(http::ReadRequestError::Io(e))
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            state.metrics.timeouts_total.fetch_add(1, Ordering::Relaxed);
+            xhc_trace::stat_add("serve.timeouts", 1);
+            state.metrics.count_status(408);
+            let _ = http::write_response(
+                &mut stream,
+                &Response::text(408, "request timed out waiting for bytes\n"),
+            );
+            return;
+        }
         Err(http::ReadRequestError::Io(_)) => return,
     };
-    state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-    let started = Instant::now();
-    let response = match route(state, &request) {
-        Ok(r) => r,
-        Err(e) => Response::text(e.status, format!("{}\n", e.message.trim_end())),
-    };
-    state
-        .metrics
-        .total_ns
-        .record_ns(started.elapsed().as_nanos() as u64);
-    state.metrics.count_status(response.status);
+    let response = process_request(state, &request);
     let _ = http::write_response(&mut stream, &response);
 }
 
@@ -653,6 +889,10 @@ fn plan_endpoint(state: &Arc<ServerState>, request: &Request) -> Result<Response
 
     let canonical = encode_xmap(&xmap);
     let key = plan_request_hash_with_options(&canonical, params.m, params.q, &params.options);
+    // The workload key ignores the engine options: requests that share
+    // an X map share one packed-matrix build even when their full cache
+    // keys differ.
+    let wkey = xhc_wire::content_hash(&canonical);
 
     if params.asynchronous {
         let id = state.jobs.submit();
@@ -660,7 +900,7 @@ fn plan_endpoint(state: &Arc<ServerState>, request: &Request) -> Result<Response
         // The job thread owns its own handle to the shared state.
         let state_ref = Arc::clone(state);
         thread::spawn(move || {
-            let outcome = compute_plan(&state_ref, key, &xmap, &params);
+            let outcome = compute_plan(&state_ref, key, wkey, &xmap, &params);
             let status = match outcome {
                 Ok((_, engine_ns)) => JobStatus::Done {
                     plan_hash: key,
@@ -689,7 +929,7 @@ fn plan_endpoint(state: &Arc<ServerState>, request: &Request) -> Result<Response
         .with_header("X-Xhc-Job", id.to_string()));
     }
 
-    let (bytes, engine_ns) = compute_plan(state, key, &xmap, &params)?;
+    let (bytes, engine_ns) = compute_plan(state, key, wkey, &xmap, &params)?;
     let plan_len = bytes.len();
     let mut body = bytes;
     let traced = trace_session.is_some();
@@ -723,6 +963,7 @@ fn plan_endpoint(state: &Arc<ServerState>, request: &Request) -> Result<Response
 fn compute_plan(
     state: &ServerState,
     key: u64,
+    wkey: u64,
     xmap: &XMap,
     params: &PlanParams,
 ) -> Result<(Vec<u8>, Option<u64>), HandlerError> {
@@ -752,35 +993,41 @@ fn compute_plan(
                 .expect("inflight set poisoned");
         }
     }
-    // We own the computation; always release the claim, even on panic.
-    let result = run_engine(state, xmap, params);
+    // We own the computation. The plan must be persisted *before* the
+    // claim is released: waiters re-check the store the moment the key
+    // leaves the in-flight set, and an unsaved plan at that instant
+    // would make them recompute (a duplicated miss).
+    let result =
+        run_engine(state, wkey, xmap, params).and_then(|(bytes, cert_bytes, engine_ns)| {
+            let store_started = Instant::now();
+            let span = xhc_trace::span("serve.store");
+            // Persist the certificate and the canonical X map first: the
+            // `.plan` file is the cache-hit signal, so a reader that sees it
+            // can rely on the siblings being complete.
+            state
+                .store
+                .save_ext(key, "cert", &cert_bytes)
+                .map_err(store_err)?;
+            state
+                .store
+                .save_ext(key, "xmap", &encode_xmap(xmap))
+                .map_err(store_err)?;
+            state.store.save(key, &bytes).map_err(store_err)?;
+            drop(span);
+            state
+                .metrics
+                .store_ns
+                .record_ns(store_started.elapsed().as_nanos() as u64);
+            state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+            Ok((bytes, Some(engine_ns)))
+        });
+    // Always release the claim, success or error.
     {
         let mut inflight = state.inflight.lock().expect("inflight set poisoned");
         inflight.remove(&key);
     }
     state.inflight_cv.notify_all();
-    let (bytes, cert_bytes, engine_ns) = result?;
-    let store_started = Instant::now();
-    let span = xhc_trace::span("serve.store");
-    // Persist the certificate and the canonical X map first: the `.plan`
-    // file is the cache-hit signal, so a reader that sees it can rely on
-    // the siblings being complete.
-    state
-        .store
-        .save_ext(key, "cert", &cert_bytes)
-        .map_err(store_err)?;
-    state
-        .store
-        .save_ext(key, "xmap", &encode_xmap(xmap))
-        .map_err(store_err)?;
-    state.store.save(key, &bytes).map_err(store_err)?;
-    drop(span);
-    state
-        .metrics
-        .store_ns
-        .record_ns(store_started.elapsed().as_nanos() as u64);
-    state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
-    Ok((bytes, Some(engine_ns)))
+    result
 }
 
 /// Runs the partition engine, encodes the plan and certifies it,
@@ -790,6 +1037,7 @@ fn compute_plan(
 /// `xhc_plan_engine_seconds`).
 fn run_engine(
     state: &ServerState,
+    wkey: u64,
     xmap: &XMap,
     params: &PlanParams,
 ) -> Result<(Vec<u8>, Vec<u8>, u64), HandlerError> {
@@ -804,8 +1052,23 @@ fn run_engine(
     let engine = PartitionEngine::with_options(cancel, opts);
     let plan_started = Instant::now();
     let span = xhc_trace::span("serve.plan");
-    let outcome = catch_unwind(AssertUnwindSafe(|| engine.run(xmap)))
-        .map_err(|_| HandlerError::new(500, "partition engine panicked"))?;
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        // Only a best-cost run packs the bit matrix; concurrent requests
+        // for the same workload (any options) share one build through
+        // the pool. Inside the catch so a packing panic is a clean 500
+        // and the pool's claim is released.
+        let shared: Option<Arc<XBitMatrix>> = if matches!(opts.strategy, SplitStrategy::BestCost) {
+            let (matrix, reused) = state.matrix_pool.get_or_build(wkey, || xmap.to_bitmatrix());
+            if reused {
+                state.metrics.batched_total.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(matrix)
+        } else {
+            None
+        };
+        engine.run_with_matrix(xmap, shared.as_deref())
+    }))
+    .map_err(|_| HandlerError::new(500, "partition engine panicked"))?;
     drop(span);
     let engine_ns = plan_started.elapsed().as_nanos() as u64;
     state.metrics.plan_ns.record_ns(engine_ns);

@@ -46,6 +46,27 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// The approximate `q`-quantile in nanoseconds: the upper bound of
+    /// the bucket holding the target rank (twice the last finite bound
+    /// for the `+Inf` bucket), or 0 when empty. Bucket resolution is
+    /// deliberately coarse — this feeds the `Retry-After` estimate, not
+    /// a benchmark.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (idx, &bound) in BOUNDS_NS.iter().enumerate() {
+            cumulative += self.buckets[idx].load(Ordering::Relaxed);
+            if cumulative >= target {
+                return bound;
+            }
+        }
+        BOUNDS_NS[BOUNDS_NS.len() - 1] * 2
+    }
+
     fn render(&self, out: &mut String, stage: &str) {
         use std::fmt::Write;
         let mut cumulative = 0u64;
@@ -74,7 +95,7 @@ impl Histogram {
 }
 
 /// HTTP status classes the daemon tracks individually.
-const TRACKED_STATUS: [u16; 7] = [200, 202, 400, 404, 405, 422, 500];
+const TRACKED_STATUS: [u16; 10] = [200, 202, 400, 404, 405, 408, 422, 429, 500, 503];
 
 /// Every counter the daemon exposes.
 #[derive(Debug, Default)]
@@ -88,8 +109,16 @@ pub struct Metrics {
     pub cache_hits: AtomicU64,
     /// Plan requests that ran the partition engine.
     pub cache_misses: AtomicU64,
-    /// Connections accepted but not yet picked up by a worker.
+    /// Requests admitted but not yet picked up by a worker.
     pub queue_depth: AtomicU64,
+    /// Requests rejected by admission control (answered 429).
+    pub shed_total: AtomicU64,
+    /// Connections answered 408 for idling mid-request past the read
+    /// deadline (the slow-loris defence firing).
+    pub timeouts_total: AtomicU64,
+    /// Plan requests that reused a concurrently built packed matrix
+    /// instead of packing their own (the batching win).
+    pub batched_total: AtomicU64,
     /// Async jobs submitted.
     pub jobs_submitted: AtomicU64,
     /// Async jobs finished (successfully or not).
@@ -182,6 +211,21 @@ impl Metrics {
         );
         let _ = writeln!(
             out,
+            "xhc_shed_total {}",
+            self.shed_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "xhc_timeouts_total {}",
+            self.timeouts_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "xhc_batched_total {}",
+            self.batched_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
             "xhc_jobs_submitted_total {}",
             self.jobs_submitted.load(Ordering::Relaxed)
         );
@@ -224,6 +268,90 @@ impl Metrics {
         }
         out
     }
+
+    /// Renders the scalar counters in Influx-style line protocol —
+    /// `name,instance=<addr> value=<v>u <ts_ns>` — which is what the
+    /// `--push-metrics` exporter POSTs on every interval. Histograms
+    /// contribute their count, sum and p95 (the same p95 the
+    /// `Retry-After` estimate uses).
+    pub fn render_line_protocol(&self, instance: &str, ts_ns: u128) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(2048);
+        let line = |out: &mut String, name: &str, value: u64| {
+            let _ = writeln!(out, "{name},instance={instance} value={value}u {ts_ns}");
+        };
+        line(
+            &mut out,
+            "xhc_requests_total",
+            self.requests_total.load(Ordering::Relaxed),
+        );
+        for (idx, status) in TRACKED_STATUS.iter().enumerate() {
+            let v = self.responses[idx].load(Ordering::Relaxed);
+            if v > 0 {
+                let _ = writeln!(
+                    out,
+                    "xhc_responses_total,instance={instance},status={status} value={v}u {ts_ns}"
+                );
+            }
+        }
+        line(
+            &mut out,
+            "xhc_cache_hits_total",
+            self.cache_hits.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "xhc_cache_misses_total",
+            self.cache_misses.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "xhc_queue_depth",
+            self.queue_depth.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "xhc_shed_total",
+            self.shed_total.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "xhc_timeouts_total",
+            self.timeouts_total.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "xhc_batched_total",
+            self.batched_total.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "xhc_plan_engine_ns_sum",
+            self.plan_engine_ns_sum.load(Ordering::Relaxed),
+        );
+        for (stage, hist) in [
+            ("queue_wait", &self.queue_wait_ns),
+            ("plan", &self.plan_ns),
+            ("total", &self.total_ns),
+        ] {
+            let _ = writeln!(
+                out,
+                "xhc_stage_count,instance={instance},stage={stage} value={}u {ts_ns}",
+                hist.count()
+            );
+            let _ = writeln!(
+                out,
+                "xhc_stage_sum_ns,instance={instance},stage={stage} value={}u {ts_ns}",
+                hist.sum_ns.load(Ordering::Relaxed)
+            );
+            let _ = writeln!(
+                out,
+                "xhc_stage_p95_ns,instance={instance},stage={stage} value={}u {ts_ns}",
+                hist.quantile_ns(0.95)
+            );
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -243,6 +371,42 @@ mod tests {
         assert!(page.contains("le=\"50000000\"} 2"));
         assert!(page.contains("le=\"+Inf\"} 3"));
         assert!(page.contains("xhc_stage_latency_ns_count{stage=\"t\"} 3"));
+    }
+
+    #[test]
+    fn quantile_tracks_bucket_bounds() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_ns(0.95), 0);
+        for _ in 0..95 {
+            h.record_ns(30_000); // le 50_000 bucket
+        }
+        for _ in 0..5 {
+            h.record_ns(2_000_000_000); // le 5s bucket
+        }
+        assert_eq!(h.quantile_ns(0.50), 50_000);
+        assert_eq!(h.quantile_ns(0.95), 50_000);
+        assert_eq!(h.quantile_ns(1.0), 5_000_000_000);
+        // The +Inf bucket reports twice the last finite bound.
+        let inf = Histogram::default();
+        inf.record_ns(u64::MAX / 2);
+        assert_eq!(inf.quantile_ns(0.5), 10_000_000_000);
+    }
+
+    #[test]
+    fn line_protocol_carries_instance_and_timestamp() {
+        let m = Metrics::default();
+        m.requests_total.fetch_add(3, Ordering::Relaxed);
+        m.shed_total.fetch_add(1, Ordering::Relaxed);
+        m.count_status(429);
+        m.queue_wait_ns.record_ns(42_000);
+        let body = m.render_line_protocol("127.0.0.1:9", 123_456);
+        assert!(body.contains("xhc_requests_total,instance=127.0.0.1:9 value=3u 123456"));
+        assert!(body.contains("xhc_shed_total,instance=127.0.0.1:9 value=1u 123456"));
+        assert!(body.contains("xhc_responses_total,instance=127.0.0.1:9,status=429 value=1u"));
+        assert!(body.contains("xhc_stage_p95_ns,instance=127.0.0.1:9,stage=queue_wait"));
+        // Zero-valued statuses are elided; zero-valued scalars are not.
+        assert!(!body.contains("status=200"));
+        assert!(body.contains("xhc_batched_total,instance=127.0.0.1:9 value=0u"));
     }
 
     #[test]

@@ -62,7 +62,9 @@ use std::time::Instant;
 const RING_CAPACITY: usize = 1 << 14;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
+static STATS_ENABLED: AtomicBool = AtomicBool::new(false);
 static ACTIVE: AtomicBool = AtomicBool::new(false);
+static STATS: Mutex<Vec<(&'static str, u64)>> = Mutex::new(Vec::new());
 static GENERATION: AtomicU64 = AtomicU64::new(1);
 static NEXT_TID: AtomicU32 = AtomicU32::new(1);
 static SINK: Mutex<Sink> = Mutex::new(Sink::new());
@@ -276,10 +278,14 @@ impl Drop for Span {
     }
 }
 
-/// Adds `delta` to the named cumulative counter. One relaxed load and an
-/// early return when tracing is disabled; no lock either way.
+/// Adds `delta` to the named cumulative counter. Two relaxed loads and
+/// an early return when both tracing and process stats are disabled; no
+/// lock on that path.
 #[inline]
 pub fn counter_add(name: &'static str, delta: u64) {
+    if stats_enabled() {
+        stat_add(name, delta);
+    }
     if !enabled() {
         return;
     }
@@ -288,6 +294,47 @@ pub fn counter_add(name: &'static str, delta: u64) {
         buf.sync_generation();
         buf.bump(name, delta);
     });
+}
+
+/// Whether the process-lifetime stats registry is collecting.
+#[inline]
+pub fn stats_enabled() -> bool {
+    STATS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns on the process-lifetime stats registry.
+///
+/// Session counters vanish with their [`TraceSession`]; a long-running
+/// daemon that wants to *export* counters (the serve `--push-metrics`
+/// path) needs totals that survive across — and outside of — sessions.
+/// Once enabled, every [`counter_add`] also accumulates into the
+/// registry, unconditionally and process-wide, readable at any time via
+/// [`stats_snapshot`]. Idempotent; there is deliberately no disable —
+/// monotonic totals are the exporter contract.
+pub fn enable_stats() {
+    STATS_ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Adds `delta` to a process-lifetime stat directly, without touching
+/// session counters. Works whether or not [`enable_stats`] was called —
+/// use for values that only make sense as exported totals (e.g. queue
+/// shed counts) rather than per-run trace data.
+pub fn stat_add(name: &'static str, delta: u64) {
+    let mut stats = STATS.lock().unwrap_or_else(|p| p.into_inner());
+    match stats.iter_mut().find(|(n, _)| *n == name) {
+        Some(entry) => entry.1 += delta,
+        None => stats.push((name, delta)),
+    }
+}
+
+/// A point-in-time copy of the process-lifetime stats, sorted by name.
+/// Empty until something calls [`stat_add`] (directly or via
+/// [`counter_add`] after [`enable_stats`]).
+pub fn stats_snapshot() -> Vec<(&'static str, u64)> {
+    let stats = STATS.lock().unwrap_or_else(|p| p.into_inner());
+    let mut out = stats.clone();
+    out.sort_by_key(|&(name, _)| name);
+    out
 }
 
 /// Moves the calling thread's buffered events and counters into the
@@ -835,6 +882,39 @@ mod tests {
         assert_eq!(h.quantile(1.0), 1024);
         h.record(0); // clamps to the first bucket
         assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn stats_accumulate_outside_sessions() {
+        let _guard = session_lock();
+        // Unique names: the registry is process-global and test-shared.
+        stat_add("teststat.direct", 4);
+        stat_add("teststat.direct", 6);
+        let get = |name: &str| {
+            stats_snapshot()
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|&(_, v)| v)
+        };
+        assert_eq!(get("teststat.direct"), Some(10));
+
+        // Without enable_stats, counter_add stays session-only.
+        let before = get("teststat.mirrored");
+        counter_add("teststat.mirrored", 1);
+        assert_eq!(get("teststat.mirrored"), before);
+
+        // With it, counter_add lands in the registry even with no
+        // session active.
+        enable_stats();
+        assert!(!enabled());
+        counter_add("teststat.mirrored", 3);
+        assert_eq!(get("teststat.mirrored"), Some(before.unwrap_or(0) + 3));
+
+        // Snapshot is sorted by name.
+        let snap = stats_snapshot();
+        let mut sorted = snap.clone();
+        sorted.sort_by_key(|&(n, _)| n);
+        assert_eq!(snap, sorted);
     }
 
     #[test]

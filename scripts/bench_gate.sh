@@ -11,6 +11,13 @@
 # medians before comparison; CI runs the gate a second time with 2 to
 # prove it really fails on a 2x slip.
 #
+# The serve_latency bench is also rerun and its tail gated: each case's
+# p99 may regress at most SERVE_P99_TOLERANCE_PCT percent (default 150 —
+# p99 over a loopback daemon is far noisier than a kernel median)
+# against the committed BENCH_serve.json. Cases present on only one
+# side — e.g. the committed loadgen/ cases, which only the full
+# bench_snapshot.sh run produces — are reported and skipped.
+#
 # On top of the relative gate, the full-size CKT-A BestCost case must
 # finish under an absolute wall-clock budget (FULL_CKT_A_BUDGET_NS,
 # default 8s — the "low single-digit seconds" acceptance bar for the
@@ -31,6 +38,8 @@ cargo bench -q -p xhc-bench --bench partition_engine -- \
   --budget-ms "$budget" --json "$tmp/BENCH_partition.json"
 cargo bench -q -p xhc-bench --bench gauss_elimination -- \
   --budget-ms "$budget" --json "$tmp/BENCH_gauss.json"
+cargo bench -q -p xhc-bench --bench serve_latency -- \
+  --budget-ms "$budget" --json "$tmp/BENCH_serve.json"
 
 python3 - "$tol" "$inject" "$tmp" <<'EOF'
 import json, sys
@@ -62,6 +71,37 @@ if failed:
           f"vs the committed snapshot")
     sys.exit(1)
 print(f"[gate] ok: no median regressed more than {tol}%")
+EOF
+
+python3 - "${SERVE_P99_TOLERANCE_PCT:-150}" "$inject" "$tmp" <<'EOF'
+import json, sys
+
+tol = float(sys.argv[1])
+inject = float(sys.argv[2])
+tmp = sys.argv[3]
+failed = False
+committed = {c["name"]: c for c in json.load(open("BENCH_serve.json"))["cases"]}
+fresh = {c["name"]: c for c in json.load(open(f"{tmp}/BENCH_serve.json"))["cases"]}
+for case, ref in sorted(committed.items()):
+    if case not in fresh:
+        print(f"[gate] serve/{case}: missing from fresh run (skipped)")
+        continue
+    base = ref["p99_ns"]
+    now = fresh[case]["p99_ns"] * inject
+    limit = base * (1 + tol / 100.0)
+    ratio = now / base if base else float("inf")
+    verdict = "FAIL" if now > limit else "ok"
+    print(f"[gate] serve/{case}: committed p99 {base} ns, fresh {now:.0f} ns "
+          f"({ratio:.2f}x) [{verdict}]")
+    if now > limit:
+        failed = True
+for case in sorted(set(fresh) - set(committed)):
+    print(f"[gate] serve/{case}: new case, no committed baseline (skipped)")
+if failed:
+    print(f"[gate] FAILED: a serve p99 regressed more than {tol}% "
+          f"vs the committed snapshot")
+    sys.exit(1)
+print(f"[gate] ok: no serve p99 regressed more than {tol}%")
 EOF
 
 python3 - "$tmp" "${FULL_CKT_A_BUDGET_NS:-8000000000}" <<'EOF'

@@ -45,7 +45,8 @@ fn usage() -> &'static str {
   xhybrid verify FILE [--m 32] [--q 7] [engine flags] [--plan-out FILE]
                 [--cert-out FILE] | FILE --plan FILE --cert FILE
   xhybrid serve [--addr 127.0.0.1:7878] [--store DIR] [--threads N] [--workers N]
-                [--verify-on-write 0|1]
+                [--verify-on-write 0|1] [--max-inflight N] [--queue-depth N]
+                [--push-metrics URL]
   xhybrid fetch --addr HOST:PORT (FILE | --hash HASH) [--m 32] [--q 7]
                 [--strategy largest|best-cost] [--out FILE]
 
@@ -139,13 +140,16 @@ invariant exits 1 with a typed error.
         ),
         "serve" => Some(
             "xhybrid serve [--addr 127.0.0.1:7878] [--store DIR] [--threads N] [--workers N]
-              [--verify-on-write 0|1]
+              [--verify-on-write 0|1] [--max-inflight N] [--queue-depth N]
+              [--push-metrics URL]
 
 Runs the planning daemon. POST an X map (text or wire format) to
 /v1/plan and receive the wire-encoded partition plan; plans are cached
 on disk keyed by content hash, alongside a plan certificate that
-`GET /v1/plan/{hash}/verify` re-checks. See README `Running as a
-service`.
+`GET /v1/plan/{hash}/verify` re-checks. Connections are served by a
+nonblocking event loop with keep-alive and pipelining; past the
+admission limits requests are shed with 429 + Retry-After. See README
+`Running as a service`.
 
   --addr             listen address (port 0 picks a free port; the bound
                      address is printed on startup)
@@ -153,7 +157,14 @@ service`.
   --threads          engine threads per plan, 0 = auto (default 0)
   --workers          HTTP worker threads (default 4)
   --verify-on-write  statically verify every fresh plan's certificate
-                     before caching it (1 = on, default 0)",
+                     before caching it (1 = on, default 0)
+  --max-inflight     admission ceiling on requests being processed at
+                     once (default 256)
+  --queue-depth      bounded job-queue length behind the ceiling
+                     (default 128)
+  --push-metrics     push /metrics counters as Influx line protocol to
+                     this http:// URL every XHC_PUSH_INTERVAL_MS ms
+                     (default 2000)",
         ),
         "fetch" => Some(
             "xhybrid fetch --addr HOST:PORT (FILE | --hash HASH) [--m 32] [--q 7]
@@ -646,10 +657,21 @@ fn cmd_serve(args: &Args) -> CmdResult {
             )))
         }
     };
-    let config = ServerConfig::new(Path::new(store))
+    let max_inflight: usize = args
+        .flag_parse("max-inflight", 256)
+        .map_err(CliError::Usage)?;
+    let queue_depth: usize = args
+        .flag_parse("queue-depth", 128)
+        .map_err(CliError::Usage)?;
+    let mut config = ServerConfig::new(Path::new(store))
         .with_threads(threads)
         .with_workers(workers)
-        .with_verify_on_write(verify_on_write);
+        .with_verify_on_write(verify_on_write)
+        .with_max_inflight(max_inflight)
+        .with_queue_depth(queue_depth);
+    if let Some(url) = args.flag("push-metrics") {
+        config = config.with_push_metrics(url);
+    }
     let server = Server::bind(addr, config)
         .map_err(|e| CliError::runtime(format!("cannot bind {addr}: {e}")))?;
     println!("listening on {}", server.local_addr());
