@@ -1,0 +1,818 @@
+//! One planning API over the fleet of compaction backends.
+//!
+//! The paper's hybrid architecture is one point in a design space of
+//! X-tolerant response-compaction schemes. This module puts every scheme
+//! the workspace knows behind a single [`PlanBackend`] trait so the CLI,
+//! the wire format and the planning daemon can treat them uniformly:
+//!
+//! | id | scheme | control bits |
+//! |----|--------|--------------|
+//! | [`BackendId::Hybrid`] | the paper's partitioned masking + X-canceling MISR | `L·C·#partitions + m·q·leakedX/(m−q)` |
+//! | [`BackendId::MaskingOnly`] | conventional per-pattern X-masking \[5\] | `L·C·P` |
+//! | [`BackendId::CancelingOnly`] | X-canceling MISR only \[12\] | `m·q·totalX/(m−q)` |
+//! | [`BackendId::Superset`] | superset-X-canceling clustering \[17, 18\] | per-cluster canceling bits |
+//! | [`BackendId::XCode`] | weight-3 X-code combinational compactor (Fujiwara & Colbourn, arXiv:1508.00481) | `0` — pays in lost observability instead |
+//!
+//! Every backend plans from the same [`WorkloadInput`] (an
+//! [`XMap`] plus the MISR configuration, optionally sharing a packed
+//! bit-matrix) and fills the same [`BackendReport`]: total control bits,
+//! the observed-X account (masked / leaked / lost), a per-pattern
+//! breakdown, and — for backends that produce a partition plan — the
+//! [`PartitionOutcome`] certificate hook.
+//!
+//! # Examples
+//!
+//! ```
+//! use xhc_core::{all_backends, BackendId, PlanOptions, WorkloadInput};
+//! use xhc_misr::XCancelConfig;
+//! use xhc_scan::{CellId, ScanConfig, XMapBuilder};
+//!
+//! let mut b = XMapBuilder::new(ScanConfig::uniform(4, 4), 8);
+//! b.add_x(CellId::new(0, 0), 3).unwrap();
+//! let xmap = b.finish();
+//! let input = WorkloadInput::new(&xmap, XCancelConfig::new(10, 2));
+//!
+//! for backend in all_backends() {
+//!     let report = backend.plan(&input, &PlanOptions::default());
+//!     assert_eq!(report.backend, backend.id());
+//!     // The observed-X account always balances.
+//!     assert_eq!(report.masked_x + report.leaked_x, xmap.total_x());
+//! }
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::baselines::{
+    canceling_only_bits, masking_only_bits, superset_canceling_detailed, SupersetConfig,
+};
+use crate::partition::{PartitionEngine, PartitionOutcome, PlanOptions};
+use xhc_bits::XBitMatrix;
+use xhc_misr::XCancelConfig;
+use xhc_scan::XMap;
+
+/// The stable identifier of a planning backend.
+///
+/// The lowercase [`name`](BackendId::name) is the token used by
+/// `xhybrid plan --backend`, the daemon's `backend=` query parameter and
+/// the `GET /v1/backends` listing; the wire format pins one byte per
+/// variant (`xhc_wire::backend_code`), with [`BackendId::Hybrid`] at code
+/// 0 so default-options requests hash identically to pre-backend builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendId {
+    /// The paper's hybrid: partitioned X-masking + X-canceling MISR.
+    #[default]
+    Hybrid,
+    /// Conventional per-pattern X-masking only (baseline \[5\]).
+    MaskingOnly,
+    /// X-canceling MISR only (baseline \[12\]).
+    CancelingOnly,
+    /// Superset-X-canceling pattern clustering (\[17, 18\]).
+    Superset,
+    /// Weight-3 X-code combinational compactor (arXiv:1508.00481).
+    XCode,
+}
+
+impl BackendId {
+    /// Every backend, in capability-listing order (hybrid first).
+    pub const ALL: [BackendId; 5] = [
+        BackendId::Hybrid,
+        BackendId::MaskingOnly,
+        BackendId::CancelingOnly,
+        BackendId::Superset,
+        BackendId::XCode,
+    ];
+
+    /// The stable lowercase token (CLI flag value, query parameter,
+    /// `GET /v1/backends` id).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendId::Hybrid => "hybrid",
+            BackendId::MaskingOnly => "masking",
+            BackendId::CancelingOnly => "canceling",
+            BackendId::Superset => "superset",
+            BackendId::XCode => "xcode",
+        }
+    }
+
+    /// Parses a backend token as produced by [`BackendId::name`].
+    pub fn parse(s: &str) -> Option<BackendId> {
+        BackendId::ALL.into_iter().find(|b| b.name() == s)
+    }
+
+    /// The backend's capability flags.
+    pub fn caps(self) -> BackendCaps {
+        match self {
+            BackendId::Hybrid => BackendCaps {
+                partitions: true,
+                masking: true,
+                canceling: true,
+                lossless: true,
+                uses_matrix: true,
+            },
+            BackendId::MaskingOnly => BackendCaps {
+                partitions: false,
+                masking: true,
+                canceling: false,
+                lossless: true,
+                uses_matrix: false,
+            },
+            BackendId::CancelingOnly => BackendCaps {
+                partitions: false,
+                masking: false,
+                canceling: true,
+                lossless: true,
+                uses_matrix: false,
+            },
+            BackendId::Superset => BackendCaps {
+                partitions: false,
+                masking: false,
+                canceling: true,
+                lossless: false,
+                uses_matrix: false,
+            },
+            BackendId::XCode => BackendCaps {
+                partitions: false,
+                masking: false,
+                canceling: false,
+                lossless: false,
+                uses_matrix: false,
+            },
+        }
+    }
+}
+
+impl fmt::Display for BackendId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What a backend can and cannot do — the capability flags behind
+/// `GET /v1/backends`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendCaps {
+    /// Produces a partition plan (so a [`PartitionOutcome`] rides in the
+    /// report and a plan certificate can be derived from it).
+    pub partitions: bool,
+    /// Gates responses with per-pattern (or per-partition) mask words.
+    pub masking: bool,
+    /// Feeds an X-canceling MISR (so `m`/`q` matter to its cost).
+    pub canceling: bool,
+    /// Preserves the observability of every non-X response bit.
+    pub lossless: bool,
+    /// Benefits from a shared packed `cells × patterns` bit-matrix
+    /// ([`WorkloadInput::matrix`]); the serve race hands the pooled build
+    /// only to backends that claim it.
+    pub uses_matrix: bool,
+}
+
+/// Everything a backend plans from: the workload plus the MISR
+/// configuration, with an optional pre-packed bit-matrix for backends
+/// whose [`BackendCaps::uses_matrix`] is set.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadInput<'a> {
+    /// The X-location map to plan over.
+    pub xmap: &'a XMap,
+    /// The X-canceling MISR configuration (ignored by backends whose
+    /// [`BackendCaps::canceling`] is false).
+    pub cancel: XCancelConfig,
+    /// An already-packed `cells × patterns` matrix for `xmap`, shared by
+    /// the daemon's `MatrixPool` so one build serves many backends. Must
+    /// have been packed from `xmap`; `None` lets the backend build its
+    /// own if it needs one.
+    pub matrix: Option<&'a XBitMatrix>,
+}
+
+impl<'a> WorkloadInput<'a> {
+    /// An input with no shared matrix.
+    pub fn new(xmap: &'a XMap, cancel: XCancelConfig) -> Self {
+        WorkloadInput {
+            xmap,
+            cancel,
+            matrix: None,
+        }
+    }
+
+    /// Attaches a shared packed matrix (see [`WorkloadInput::matrix`]).
+    pub fn with_matrix(mut self, matrix: &'a XBitMatrix) -> Self {
+        self.matrix = Some(matrix);
+        self
+    }
+}
+
+/// One pattern's slice of a backend's account.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternBreakdown {
+    /// The pattern index.
+    pub pattern: usize,
+    /// X's this pattern's responses carry.
+    pub total_x: usize,
+    /// X's removed before the observation path (masked or clustered
+    /// away).
+    pub masked_x: usize,
+    /// X's entering the observation path (MISR or compactor).
+    pub leaked_x: usize,
+    /// This pattern's share of the backend's control bits. Shares sum to
+    /// [`BackendReport::control_bits`] (up to float rounding).
+    pub control_bits: f64,
+}
+
+/// The uniform result every backend returns: the control-bit total, the
+/// observed-X account, a per-pattern breakdown, and (for partitioning
+/// backends) the certificate hook.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendReport {
+    /// Which backend produced this report.
+    pub backend: BackendId,
+    /// Total control bits the scheme spends on this workload — the
+    /// paper's comparison axis.
+    pub control_bits: f64,
+    /// X's removed before the observation path. With
+    /// [`BackendReport::leaked_x`] this partitions the map's total X
+    /// count: `masked_x + leaked_x == xmap.total_x()` for every backend.
+    pub masked_x: usize,
+    /// X's entering the observation path (the MISR, or the X-code
+    /// compactor's outputs).
+    pub leaked_x: usize,
+    /// Non-X response bits whose observability the scheme sacrifices
+    /// (0 for lossless backends; the superset baseline and the X-code
+    /// compactor pay here instead of in control bits).
+    pub lost_observability: usize,
+    /// Per-pattern account, index-aligned with the pattern set.
+    pub per_pattern: Vec<PatternBreakdown>,
+    /// The certificate hook: the partition plan behind the numbers, for
+    /// backends whose [`BackendCaps::partitions`] is set. `xhc-wire` can
+    /// encode it and derive a checkable [`PlanCertificate`] from it.
+    ///
+    /// [`PlanCertificate`]: https://docs.rs/xhc-wire
+    pub outcome: Option<PartitionOutcome>,
+}
+
+/// A planning backend: one X-tolerant compaction scheme, planned from an
+/// [`XMap`] into a uniform [`BackendReport`].
+///
+/// Implementations are stateless unit structs — obtain them with
+/// [`backend_for`] or [`all_backends`] rather than constructing them.
+pub trait PlanBackend: Sync {
+    /// The backend's stable identifier.
+    fn id(&self) -> BackendId;
+
+    /// The backend's capability flags (defaults to the id's table).
+    fn caps(&self) -> BackendCaps {
+        self.id().caps()
+    }
+
+    /// Plans the workload and returns the uniform report.
+    ///
+    /// `opts` carries the engine knobs; backends that run no partition
+    /// engine ignore everything except what their documentation names.
+    fn plan(&self, input: &WorkloadInput<'_>, opts: &PlanOptions) -> BackendReport;
+}
+
+/// The planning backend for [`BackendId::Hybrid`]: the paper's partition
+/// engine, reported through the uniform interface.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HybridBackend;
+
+impl HybridBackend {
+    /// Accounts an already-computed [`PartitionOutcome`] into the uniform
+    /// report, without re-running the engine. `outcome` must have been
+    /// produced from `xmap` with `cancel` — the daemon's race endpoint
+    /// uses this to report a cached plan under the same accounting as a
+    /// fresh [`PlanBackend::plan`] call.
+    pub fn report_for(
+        xmap: &XMap,
+        cancel: XCancelConfig,
+        outcome: PartitionOutcome,
+    ) -> BackendReport {
+        let word_bits = xmap.config().mask_word_bits() as f64;
+        let total_cells = xmap.config().total_cells();
+        let x_per_pattern = xmap.x_per_pattern();
+        // Per-partition masked-cell count: every masked cell is X under
+        // every member pattern, so it masks exactly one X per pattern.
+        let masked_cells: Vec<usize> = outcome
+            .masks
+            .iter()
+            .map(|mask| (0..total_cells).filter(|&i| mask.masks(i)).count())
+            .collect();
+        let mut per_pattern: Vec<PatternBreakdown> = Vec::with_capacity(xmap.num_patterns());
+        for (p, &total_x) in x_per_pattern.iter().enumerate() {
+            let part = outcome
+                .partitions
+                .iter()
+                .position(|set| set.contains(p))
+                .expect("plan covers every pattern");
+            let masked = masked_cells[part];
+            let leaked = total_x - masked;
+            // The pattern's share: an equal slice of its partition's mask
+            // word plus the canceling cost of its own leaked X's.
+            let share =
+                word_bits / outcome.partitions[part].card() as f64 + cancel.control_bits(leaked);
+            per_pattern.push(PatternBreakdown {
+                pattern: p,
+                total_x,
+                masked_x: masked,
+                leaked_x: leaked,
+                control_bits: share,
+            });
+        }
+        BackendReport {
+            backend: BackendId::Hybrid,
+            control_bits: outcome.cost.total(),
+            masked_x: outcome.cost.masked_x,
+            leaked_x: outcome.cost.leaked_x,
+            lost_observability: 0,
+            per_pattern,
+            outcome: Some(outcome),
+        }
+    }
+}
+
+impl PlanBackend for HybridBackend {
+    fn id(&self) -> BackendId {
+        BackendId::Hybrid
+    }
+
+    /// Runs [`PartitionEngine`] with `opts` (honouring every knob) and
+    /// derives the account from the outcome via
+    /// [`HybridBackend::report_for`]. The shared matrix, when present,
+    /// feeds [`PartitionEngine::run_with_matrix`].
+    fn plan(&self, input: &WorkloadInput<'_>, opts: &PlanOptions) -> BackendReport {
+        let engine = PartitionEngine::with_options(input.cancel, *opts);
+        let outcome = engine.run_with_matrix(input.xmap, input.matrix);
+        HybridBackend::report_for(input.xmap, input.cancel, outcome)
+    }
+}
+
+/// The planning backend for [`BackendId::MaskingOnly`]: baseline \[5\],
+/// one `L·C` mask word per pattern, every X masked, nothing leaks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaskingOnlyBackend;
+
+impl PlanBackend for MaskingOnlyBackend {
+    fn id(&self) -> BackendId {
+        BackendId::MaskingOnly
+    }
+
+    /// Pure accounting (`opts` is ignored): control bits are
+    /// [`masking_only_bits`], each pattern pays one mask word.
+    fn plan(&self, input: &WorkloadInput<'_>, _opts: &PlanOptions) -> BackendReport {
+        let xmap = input.xmap;
+        let word_bits = xmap.config().mask_word_bits() as f64;
+        let per_pattern = xmap
+            .x_per_pattern()
+            .into_iter()
+            .enumerate()
+            .map(|(p, total_x)| PatternBreakdown {
+                pattern: p,
+                total_x,
+                masked_x: total_x,
+                leaked_x: 0,
+                control_bits: word_bits,
+            })
+            .collect();
+        BackendReport {
+            backend: BackendId::MaskingOnly,
+            control_bits: masking_only_bits(xmap.config(), xmap.num_patterns()) as f64,
+            masked_x: xmap.total_x(),
+            leaked_x: 0,
+            lost_observability: 0,
+            per_pattern,
+            outcome: None,
+        }
+    }
+}
+
+/// The planning backend for [`BackendId::CancelingOnly`]: baseline
+/// \[12\], every X shifts into the X-canceling MISR.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CancelingOnlyBackend;
+
+impl PlanBackend for CancelingOnlyBackend {
+    fn id(&self) -> BackendId {
+        BackendId::CancelingOnly
+    }
+
+    /// Pure accounting (`opts` is ignored): control bits are
+    /// [`canceling_only_bits`], split per pattern by its own X count.
+    fn plan(&self, input: &WorkloadInput<'_>, _opts: &PlanOptions) -> BackendReport {
+        let xmap = input.xmap;
+        let per_pattern = xmap
+            .x_per_pattern()
+            .into_iter()
+            .enumerate()
+            .map(|(p, total_x)| PatternBreakdown {
+                pattern: p,
+                total_x,
+                masked_x: 0,
+                leaked_x: total_x,
+                control_bits: input.cancel.control_bits(total_x),
+            })
+            .collect();
+        BackendReport {
+            backend: BackendId::CancelingOnly,
+            control_bits: canceling_only_bits(input.cancel, xmap.total_x()),
+            masked_x: 0,
+            leaked_x: xmap.total_x(),
+            lost_observability: 0,
+            per_pattern,
+            outcome: None,
+        }
+    }
+}
+
+/// The merge slack the superset backend plans with. Mirrors the
+/// `examples/baseline_tour.rs` setting; the raw
+/// [`superset_canceling`](crate::baselines::superset_canceling) function
+/// remains available for other slacks.
+pub const SUPERSET_BACKEND_SLACK: f64 = 0.25;
+
+/// The planning backend for [`BackendId::Superset`]: greedy
+/// superset-X-canceling clustering at [`SUPERSET_BACKEND_SLACK`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SupersetBackend;
+
+impl PlanBackend for SupersetBackend {
+    fn id(&self) -> BackendId {
+        BackendId::Superset
+    }
+
+    /// Pure accounting (`opts` is ignored): clusters patterns at the
+    /// fixed slack and charges each pattern an equal slice of its
+    /// cluster's canceling bits. Every X reaches the MISR (`leaked`);
+    /// the merge's sacrificed non-X bits land in `lost_observability`.
+    fn plan(&self, input: &WorkloadInput<'_>, _opts: &PlanOptions) -> BackendReport {
+        let xmap = input.xmap;
+        let detail = superset_canceling_detailed(
+            xmap,
+            SupersetConfig {
+                cancel: input.cancel,
+                merge_slack: SUPERSET_BACKEND_SLACK,
+            },
+        );
+        let per_pattern = xmap
+            .x_per_pattern()
+            .into_iter()
+            .enumerate()
+            .map(|(p, total_x)| {
+                let share = match detail.cluster_of[p] {
+                    Some(ci) => detail.cluster_bits[ci] / detail.cluster_members[ci] as f64,
+                    None => 0.0,
+                };
+                PatternBreakdown {
+                    pattern: p,
+                    total_x,
+                    masked_x: 0,
+                    leaked_x: total_x,
+                    control_bits: share,
+                }
+            })
+            .collect();
+        BackendReport {
+            backend: BackendId::Superset,
+            control_bits: detail.report.control_bits(),
+            masked_x: 0,
+            leaked_x: xmap.total_x(),
+            lost_observability: detail.report.lost_observability,
+            per_pattern,
+            outcome: None,
+        }
+    }
+}
+
+/// The planning backend for [`BackendId::XCode`]: a weight-3 X-code
+/// combinational compactor in the style of Fujiwara & Colbourn
+/// (arXiv:1508.00481).
+///
+/// Each of the `C` scan chains feeds exactly three of `j` XOR outputs,
+/// where `j` is the smallest width with `C(j,3) >= C` and every chain
+/// gets a *distinct* 3-subset. Because two distinct 3-subsets share at
+/// most two outputs, any single X per shift cycle leaves every other
+/// chain at least one clean output — the classic 1-X-tolerance of
+/// X-codes — with **zero** per-pattern control bits. The price appears
+/// on the other axis: in a cycle with several X's, a chain whose three
+/// outputs are all dirtied by X columns becomes unobservable, and
+/// [`BackendReport::lost_observability`] counts exactly those
+/// (pattern, cycle, chain) positions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct XCodeBackend;
+
+/// The minimal output width for a weight-3 X-code over `chains` inputs:
+/// the smallest `j >= 3` with `C(j,3) >= chains`.
+pub fn xcode_output_width(chains: usize) -> usize {
+    let mut j = 3usize;
+    while j * (j - 1) * (j - 2) / 6 < chains {
+        j += 1;
+    }
+    j
+}
+
+/// The distinct weight-3 columns assigned to chains `0..chains`, in
+/// lexicographic order over output triples of `xcode_output_width`.
+fn xcode_columns(chains: usize) -> Vec<[u16; 3]> {
+    let j = xcode_output_width(chains) as u16;
+    let mut columns = Vec::with_capacity(chains);
+    'outer: for a in 0..j {
+        for b in (a + 1)..j {
+            for c in (b + 1)..j {
+                columns.push([a, b, c]);
+                if columns.len() == chains {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    columns
+}
+
+impl PlanBackend for XCodeBackend {
+    fn id(&self) -> BackendId {
+        BackendId::XCode
+    }
+
+    /// Plans the compactor (`opts` and the MISR config are ignored —
+    /// there is no MISR): zero control bits, every X leaks into the
+    /// outputs, and the lost-observability sweep runs only over cycles
+    /// that actually carry more than one X.
+    fn plan(&self, input: &WorkloadInput<'_>, _opts: &PlanOptions) -> BackendReport {
+        let xmap = input.xmap;
+        let config = xmap.config();
+        let chains = config.num_chains();
+        let columns = xcode_columns(chains);
+        let column_of: HashMap<[u16; 3], usize> = columns
+            .iter()
+            .enumerate()
+            .map(|(chain, &col)| (col, chain))
+            .collect();
+
+        // Group the map's X's by (pattern, cycle): only those cycles can
+        // dirty outputs, so the sweep is O(total_x), not O(response bits).
+        let mut x_chains: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+        for (cell, xs) in xmap.iter() {
+            for p in xs.iter() {
+                x_chains
+                    .entry((p, cell.position as usize))
+                    .or_default()
+                    .push(cell.chain as usize);
+            }
+        }
+
+        let mut lost_total = 0usize;
+        for (&(_, cycle), dirty_chains) in &x_chains {
+            if dirty_chains.len() < 2 {
+                // Weight-3 distinct columns: one X can cover at most two
+                // of any other chain's three outputs.
+                continue;
+            }
+            let mut dirty: Vec<u16> = dirty_chains.iter().flat_map(|&ch| columns[ch]).collect();
+            dirty.sort_unstable();
+            dirty.dedup();
+            let d = dirty.len();
+            // A chain is lost iff its whole column lies inside the dirty
+            // set. Enumerate whichever is smaller: the C(d,3) triples of
+            // dirty outputs, or the chains themselves.
+            let triples = d * (d - 1) * (d - 2) / 6;
+            let lost_here: usize = if triples <= chains {
+                let mut lost = 0usize;
+                for ai in 0..d {
+                    for bi in (ai + 1)..d {
+                        for ci in (bi + 1)..d {
+                            let col = [dirty[ai], dirty[bi], dirty[ci]];
+                            if let Some(&chain) = column_of.get(&col) {
+                                if cycle < config.chain_len(chain) && !dirty_chains.contains(&chain)
+                                {
+                                    lost += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                lost
+            } else {
+                (0..chains)
+                    .filter(|&chain| {
+                        cycle < config.chain_len(chain)
+                            && !dirty_chains.contains(&chain)
+                            && columns[chain]
+                                .iter()
+                                .all(|o| dirty.binary_search(o).is_ok())
+                    })
+                    .count()
+            };
+            lost_total += lost_here;
+        }
+
+        let x_per_pattern = xmap.x_per_pattern();
+        let per_pattern = x_per_pattern
+            .into_iter()
+            .enumerate()
+            .map(|(p, total_x)| PatternBreakdown {
+                pattern: p,
+                total_x,
+                masked_x: 0,
+                leaked_x: total_x,
+                control_bits: 0.0,
+            })
+            .collect();
+        BackendReport {
+            backend: BackendId::XCode,
+            control_bits: 0.0,
+            masked_x: 0,
+            leaked_x: xmap.total_x(),
+            lost_observability: lost_total,
+            per_pattern,
+            outcome: None,
+        }
+    }
+}
+
+/// The backend implementing `id`, as a shared static.
+pub fn backend_for(id: BackendId) -> &'static dyn PlanBackend {
+    match id {
+        BackendId::Hybrid => &HybridBackend,
+        BackendId::MaskingOnly => &MaskingOnlyBackend,
+        BackendId::CancelingOnly => &CancelingOnlyBackend,
+        BackendId::Superset => &SupersetBackend,
+        BackendId::XCode => &XCodeBackend,
+    }
+}
+
+/// Every backend, in [`BackendId::ALL`] order.
+pub fn all_backends() -> [&'static dyn PlanBackend; 5] {
+    [
+        &HybridBackend,
+        &MaskingOnlyBackend,
+        &CancelingOnlyBackend,
+        &SupersetBackend,
+        &XCodeBackend,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xhc_scan::{CellId, ScanConfig, XMapBuilder};
+
+    fn fig4_xmap() -> XMap {
+        let cfg = ScanConfig::uniform(5, 3);
+        let mut b = XMapBuilder::new(cfg, 8);
+        for p in [0, 3, 4, 5] {
+            b.add_x(CellId::new(0, 0), p).unwrap();
+            b.add_x(CellId::new(1, 0), p).unwrap();
+            b.add_x(CellId::new(2, 0), p).unwrap();
+        }
+        for p in [0, 4] {
+            b.add_x(CellId::new(1, 2), p).unwrap();
+        }
+        for p in [0, 1, 2, 3, 4, 6, 7] {
+            b.add_x(CellId::new(3, 2), p).unwrap();
+        }
+        for p in [0, 1, 3, 4, 6, 7] {
+            b.add_x(CellId::new(4, 1), p).unwrap();
+        }
+        b.add_x(CellId::new(4, 2), 5).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn ids_name_parse_roundtrip() {
+        for id in BackendId::ALL {
+            assert_eq!(BackendId::parse(id.name()), Some(id));
+            assert_eq!(id.to_string(), id.name());
+            assert_eq!(backend_for(id).id(), id);
+            assert_eq!(backend_for(id).caps(), id.caps());
+        }
+        assert_eq!(BackendId::parse("nope"), None);
+        assert_eq!(BackendId::default(), BackendId::Hybrid);
+    }
+
+    #[test]
+    fn every_report_balances_the_x_account() {
+        let xmap = fig4_xmap();
+        let input = WorkloadInput::new(&xmap, XCancelConfig::new(10, 2));
+        for backend in all_backends() {
+            let r = backend.plan(&input, &PlanOptions::default());
+            assert_eq!(r.backend, backend.id());
+            assert_eq!(r.masked_x + r.leaked_x, xmap.total_x(), "{}", r.backend);
+            assert_eq!(r.per_pattern.len(), xmap.num_patterns());
+            let masked: usize = r.per_pattern.iter().map(|p| p.masked_x).sum();
+            let leaked: usize = r.per_pattern.iter().map(|p| p.leaked_x).sum();
+            assert_eq!(masked, r.masked_x, "{}", r.backend);
+            assert_eq!(leaked, r.leaked_x, "{}", r.backend);
+            let share_sum: f64 = r.per_pattern.iter().map(|p| p.control_bits).sum();
+            // 1e-3 tolerance: the superset report's total is rounded to
+            // milli-bits on the wire-friendly x1000 fixed point.
+            assert!(
+                (share_sum - r.control_bits).abs() < 1e-3,
+                "{}: per-pattern shares sum to {share_sum}, report says {}",
+                r.backend,
+                r.control_bits
+            );
+            assert_eq!(r.outcome.is_some(), backend.caps().partitions);
+            if backend.caps().lossless {
+                assert_eq!(r.lost_observability, 0, "{}", r.backend);
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_backend_matches_the_engine() {
+        let xmap = fig4_xmap();
+        let input = WorkloadInput::new(&xmap, XCancelConfig::new(10, 2));
+        let r = HybridBackend.plan(&input, &PlanOptions::default());
+        assert!((r.control_bits - 57.5).abs() < 1e-9);
+        assert_eq!(r.masked_x, 23);
+        assert_eq!(r.leaked_x, 5);
+        let outcome = r.outcome.expect("hybrid carries its plan");
+        assert_eq!(outcome.partitions.len(), 3);
+    }
+
+    #[test]
+    fn hybrid_backend_shares_a_packed_matrix() {
+        use crate::partition::SplitStrategy;
+        let xmap = fig4_xmap();
+        let matrix = xmap.to_bitmatrix();
+        let opts = PlanOptions {
+            strategy: SplitStrategy::BestCost,
+            ..PlanOptions::default()
+        };
+        let cancel = XCancelConfig::new(10, 2);
+        let shared = HybridBackend.plan(
+            &WorkloadInput::new(&xmap, cancel).with_matrix(&matrix),
+            &opts,
+        );
+        let owned = HybridBackend.plan(&WorkloadInput::new(&xmap, cancel), &opts);
+        assert_eq!(shared, owned);
+    }
+
+    #[test]
+    fn baseline_backends_match_fig4_numbers() {
+        let xmap = fig4_xmap();
+        let input = WorkloadInput::new(&xmap, XCancelConfig::new(10, 2));
+        let opts = PlanOptions::default();
+        let masking = MaskingOnlyBackend.plan(&input, &opts);
+        assert_eq!(masking.control_bits, 120.0);
+        assert_eq!(masking.leaked_x, 0);
+        let canceling = CancelingOnlyBackend.plan(&input, &opts);
+        assert!((canceling.control_bits - 70.0).abs() < 1e-9);
+        assert_eq!(canceling.masked_x, 0);
+    }
+
+    #[test]
+    fn xcode_width_is_minimal() {
+        assert_eq!(xcode_output_width(1), 3);
+        assert_eq!(xcode_output_width(4), 4);
+        assert_eq!(xcode_output_width(5), 5);
+        assert_eq!(xcode_output_width(10), 5);
+        assert_eq!(xcode_output_width(11), 6);
+        for chains in 1..200 {
+            let j = xcode_output_width(chains);
+            assert!(j * (j - 1) * (j - 2) / 6 >= chains);
+            if j > 3 {
+                let j1 = j - 1;
+                assert!(j1 * (j1 - 1) * (j1 - 2) / 6 < chains);
+            }
+            let cols = xcode_columns(chains);
+            assert_eq!(cols.len(), chains);
+            let distinct: std::collections::HashSet<_> = cols.iter().collect();
+            assert_eq!(distinct.len(), chains, "columns must be distinct");
+        }
+    }
+
+    #[test]
+    fn xcode_tolerates_single_x_cycles() {
+        // One X per (pattern, cycle) everywhere: nothing is lost.
+        let cfg = ScanConfig::uniform(6, 4);
+        let mut b = XMapBuilder::new(cfg, 5);
+        for p in 0..5 {
+            b.add_x(CellId::new(p % 6, p % 4), p).unwrap();
+        }
+        let xmap = b.finish();
+        let r = XCodeBackend.plan(
+            &WorkloadInput::new(&xmap, XCancelConfig::paper_default()),
+            &PlanOptions::default(),
+        );
+        assert_eq!(r.control_bits, 0.0);
+        assert_eq!(r.lost_observability, 0);
+        assert_eq!(r.leaked_x, 5);
+    }
+
+    #[test]
+    fn xcode_loses_fully_covered_chains() {
+        // 4 chains -> j = 4, columns are the four 3-subsets of {0,1,2,3}.
+        // X's on chains 0, 1, 2 in the same cycle dirty all four outputs,
+        // so chain 3 (non-X there) is unobservable in that cycle.
+        let cfg = ScanConfig::uniform(4, 2);
+        let mut b = XMapBuilder::new(cfg, 1);
+        for chain in 0..3 {
+            b.add_x(CellId::new(chain, 0), 0).unwrap();
+        }
+        let xmap = b.finish();
+        let r = XCodeBackend.plan(
+            &WorkloadInput::new(&xmap, XCancelConfig::paper_default()),
+            &PlanOptions::default(),
+        );
+        assert_eq!(r.lost_observability, 1);
+    }
+}

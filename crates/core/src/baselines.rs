@@ -54,6 +54,23 @@ impl SupersetReport {
     }
 }
 
+/// The superset baseline's full clustering detail: the legacy report
+/// plus per-pattern cluster membership, for callers (the backend fleet)
+/// that need a per-pattern account rather than just the totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupersetDetail {
+    /// The aggregate report, identical to what
+    /// [`superset_canceling`] returns for the same inputs.
+    pub report: SupersetReport,
+    /// Which cluster each pattern joined (`None` for X-free patterns,
+    /// which need no canceling at all).
+    pub cluster_of: Vec<Option<usize>>,
+    /// Each cluster's canceling control bits (for its X-cell union).
+    pub cluster_bits: Vec<f64>,
+    /// Each cluster's member count.
+    pub cluster_members: Vec<usize>,
+}
+
 /// Runs the superset-X-canceling-style baseline.
 ///
 /// This is a faithful-in-spirit re-implementation of the *accounting* of
@@ -63,6 +80,12 @@ impl SupersetReport {
 /// an approximation in `DESIGN.md` (the original's exact merge heuristic is
 /// not published in the DAC'16 paper).
 pub fn superset_canceling(xmap: &XMap, config: SupersetConfig) -> SupersetReport {
+    superset_canceling_detailed(xmap, config).report
+}
+
+/// Like [`superset_canceling`], but also reports which cluster each
+/// pattern landed in and each cluster's cost (see [`SupersetDetail`]).
+pub fn superset_canceling_detailed(xmap: &XMap, config: SupersetConfig) -> SupersetDetail {
     // Invert the map: X-cell set per pattern.
     let mut per_pattern: Vec<Vec<usize>> = vec![Vec::new(); xmap.num_patterns()];
     for (cell, xs) in xmap.iter() {
@@ -78,8 +101,9 @@ pub fn superset_canceling(xmap: &XMap, config: SupersetConfig) -> SupersetReport
     }
     let mut clusters: Vec<Cluster> = Vec::new();
     let mut lost = 0usize;
+    let mut cluster_of: Vec<Option<usize>> = vec![None; xmap.num_patterns()];
 
-    for xcells in per_pattern.iter() {
+    for (pattern, xcells) in per_pattern.iter().enumerate() {
         if xcells.is_empty() {
             // An X-free pattern needs no canceling at all; it joins a
             // virtual free cluster.
@@ -105,24 +129,34 @@ pub fn superset_canceling(xmap: &XMap, config: SupersetConfig) -> SupersetReport
                 lost += growth * cluster.members;
                 cluster.union.extend(xcells.iter().copied());
                 cluster.members += 1;
+                cluster_of[pattern] = Some(ci);
             }
             _ => {
                 clusters.push(Cluster {
                     union: xcells.iter().copied().collect(),
                     members: 1,
                 });
+                cluster_of[pattern] = Some(clusters.len() - 1);
             }
         }
     }
 
     let mut control_bits = 0.0f64;
+    let mut cluster_bits = Vec::with_capacity(clusters.len());
     for cluster in &clusters {
-        control_bits += config.cancel.control_bits(cluster.union.len());
+        let bits = config.cancel.control_bits(cluster.union.len());
+        cluster_bits.push(bits);
+        control_bits += bits;
     }
-    SupersetReport {
-        clusters: clusters.len(),
-        control_bits_x1000: (control_bits * 1000.0).round() as u128,
-        lost_observability: lost,
+    SupersetDetail {
+        report: SupersetReport {
+            clusters: clusters.len(),
+            control_bits_x1000: (control_bits * 1000.0).round() as u128,
+            lost_observability: lost,
+        },
+        cluster_members: clusters.iter().map(|c| c.members).collect(),
+        cluster_bits,
+        cluster_of,
     }
 }
 

@@ -18,7 +18,11 @@
 //!    responses, feeding `xhc-misr`'s [`CancelSession`] for end-to-end
 //!    validation;
 //! 6. [`baselines`] — baseline accounting plus a superset-X-canceling
-//!    style comparison point (\[17, 18\]).
+//!    style comparison point (\[17, 18\]);
+//! 7. [`backend`] — the [`PlanBackend`] trait putting the hybrid, both
+//!    Table-1 baselines, the superset baseline and a weight-3 X-code
+//!    compactor behind one planning API with a uniform
+//!    [`BackendReport`].
 //!
 //! The central invariant, enforced by construction and property-tested: a
 //! cell is masked in a partition **only if it captures X under every
@@ -52,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod baselines;
 mod correlation;
 mod cost;
@@ -60,6 +65,11 @@ mod partition;
 mod schedule;
 mod toggle;
 
+pub use backend::{
+    all_backends, backend_for, BackendCaps, BackendId, BackendReport, CancelingOnlyBackend,
+    HybridBackend, MaskingOnlyBackend, PatternBreakdown, PlanBackend, SupersetBackend,
+    WorkloadInput, XCodeBackend,
+};
 pub use correlation::{
     inter_correlation_stats, intra_correlation_stats, CorrelationAnalysis, InterCorrelationStats,
     IntraCorrelationStats,

@@ -243,12 +243,17 @@ pub struct PlanOptions {
     /// it runs partitioning until no partition is splittable (the
     /// depth-sweep ablation).
     pub cost_stop: bool,
+    /// Which planning backend handles the request (see
+    /// [`crate::backend`]). [`PartitionEngine`] itself ignores this — it
+    /// *is* the hybrid backend — but the wire `PlanRequest`, the daemon
+    /// and the CLI route on it, so it rides in the shared options struct.
+    pub backend: crate::backend::BackendId,
 }
 
 impl Default for PlanOptions {
     /// The paper's defaults: largest-class splits, deterministic
     /// first-cell selection, automatic thread count, no round cap, cost
-    /// stop active.
+    /// stop active, hybrid backend.
     fn default() -> PlanOptions {
         PlanOptions {
             strategy: SplitStrategy::LargestClass,
@@ -256,6 +261,7 @@ impl Default for PlanOptions {
             threads: 0,
             max_rounds: None,
             cost_stop: true,
+            backend: crate::backend::BackendId::Hybrid,
         }
     }
 }
@@ -312,57 +318,6 @@ impl PartitionEngine {
     /// The options this engine runs with.
     pub fn options(&self) -> PlanOptions {
         self.opts
-    }
-
-    /// Pins the worker-pool width (clamped to at least 1).
-    #[deprecated(
-        since = "0.1.0",
-        note = "set `PlanOptions::threads` and use `PartitionEngine::with_options`"
-    )]
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.opts.threads = threads.max(1);
-        self
-    }
-
-    /// Sets the pivot-cell selection policy.
-    #[deprecated(
-        since = "0.1.0",
-        note = "set `PlanOptions::policy` and use `PartitionEngine::with_options`"
-    )]
-    pub fn with_policy(mut self, policy: CellSelection) -> Self {
-        self.opts.policy = policy;
-        self
-    }
-
-    /// Sets the split-selection strategy (see [`SplitStrategy`]).
-    #[deprecated(
-        since = "0.1.0",
-        note = "set `PlanOptions::strategy` and use `PartitionEngine::with_options`"
-    )]
-    pub fn with_strategy(mut self, strategy: SplitStrategy) -> Self {
-        self.opts.strategy = strategy;
-        self
-    }
-
-    /// Disables the cost-function stop: partitioning runs until no
-    /// partition is splittable (used by the depth-sweep ablation).
-    #[deprecated(
-        since = "0.1.0",
-        note = "clear `PlanOptions::cost_stop` and use `PartitionEngine::with_options`"
-    )]
-    pub fn without_cost_stop(mut self) -> Self {
-        self.opts.cost_stop = false;
-        self
-    }
-
-    /// Caps the number of accepted rounds.
-    #[deprecated(
-        since = "0.1.0",
-        note = "set `PlanOptions::max_rounds` and use `PartitionEngine::with_options`"
-    )]
-    pub fn with_max_rounds(mut self, rounds: usize) -> Self {
-        self.opts.max_rounds = Some(rounds);
-        self
     }
 
     /// The X-canceling configuration the cost function uses.
@@ -1006,6 +961,7 @@ mod tests {
         assert_eq!(opts.threads, 0);
         assert_eq!(opts.max_rounds, None);
         assert!(opts.cost_stop);
+        assert_eq!(opts.backend, crate::backend::BackendId::Hybrid);
     }
 
     #[test]

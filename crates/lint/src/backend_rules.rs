@@ -1,0 +1,59 @@
+//! `XL05xx`: backend-fleet rules — a plan request must select a backend
+//! the [`PlanBackend`] registry actually ships.
+//!
+//! [`PlanBackend`]: xhc_core::PlanBackend
+
+use xhc_core::BackendId;
+use xhc_wire::backend_from_code;
+
+use crate::diag::{LintCode, LintConfig, LintReport};
+
+fn valid_roster() -> String {
+    BackendId::ALL
+        .iter()
+        .map(|b| format!("{} ({})", b.name(), xhc_wire::backend_code(*b)))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Lints a plan request's wire-level backend selector (XL0501): the byte
+/// must decode to a registered [`BackendId`].
+///
+/// # Examples
+///
+/// ```
+/// use xhc_lint::{check_backend_code, LintConfig};
+///
+/// assert!(check_backend_code(&LintConfig::default(), 0).is_empty());
+/// assert!(check_backend_code(&LintConfig::default(), 200).has_deny());
+/// ```
+pub fn check_backend_code(config: &LintConfig, code: u8) -> LintReport {
+    let mut report = LintReport::new();
+    if backend_from_code(code).is_none() {
+        report.push(
+            config,
+            LintCode::UnknownBackend,
+            format!("plan request backend byte {code}"),
+            format!("backend code {code} names no registered backend"),
+            format!("re-encode the request with one of: {}", valid_roster()),
+        );
+    }
+    report
+}
+
+/// Lints a textual backend selector (XL0501) as accepted by
+/// `xhybrid plan --backend` and the daemon's `backend=` / `backends=`
+/// query parameters.
+pub fn check_backend_token(config: &LintConfig, token: &str) -> LintReport {
+    let mut report = LintReport::new();
+    if BackendId::parse(token).is_none() {
+        report.push(
+            config,
+            LintCode::UnknownBackend,
+            format!("backend selector `{token}`"),
+            format!("`{token}` names no registered backend"),
+            format!("use one of: {}", valid_roster()),
+        );
+    }
+    report
+}

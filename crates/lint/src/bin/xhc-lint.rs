@@ -70,6 +70,7 @@ fn describe(code: LintCode) -> &'static str {
         LintCode::CertAccounting => "certificate control-bit accounting wrong",
         LintCode::CertRankBound => "block rank certificate fails re-elimination",
         LintCode::CertScanMismatch => "certificate shape disagrees with scan config",
+        LintCode::UnknownBackend => "plan request selects an unregistered backend",
     }
 }
 

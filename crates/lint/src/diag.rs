@@ -86,11 +86,14 @@ pub enum LintCode {
     /// count, mask width, total X, `(m, q)`) disagrees with the scan
     /// config / X map it is checked against.
     CertScanMismatch,
+    /// XL0501: a plan request selects a backend id the fleet does not
+    /// register (unknown wire code or unparseable token).
+    UnknownBackend,
 }
 
 impl LintCode {
     /// All rules, in code order.
-    pub const ALL: [LintCode; 20] = [
+    pub const ALL: [LintCode; 21] = [
         LintCode::CombLoop,
         LintCode::FloatingNet,
         LintCode::DeadLogic,
@@ -111,6 +114,7 @@ impl LintCode {
         LintCode::CertAccounting,
         LintCode::CertRankBound,
         LintCode::CertScanMismatch,
+        LintCode::UnknownBackend,
     ];
 
     /// The stable `XLxxxx` identifier.
@@ -136,6 +140,7 @@ impl LintCode {
             LintCode::CertAccounting => "XL0404",
             LintCode::CertRankBound => "XL0405",
             LintCode::CertScanMismatch => "XL0406",
+            LintCode::UnknownBackend => "XL0501",
         }
     }
 
@@ -162,6 +167,7 @@ impl LintCode {
             LintCode::CertAccounting => "cert-accounting",
             LintCode::CertRankBound => "cert-rank-bound",
             LintCode::CertScanMismatch => "cert-scan-mismatch",
+            LintCode::UnknownBackend => "unknown-backend",
         }
     }
 
@@ -181,7 +187,8 @@ impl LintCode {
             | LintCode::CertHistogram
             | LintCode::CertAccounting
             | LintCode::CertRankBound
-            | LintCode::CertScanMismatch => Severity::Deny,
+            | LintCode::CertScanMismatch
+            | LintCode::UnknownBackend => Severity::Deny,
             LintCode::DeadLogic
             | LintCode::UnreachableFlop
             | LintCode::ChainImbalance

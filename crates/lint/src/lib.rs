@@ -3,8 +3,8 @@
 //!
 //! The crate checks the artifacts the workspace produces and consumes —
 //! netlists, scan topologies, X maps, partition plans, mask words, cost
-//! accounting, MISR configurations and plan certificates — against twenty
-//! rules grouped by pipeline stage:
+//! accounting, MISR configurations and plan certificates — against
+//! twenty-one rules grouped by pipeline stage:
 //!
 //! | Codes | Stage | Rules |
 //! |-------|-------|-------|
@@ -12,6 +12,7 @@
 //! | `XL02xx` | scan / X map | chain imbalance, out-of-range X entries, duplicate X entries |
 //! | `XL03xx` | hybrid | partition cover, unsafe masks, cost accounting, MISR feedback, `(m, q)` sanity, BestCost planning latency |
 //! | `XL04xx` | certificate | plan-hash link, cover witness, X-class histograms, control-bit accounting, Gauss rank bounds, scan-config consistency (cross-artifact, via `xhc-verify`) |
+//! | `XL05xx` | backend fleet | unknown backend selector (wire byte or CLI/query token) |
 //!
 //! Each rule carries a default [`Severity`] (`Deny` for correctness
 //! violations, `Warn` for quality findings) that a [`LintConfig`] can
@@ -41,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend_rules;
 mod cert_rules;
 mod diag;
 mod graph;
@@ -49,6 +51,7 @@ mod netlist_rules;
 mod poly;
 mod scan_rules;
 
+pub use backend_rules::{check_backend_code, check_backend_token};
 pub use cert_rules::{check_certificate, check_certificate_artifacts};
 pub use diag::{Diagnostic, LintCode, LintConfig, LintReport, Severity};
 pub use graph::nontrivial_sccs;

@@ -320,8 +320,10 @@ impl EventLoop {
                 break;
             }
             match http::parse_request(&conn.buf_in) {
-                Err(message) => {
-                    self.respond_inline(slot, Response::text(400, format!("{message}\n")), true);
+                Err(e) => {
+                    // 400 for malformed bytes, 501 for valid HTTP using
+                    // an unsupported feature (chunked transfer coding).
+                    self.respond_inline(slot, Response::text(e.status, format!("{e}\n")), true);
                     break;
                 }
                 Ok(ParseStatus::Partial) => {
@@ -410,7 +412,7 @@ impl EventLoop {
         }
     }
 
-    /// Queues an event-loop-generated response (400/408/429/503). The
+    /// Queues an event-loop-generated response (400/408/429/501/503). The
     /// worker-path metrics equivalents live in `process_request`; inline
     /// responders count their own statuses.
     fn respond_inline(&mut self, slot: usize, response: Response, close: bool) {

@@ -74,8 +74,9 @@ impl Request {
 pub enum ReadRequestError {
     /// The peer closed before sending a complete request.
     Closed,
-    /// The request violates the subset this server speaks.
-    Bad(String),
+    /// The request violates the subset this server speaks; carries the
+    /// status and body the server should answer with before closing.
+    Bad(ParseError),
     /// A transport error.
     Io(io::Error),
 }
@@ -84,6 +85,56 @@ impl From<io::Error> for ReadRequestError {
     fn from(e: io::Error) -> Self {
         ReadRequestError::Io(e)
     }
+}
+
+/// A parse-time rejection: the bytes can never become a request this
+/// server executes, and `status`/`message` are what it answers with.
+/// Malformed framing is `400`; syntactically-valid HTTP that uses a
+/// feature outside the spoken subset (chunked transfer coding) is `501`.
+#[derive(Debug)]
+pub struct ParseError {
+    /// HTTP status of the rejection response.
+    pub status: u16,
+    /// Human-readable diagnostic, used as the response body.
+    pub message: String,
+}
+
+impl From<String> for ParseError {
+    fn from(message: String) -> Self {
+        ParseError {
+            status: 400,
+            message,
+        }
+    }
+}
+
+impl From<&str> for ParseError {
+    fn from(message: &str) -> Self {
+        ParseError::from(message.to_string())
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Both front ends frame bodies by `Content-Length` only. A request
+/// declaring a transfer coding would be silently mis-framed if treated
+/// as malformed, so it gets an explicit `501 Not Implemented` telling
+/// the client what to do instead.
+fn reject_transfer_encoding(headers: &[(String, String)]) -> Result<(), ParseError> {
+    let Some((_, value)) = headers.iter().find(|(n, _)| n == "transfer-encoding") else {
+        return Ok(());
+    };
+    Err(ParseError {
+        status: 501,
+        message: format!(
+            "Transfer-Encoding: {value} is not supported; \
+             send a Content-Length framed body"
+        ),
+    })
 }
 
 /// What [`parse_request`] concluded from the bytes seen so far.
@@ -192,21 +243,23 @@ fn head_end(buf: &[u8]) -> Option<usize> {
 ///
 /// # Errors
 ///
-/// A `String` diagnostic when the bytes can never become a valid
-/// request (malformed framing, oversized head or body) — the caller
-/// should answer 400 and close.
-pub fn parse_request(buf: &[u8]) -> Result<ParseStatus, String> {
+/// A [`ParseError`] when the bytes can never become a request this
+/// server executes — malformed framing, oversized head or body (status
+/// 400), or chunked transfer coding (status 501) — the caller should
+/// answer with its status and close.
+pub fn parse_request(buf: &[u8]) -> Result<ParseStatus, ParseError> {
     let Some(head_end) = head_end(buf) else {
         if buf.len() > MAX_HEAD_BYTES {
-            return Err("header block too large".to_string());
+            return Err("header block too large".into());
         }
         return Ok(ParseStatus::Partial);
     };
     if head_end > MAX_HEAD_BYTES {
-        return Err("header block too large".to_string());
+        return Err("header block too large".into());
     }
-    let (method, path, query, headers) = parse_head(&buf[..head_end])?;
-    let body_len = content_length(&headers)?;
+    let (method, path, query, headers) = parse_head(&buf[..head_end]).map_err(ParseError::from)?;
+    reject_transfer_encoding(&headers)?;
+    let body_len = content_length(&headers).map_err(ParseError::from)?;
     let consumed = head_end + body_len;
     if buf.len() < consumed {
         return Ok(ParseStatus::Partial);
@@ -251,8 +304,11 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadRequestError>
             break;
         }
     }
-    let (method, path, query, headers) = parse_head(&head).map_err(ReadRequestError::Bad)?;
-    let body_len = content_length(&headers).map_err(ReadRequestError::Bad)?;
+    let (method, path, query, headers) =
+        parse_head(&head).map_err(|e| ReadRequestError::Bad(ParseError::from(e)))?;
+    reject_transfer_encoding(&headers).map_err(ReadRequestError::Bad)?;
+    let body_len =
+        content_length(&headers).map_err(|e| ReadRequestError::Bad(ParseError::from(e)))?;
     let mut body = vec![0u8; body_len];
     reader.read_exact(&mut body)?;
     Ok(Request {
@@ -314,6 +370,7 @@ pub fn reason_phrase(status: u16) -> &'static str {
         422 => "Unprocessable Entity",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
+        501 => "Not Implemented",
         503 => "Service Unavailable",
         _ => "Response",
     }
@@ -435,6 +492,30 @@ mod tests {
         assert!(parse_request(b"GET / HTTP/1.1\r\nContent-Length: x\r\n\r\n").is_err());
         let oversized = vec![b'a'; MAX_HEAD_BYTES + 1];
         assert!(parse_request(&oversized).is_err());
+    }
+
+    #[test]
+    fn chunked_transfer_encoding_answers_501_on_both_parsers() {
+        let raw: &[u8] = b"POST /v1/plan HTTP/1.1\r\n\
+              Transfer-Encoding: chunked\r\n\r\n\
+              4\r\nBODY\r\n0\r\n\r\n";
+        // Incremental parser: a typed 501, not a generic parse failure.
+        let err = parse_request(raw).unwrap_err();
+        assert_eq!(err.status, 501);
+        assert!(err.message.contains("chunked"), "{}", err.message);
+        assert!(err.message.contains("Content-Length"), "{}", err.message);
+        // Blocking parser: the same rejection.
+        match exchange(raw) {
+            Err(ReadRequestError::Bad(e)) => {
+                assert_eq!(e.status, 501);
+                assert!(e.message.contains("chunked"), "{}", e.message);
+            }
+            other => panic!("expected Bad(501), got {other:?}"),
+        }
+        // Malformed framing stays 400.
+        let err = parse_request(b"GET / HTTP/1.1\r\nContent-Length: x\r\n\r\n").unwrap_err();
+        assert_eq!(err.status, 400);
+        assert_eq!(reason_phrase(501), "Not Implemented");
     }
 
     #[test]

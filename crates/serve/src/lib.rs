@@ -37,7 +37,9 @@
 //!
 //! | Route | Method | Behaviour |
 //! |-------|--------|-----------|
-//! | `/v1/plan?m=&q=&strategy=&policy=&seed=&max_rounds=&cost_stop=&mode=&trace=` | POST | Body is a wire-encoded X map, workload spec or plan request, or `xmap v1` text. Lints it, plans it (or serves the cached plan) and returns the wire-encoded plan. `mode=async` returns `202` and a job id instead. |
+//! | `/v1/plan?m=&q=&strategy=&policy=&seed=&max_rounds=&cost_stop=&backend=&mode=&trace=` | POST | Body is a wire-encoded X map, workload spec or plan request, or `xmap v1` text. Lints it, plans it (or serves the cached plan) and returns the wire-encoded plan. `mode=async` returns `202` and a job id instead. A non-hybrid `backend=` answers with that backend's uniform JSON report. |
+//! | `/v1/plan/race?...&backends=` | POST | Same body and parameters as `/v1/plan`; fans the submission across the requested backend set (`backends=` comma list, default all) and returns the JSON control-bit/latency table with Pareto-frontier flags. The hybrid leg shares the plan store, single-flight set and matrix pool with `/v1/plan`, so its plan is byte-identical and cached under the same address. |
+//! | `/v1/backends` | GET | JSON capability listing of every planning backend. |
 //! | `/v1/plan/{hash}` | GET | Fetches a cached plan by its 16-hex content address. |
 //! | `/v1/plan/{hash}/verify` | GET | Re-checks the cached plan against its stored certificate and X map with the `xhc-verify` static checker: `200` when clean, `422` with the rendered XL04xx findings otherwise. |
 //! | `/v1/jobs/{id}` | GET | Status of an async job. |
@@ -57,7 +59,13 @@
 //! string (the engine thread count stays server-controlled). Every other
 //! body takes its options from the query: `policy` is `first`, `seeded`
 //! (with `seed=<u64>`) or `global-max-x`; `max_rounds` caps the round
-//! count; `cost_stop=0` disables the cost-based stop.
+//! count; `cost_stop=0` disables the cost-based stop; `backend` picks the
+//! planning backend by its stable token (default `hybrid`).
+//!
+//! Bodies are framed by `Content-Length` only: a request declaring
+//! `Transfer-Encoding: chunked` (or any other transfer coding) is
+//! rejected with an explicit `501 Not Implemented` and a diagnostic body
+//! on both front ends, instead of surfacing as a generic parse failure.
 //!
 //! `trace=1` on a synchronous request records the request under the
 //! process-wide [`xhc_trace`] session (first caller wins; concurrent
@@ -105,7 +113,7 @@ mod store;
 pub mod client;
 
 pub use batch::MatrixPool;
-pub use http::{ReadRequestError, Request, Response, MAX_BODY_BYTES};
+pub use http::{ParseError, ReadRequestError, Request, Response, MAX_BODY_BYTES};
 pub use jobs::{JobRegistry, JobStatus};
 pub use metrics::{Histogram, Metrics};
 pub use store::PlanStore;
@@ -125,13 +133,16 @@ use xhc_aio::queue::JobQueue;
 use xhc_aio::Waker;
 use xhc_bits::XBitMatrix;
 
-use xhc_core::{CellSelection, PartitionEngine, PlanOptions, SplitStrategy};
+use xhc_core::{
+    backend_for, BackendId, CellSelection, HybridBackend, PartitionEngine, PlanOptions,
+    SplitStrategy, WorkloadInput,
+};
 use xhc_lint::{check_cancel_params, check_xmap, LintConfig, LintReport};
 use xhc_misr::XCancelConfig;
 use xhc_scan::{read_xmap, XMap};
 use xhc_wire::{
-    decode_plan_request, decode_workload_spec, decode_xmap, encode_plan, encode_xmap, hash_hex,
-    parse_hash_hex, peek_kind, plan_request_hash_with_options, Kind, MAGIC,
+    decode_plan, decode_plan_request, decode_workload_spec, decode_xmap, encode_plan, encode_xmap,
+    hash_hex, parse_hash_hex, peek_kind, plan_request_hash_with_options, Kind, MAGIC,
 };
 
 /// How the daemon is configured.
@@ -255,6 +266,19 @@ pub fn parse_policy(s: &str, seed: u64) -> Option<CellSelection> {
         "global-max-x" => Some(CellSelection::GlobalMaxX),
         _ => None,
     }
+}
+
+/// Parses the backend tokens the CLI and the query string share — the
+/// stable [`BackendId::name`] values (`hybrid`, `masking`, `canceling`,
+/// `superset`, `xcode`).
+pub fn parse_backend(s: &str) -> Option<BackendId> {
+    BackendId::parse(s)
+}
+
+/// The `expected one of ...` tail of a bad-backend diagnostic.
+fn backend_name_list() -> String {
+    let names: Vec<&str> = BackendId::ALL.iter().map(|b| b.name()).collect();
+    names.join(", ")
 }
 
 /// A parsed request travelling from the event loop to the worker pool.
@@ -554,9 +578,12 @@ fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
     let request = match http::read_request(&mut stream) {
         Ok(r) => r,
         Err(http::ReadRequestError::Closed) => return,
-        Err(http::ReadRequestError::Bad(msg)) => {
-            state.metrics.count_status(400);
-            let _ = http::write_response(&mut stream, &Response::text(400, format!("{msg}\n")));
+        Err(http::ReadRequestError::Bad(e)) => {
+            // 400 for malformed bytes, 501 for valid HTTP using an
+            // unsupported feature (chunked transfer coding) — the same
+            // split the event-loop front end applies.
+            state.metrics.count_status(e.status);
+            let _ = http::write_response(&mut stream, &Response::text(e.status, format!("{e}\n")));
             return;
         }
         Err(http::ReadRequestError::Io(e))
@@ -585,6 +612,12 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Result<Response, Handle
         ("GET", "/healthz") => Ok(Response::text(200, "ok\n")),
         ("GET", "/metrics") => Ok(Response::text(200, state.metrics.render())),
         ("POST", "/v1/plan") => plan_endpoint(state, request),
+        ("POST", "/v1/plan/race") => race_endpoint(state, request),
+        ("GET", "/v1/backends") => Ok(backends_endpoint()),
+        // Before the `/v1/plan/` prefix arms: `race` is not a plan hash.
+        (_, "/v1/plan/race") | (_, "/v1/backends") => {
+            Err(HandlerError::new(405, "method not allowed"))
+        }
         ("GET", path) if path.starts_with("/v1/plan/") && path.ends_with("/verify") => {
             verify_endpoint(
                 state,
@@ -751,6 +784,18 @@ fn parse_plan_params(request: &Request) -> Result<PlanParams, HandlerError> {
             ))
         }
     };
+    let backend = match request.query_param("backend") {
+        None => BackendId::default(),
+        Some(raw) => parse_backend(raw).ok_or_else(|| {
+            HandlerError::new(
+                400,
+                format!(
+                    "`{raw}` is not a backend (expected one of {})",
+                    backend_name_list()
+                ),
+            )
+        })?,
+    };
     let asynchronous = match request.query_param("mode") {
         None | Some("sync") => false,
         Some("async") => true,
@@ -779,6 +824,7 @@ fn parse_plan_params(request: &Request) -> Result<PlanParams, HandlerError> {
             policy,
             max_rounds,
             cost_stop,
+            backend,
             ..PlanOptions::default()
         },
         asynchronous,
@@ -894,6 +940,33 @@ fn plan_endpoint(state: &Arc<ServerState>, request: &Request) -> Result<Response
     // keys differ.
     let wkey = xhc_wire::content_hash(&canonical);
 
+    // A non-hybrid backend produces accounting, not a storable partition
+    // plan: answer with its uniform JSON report, computed in-process.
+    if params.options.backend != BackendId::Hybrid {
+        if params.asynchronous {
+            return Err(HandlerError::new(
+                400,
+                "`mode=async` supports only the hybrid backend",
+            ));
+        }
+        let cancel = XCancelConfig::new(params.m, params.q);
+        let leg = race_leg(
+            state,
+            params.options.backend,
+            &canonical,
+            &xmap,
+            &params,
+            cancel,
+            wkey,
+            None,
+        )?;
+        return Ok(Response::new(
+            200,
+            "application/json",
+            format!("{}\n", leg_json(&leg, None)).into_bytes(),
+        ));
+    }
+
     if params.asynchronous {
         let id = state.jobs.submit();
         state.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
@@ -951,6 +1024,262 @@ fn plan_endpoint(state: &Arc<ServerState>, request: &Request) -> Result<Response
         // Engine time of this cold plan, so clients can decompose
         // cold-vs-hit latency without scraping /metrics.
         response = response.with_header("X-Xhc-Engine-Ns", ns.to_string());
+    }
+    Ok(response)
+}
+
+/// `GET /v1/backends`: capability discovery for the planning fleet —
+/// one JSON entry per registered [`BackendId`], in racing order.
+fn backends_endpoint() -> Response {
+    let mut body = String::from("[");
+    for (i, id) in BackendId::ALL.into_iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let caps = id.caps();
+        body.push_str(&format!(
+            "{{\"id\":\"{}\",\"default\":{},\"caps\":{{\"partitions\":{},\"masking\":{},\
+             \"canceling\":{},\"lossless\":{},\"uses_matrix\":{}}}}}",
+            id.name(),
+            id == BackendId::Hybrid,
+            caps.partitions,
+            caps.masking,
+            caps.canceling,
+            caps.lossless,
+            caps.uses_matrix,
+        ));
+    }
+    body.push_str("]\n");
+    Response::new(200, "application/json", body.into_bytes())
+}
+
+/// Parses the `backends=` comma list of a race request: backend tokens,
+/// deduplicated, in request order. Absent means every backend.
+fn parse_race_roster(request: &Request) -> Result<Vec<BackendId>, HandlerError> {
+    let Some(raw) = request.query_param("backends") else {
+        return Ok(BackendId::ALL.to_vec());
+    };
+    let mut roster = Vec::new();
+    for token in raw.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        let id = parse_backend(token).ok_or_else(|| {
+            HandlerError::new(
+                400,
+                format!(
+                    "`{token}` is not a backend (expected one of {})",
+                    backend_name_list()
+                ),
+            )
+        })?;
+        if !roster.contains(&id) {
+            roster.push(id);
+        }
+    }
+    if roster.is_empty() {
+        return Err(HandlerError::new(400, "`backends` names no backend"));
+    }
+    Ok(roster)
+}
+
+/// One backend's finished race leg: its uniform report, the wall time it
+/// took, and — for the hybrid leg only — the stored plan's address and
+/// whether it was a cache hit.
+struct RaceLeg {
+    backend: BackendId,
+    report: xhc_core::BackendReport,
+    latency_ns: u64,
+    plan: Option<(u64, bool)>,
+}
+
+/// Runs one backend of a race (or a non-hybrid single-backend plan).
+///
+/// The hybrid leg routes through [`compute_plan`] with the *same* cache
+/// key `POST /v1/plan` would derive, so its plan bytes are byte-identical
+/// to the single-backend route, persisted under the same address, and
+/// single-flighted against concurrent submissions; the report is then
+/// accounted from the decoded plan without re-running the engine. Every
+/// other backend is pure accounting run in-process, handed the pooled
+/// packed matrix when its capabilities claim one.
+#[allow(clippy::too_many_arguments)]
+fn race_leg(
+    state: &ServerState,
+    backend: BackendId,
+    canonical: &[u8],
+    xmap: &XMap,
+    params: &PlanParams,
+    cancel: XCancelConfig,
+    wkey: u64,
+    shared_matrix: Option<&XBitMatrix>,
+) -> Result<RaceLeg, HandlerError> {
+    let started = Instant::now();
+    if backend == BackendId::Hybrid {
+        let options = PlanOptions {
+            backend: BackendId::Hybrid,
+            ..params.options
+        };
+        let key = plan_request_hash_with_options(canonical, params.m, params.q, &options);
+        let leg_params = PlanParams {
+            m: params.m,
+            q: params.q,
+            options,
+            asynchronous: false,
+            trace: false,
+        };
+        let (bytes, engine_ns) = compute_plan(state, key, wkey, xmap, &leg_params)?;
+        let (outcome, _) = decode_plan(&bytes)
+            .map_err(|e| HandlerError::new(500, format!("stored plan failed to decode: {e}")))?;
+        let report = HybridBackend::report_for(xmap, cancel, outcome);
+        Ok(RaceLeg {
+            backend,
+            report,
+            latency_ns: started.elapsed().as_nanos() as u64,
+            plan: Some((key, engine_ns.is_none())),
+        })
+    } else {
+        let mut input = WorkloadInput::new(xmap, cancel);
+        if let Some(matrix) = shared_matrix.filter(|_| backend.caps().uses_matrix) {
+            input = input.with_matrix(matrix);
+        }
+        let report = backend_for(backend).plan(&input, &params.options);
+        Ok(RaceLeg {
+            backend,
+            report,
+            latency_ns: started.elapsed().as_nanos() as u64,
+            plan: None,
+        })
+    }
+}
+
+/// Renders one race leg as a JSON object; `pareto` is present only on
+/// race responses (a single-backend report has no frontier to sit on).
+fn leg_json(leg: &RaceLeg, pareto: Option<bool>) -> String {
+    let mut s = format!(
+        "{{\"backend\":\"{}\",\"control_bits\":{:.3},\"masked_x\":{},\"leaked_x\":{},\
+         \"lost_observability\":{},\"latency_ns\":{}",
+        leg.backend.name(),
+        leg.report.control_bits,
+        leg.report.masked_x,
+        leg.report.leaked_x,
+        leg.report.lost_observability,
+        leg.latency_ns,
+    );
+    if let Some(p) = pareto {
+        s.push_str(&format!(",\"pareto\":{p}"));
+    }
+    if let Some((key, hit)) = leg.plan {
+        s.push_str(&format!(
+            ",\"plan_hash\":\"{}\",\"cache\":\"{}\"",
+            hash_hex(key),
+            if hit { "hit" } else { "miss" }
+        ));
+    }
+    s.push('}');
+    s
+}
+
+/// `POST /v1/plan/race`: fans one submission across a requested backend
+/// set and returns the control-bit/latency table with Pareto flags.
+///
+/// One decode and one lint gate serve every leg; the legs then run
+/// concurrently (scoped threads on the worker that claimed the request).
+/// The hybrid leg shares the plan store, the single-flight set and the
+/// matrix pool with `POST /v1/plan` — see [`race_leg`].
+fn race_endpoint(state: &Arc<ServerState>, request: &Request) -> Result<Response, HandlerError> {
+    let mut params = parse_plan_params(request)?;
+    if params.asynchronous {
+        return Err(HandlerError::new(
+            400,
+            "`mode=async` is not supported on /v1/plan/race",
+        ));
+    }
+    if request.body.is_empty() {
+        return Err(HandlerError::new(400, "empty request body"));
+    }
+    let roster = parse_race_roster(request)?;
+    let xmap = decode_request_xmap(state, &request.body, &mut params)?;
+    lint_gate(state, &xmap, params.m, params.q)?;
+    let canonical = encode_xmap(&xmap);
+    let wkey = xhc_wire::content_hash(&canonical);
+    let cancel = XCancelConfig::new(params.m, params.q);
+
+    // Matrix-consuming accounting backends share one pooled build, keyed
+    // by workload exactly like the engine's own (the hybrid leg reaches
+    // the same pool through `run_engine`).
+    let shared_matrix: Option<Arc<XBitMatrix>> = if roster
+        .iter()
+        .any(|id| *id != BackendId::Hybrid && id.caps().uses_matrix)
+    {
+        let (matrix, reused) = state.matrix_pool.get_or_build(wkey, || xmap.to_bitmatrix());
+        if reused {
+            state.metrics.batched_total.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(matrix)
+    } else {
+        None
+    };
+
+    let state_ref: &ServerState = state;
+    let leg_results: Vec<Result<RaceLeg, HandlerError>> = thread::scope(|scope| {
+        let handles: Vec<_> = roster
+            .iter()
+            .map(|&backend| {
+                let canonical = &canonical;
+                let xmap = &xmap;
+                let params = &params;
+                let shared_matrix = shared_matrix.as_deref();
+                scope.spawn(move || {
+                    race_leg(
+                        state_ref,
+                        backend,
+                        canonical,
+                        xmap,
+                        params,
+                        cancel,
+                        wkey,
+                        shared_matrix,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(HandlerError::new(500, "race leg panicked")))
+            })
+            .collect()
+    });
+    let mut legs = Vec::with_capacity(leg_results.len());
+    for leg in leg_results {
+        legs.push(leg?);
+    }
+
+    // A leg is off the frontier iff another leg is no worse on both axes
+    // and strictly better on one; exact ties keep both.
+    let dominated = |i: usize| {
+        legs.iter().enumerate().any(|(j, b)| {
+            j != i
+                && b.report.control_bits <= legs[i].report.control_bits
+                && b.latency_ns <= legs[i].latency_ns
+                && (b.report.control_bits < legs[i].report.control_bits
+                    || b.latency_ns < legs[i].latency_ns)
+        })
+    };
+    let mut body = format!(
+        "{{\"m\":{},\"q\":{},\"workload\":\"{}\",\"entries\":[",
+        params.m,
+        params.q,
+        hash_hex(wkey)
+    );
+    for (i, leg) in legs.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&leg_json(leg, Some(!dominated(i))));
+    }
+    body.push_str("]}\n");
+    let mut response = Response::new(200, "application/json", body.into_bytes());
+    if let Some((key, _)) = legs.iter().find_map(|l| l.plan) {
+        response = response.with_header("X-Xhc-Plan-Hash", hash_hex(key));
     }
     Ok(response)
 }

@@ -393,6 +393,29 @@ fn overload_sheds_with_retry_after() {
 }
 
 #[test]
+fn chunked_transfer_encoding_is_rejected_with_501() {
+    // Bodies are Content-Length framed only: a chunked request gets an
+    // explicit 501 with a diagnostic body — on BOTH front ends — instead
+    // of a generic parse failure.
+    for blocking in [false, true] {
+        let server = TestServer::start("chunked", blocking, |c| c.with_threads(1));
+        let wire: &[u8] = b"POST /v1/plan?m=32&q=7 HTTP/1.1\r\n\
+            Host: xhc-serve\r\n\
+            Transfer-Encoding: chunked\r\n\
+            Connection: close\r\n\r\n\
+            4\r\nBODY\r\n0\r\n\r\n";
+        let response = send_whole(server.addr, wire);
+        let text = String::from_utf8_lossy(&response);
+        assert!(
+            text.starts_with("HTTP/1.1 501 Not Implemented\r\n"),
+            "front end blocking={blocking}: {text}"
+        );
+        assert!(text.contains("chunked"), "{text}");
+        assert!(text.contains("Content-Length"), "{text}");
+    }
+}
+
+#[test]
 fn slow_loris_senders_get_408() {
     for blocking in [false, true] {
         let server = TestServer::start("loris", blocking, |c| {

@@ -536,3 +536,176 @@ fn distinct_params_get_distinct_cache_entries() {
     );
     assert_eq!(server.metric("xhc_cache_misses_total"), 4);
 }
+
+#[test]
+fn backends_listing_and_single_backend_reports() {
+    use xhc_core::{backend_for, BackendId, WorkloadInput};
+
+    let xmap = test_spec().generate();
+    let body = encode_xmap(&xmap);
+    let server = TestServer::start("backends", 2);
+
+    // The roster endpoint lists every backend, with hybrid as the default.
+    let listing = client::get(server.addr, "/v1/backends").unwrap();
+    assert_eq!(listing.status, 200);
+    let text = listing.body_text();
+    for id in BackendId::ALL {
+        assert!(
+            text.contains(&format!("\"id\":\"{id}\"")),
+            "missing {id}: {text}"
+        );
+    }
+    assert_eq!(text.matches("\"default\":true").count(), 1, "{text}");
+    let method = client::post(server.addr, "/v1/backends", "text/plain", b"x").unwrap();
+    assert_eq!(method.status, 405);
+
+    // A non-hybrid backend on /v1/plan answers with its uniform JSON report,
+    // matching an in-process run of the same backend bit for bit.
+    let response = client::post(
+        server.addr,
+        "/v1/plan?m=32&q=7&backend=masking",
+        "application/octet-stream",
+        &body,
+    )
+    .unwrap();
+    assert_eq!(response.status, 200, "{}", response.body_text());
+    let text = response.body_text();
+    let expected = backend_for(BackendId::MaskingOnly).plan(
+        &WorkloadInput::new(&xmap, XCancelConfig::new(32, 7)),
+        &PlanOptions::default(),
+    );
+    assert!(text.contains("\"backend\":\"masking\""), "{text}");
+    assert!(
+        text.contains(&format!("\"control_bits\":{:.3}", expected.control_bits)),
+        "{text}"
+    );
+
+    let bogus = client::post(
+        server.addr,
+        "/v1/plan?backend=bogus",
+        "application/octet-stream",
+        &body,
+    )
+    .unwrap();
+    assert_eq!(bogus.status, 400);
+    assert!(
+        bogus.body_text().contains("backend"),
+        "{}",
+        bogus.body_text()
+    );
+}
+
+#[test]
+fn race_fans_out_and_hybrid_leg_is_byte_identical_to_single_backend_path() {
+    use xhc_core::BackendId;
+
+    let xmap = test_spec().generate();
+    let body = encode_xmap(&xmap);
+    let expected_key = plan_request_hash(&body, 32, 7, 0);
+    let offline = PartitionEngine::new(XCancelConfig::new(32, 7)).run(&xmap);
+    let offline_bytes = encode_plan(&offline, xmap.num_patterns());
+
+    for engine_threads in [1, 2, 8] {
+        let server = TestServer::start("race", engine_threads);
+
+        // Race first: the hybrid leg computes cold, persists, and reports
+        // the same hash the single-backend path would.
+        let race = client::post(
+            server.addr,
+            "/v1/plan/race?m=32&q=7",
+            "application/octet-stream",
+            &body,
+        )
+        .unwrap();
+        assert_eq!(race.status, 200, "{}", race.body_text());
+        let text = race.body_text();
+        for id in BackendId::ALL {
+            assert!(
+                text.contains(&format!("\"backend\":\"{id}\"")),
+                "threads={engine_threads} missing {id}: {text}"
+            );
+        }
+        assert!(
+            text.contains(&format!("\"plan_hash\":\"{}\"", hash_hex(expected_key))),
+            "{text}"
+        );
+        assert!(text.contains("\"cache\":\"miss\""), "{text}");
+        assert!(text.contains("\"pareto\":true"), "{text}");
+        assert!(
+            text.contains(&format!("\"control_bits\":{:.3}", offline.cost.total())),
+            "hybrid leg must report the offline engine's cost: {text}"
+        );
+        assert_eq!(
+            race.header("x-xhc-plan-hash"),
+            Some(hash_hex(expected_key).as_str())
+        );
+
+        // The plan the race stored IS the single-backend plan: the follow-up
+        // /v1/plan submission hits the cache and returns identical bytes.
+        let single = client::post(
+            server.addr,
+            "/v1/plan?m=32&q=7",
+            "application/octet-stream",
+            &body,
+        )
+        .unwrap();
+        assert_eq!(single.status, 200);
+        assert_eq!(
+            single.header("x-xhc-cache"),
+            Some("hit"),
+            "threads={engine_threads}: race must persist the hybrid plan under the plan key"
+        );
+        assert_eq!(single.body, offline_bytes, "threads={engine_threads}");
+        let fetched =
+            client::get(server.addr, &format!("/v1/plan/{}", hash_hex(expected_key))).unwrap();
+        assert_eq!(fetched.status, 200);
+        assert_eq!(fetched.body, offline_bytes);
+    }
+}
+
+#[test]
+fn race_roster_selection_and_error_paths() {
+    let xmap = test_spec().generate();
+    let body = encode_xmap(&xmap);
+    let server = TestServer::start("race-roster", 2);
+
+    // An explicit roster restricts and dedups the fan-out.
+    let race = client::post(
+        server.addr,
+        "/v1/plan/race?m=32&q=7&backends=masking,canceling,masking",
+        "application/octet-stream",
+        &body,
+    )
+    .unwrap();
+    assert_eq!(race.status, 200, "{}", race.body_text());
+    let text = race.body_text();
+    assert_eq!(text.matches("\"backend\":\"masking\"").count(), 1, "{text}");
+    assert!(text.contains("\"backend\":\"canceling\""), "{text}");
+    assert!(!text.contains("\"backend\":\"hybrid\""), "{text}");
+
+    let bogus = client::post(
+        server.addr,
+        "/v1/plan/race?backends=bogus",
+        "application/octet-stream",
+        &body,
+    )
+    .unwrap();
+    assert_eq!(bogus.status, 400);
+    assert!(
+        bogus.body_text().contains("backend"),
+        "{}",
+        bogus.body_text()
+    );
+
+    let asynchronous = client::post(
+        server.addr,
+        "/v1/plan/race?mode=async",
+        "application/octet-stream",
+        &body,
+    )
+    .unwrap();
+    assert_eq!(asynchronous.status, 400);
+
+    let method = client::get(server.addr, "/v1/plan/race").unwrap();
+    assert_eq!(method.status, 405);
+}

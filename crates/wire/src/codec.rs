@@ -4,7 +4,7 @@ use crate::buf::{expect_drained, ArtifactWriter, PutLe, Reader, Sections};
 use crate::{Kind, WireError};
 use xhc_bits::{BitVec, PatternSet};
 use xhc_core::{
-    CellSelection, HybridCost, PartitionOutcome, PlanOptions, RoundRecord, SplitStrategy,
+    BackendId, CellSelection, HybridCost, PartitionOutcome, PlanOptions, RoundRecord, SplitStrategy,
 };
 use xhc_misr::{MaskWord, SessionReport};
 use xhc_scan::{ScanConfig, XMap, XMapBuilder};
@@ -610,6 +610,31 @@ pub fn policy_from_code(code: u8, seed: u64) -> Option<CellSelection> {
     }
 }
 
+/// The stable wire code of a planning backend. [`BackendId::Hybrid`] is
+/// pinned at 0: a default-backend request hashes and caches identically
+/// to requests from builds that predate the backend field.
+pub fn backend_code(backend: BackendId) -> u8 {
+    match backend {
+        BackendId::Hybrid => 0,
+        BackendId::MaskingOnly => 1,
+        BackendId::CancelingOnly => 2,
+        BackendId::Superset => 3,
+        BackendId::XCode => 4,
+    }
+}
+
+/// The inverse of [`backend_code`].
+pub fn backend_from_code(code: u8) -> Option<BackendId> {
+    match code {
+        0 => Some(BackendId::Hybrid),
+        1 => Some(BackendId::MaskingOnly),
+        2 => Some(BackendId::CancelingOnly),
+        3 => Some(BackendId::Superset),
+        4 => Some(BackendId::XCode),
+        _ => None,
+    }
+}
+
 /// A fully-specified planning request: the cancel parameters `(m, q)`,
 /// every engine knob ([`PlanOptions`]) and the nested wire-encoded
 /// artifact (an X map or a workload spec) to plan over.
@@ -644,6 +669,9 @@ pub fn encode_plan_request(request: &PlanRequest) -> Vec<u8> {
     p.push(u8::from(request.options.max_rounds.is_some()));
     p.put_usize(request.options.max_rounds.unwrap_or(0));
     p.push(u8::from(request.options.cost_stop));
+    // The backend byte sits last so every pre-backend field keeps its
+    // offset; see `backend_code` for the default-compatibility pin.
+    p.push(backend_code(request.options.backend));
     let mut w = ArtifactWriter::new(Kind::PlanRequest);
     w.section(SEC_PLAN_PARAMS, p);
     w.section(SEC_ARTIFACT, request.artifact.to_vec());
@@ -670,6 +698,7 @@ pub fn decode_plan_request(bytes: &[u8]) -> Result<PlanRequest, WireError> {
     let has_max_rounds = r.bytes(1)?[0];
     let max_rounds_raw = r.length("max rounds")?;
     let cost_stop_raw = r.bytes(1)?[0];
+    let backend_raw = r.bytes(1)?[0];
     expect_drained(&r, SEC_PLAN_PARAMS)?;
 
     if q == 0 || q >= m {
@@ -718,6 +747,10 @@ pub fn decode_plan_request(bytes: &[u8]) -> Result<PlanRequest, WireError> {
             })
         }
     };
+    let backend = backend_from_code(backend_raw).ok_or_else(|| WireError::Malformed {
+        context: "plan-request",
+        message: format!("unknown backend code {backend_raw}"),
+    })?;
 
     let artifact = sections.require(SEC_ARTIFACT)?;
     match crate::peek_kind(artifact)? {
@@ -739,6 +772,7 @@ pub fn decode_plan_request(bytes: &[u8]) -> Result<PlanRequest, WireError> {
             threads,
             max_rounds,
             cost_stop,
+            backend,
         },
         artifact: artifact.to_vec(),
     })
@@ -1004,6 +1038,7 @@ mod tests {
                     threads: 4,
                     max_rounds: Some(5),
                     cost_stop: false,
+                    backend: BackendId::Superset,
                 },
                 artifact: encode_workload_spec(&WorkloadSpec::default()),
             },
@@ -1013,6 +1048,15 @@ mod tests {
                 options: PlanOptions {
                     policy: CellSelection::GlobalMaxX,
                     max_rounds: Some(0),
+                    ..PlanOptions::default()
+                },
+                artifact: encode_xmap(&fig4_xmap()),
+            },
+            PlanRequest {
+                m: 32,
+                q: 7,
+                options: PlanOptions {
+                    backend: BackendId::XCode,
                     ..PlanOptions::default()
                 },
                 artifact: encode_xmap(&fig4_xmap()),
@@ -1076,6 +1120,34 @@ mod tests {
             decode_plan_request(&bytes),
             Err(WireError::Malformed { .. })
         ));
+        // An unknown backend code is rejected; the byte is the last of
+        // the params payload (cost_stop sits right before it).
+        let mut bytes = encode_plan_request(&good);
+        let backend_off = seed_off + 8 + 8 + 1 + 8 + 1;
+        assert_eq!(bytes[backend_off], backend_code(BackendId::Hybrid));
+        bytes[backend_off] = 99;
+        assert!(matches!(
+            decode_plan_request(&bytes),
+            Err(WireError::Malformed { message, .. }) if message.contains("backend")
+        ));
+    }
+
+    #[test]
+    fn backend_codes_are_pinned() {
+        // Persisted inside cache keys and plan-request buffers — the
+        // mapping must never change, and hybrid must stay at 0 so
+        // default-options requests hash like pre-backend builds.
+        assert_eq!(backend_code(BackendId::Hybrid), 0);
+        assert_eq!(backend_code(BackendId::MaskingOnly), 1);
+        assert_eq!(backend_code(BackendId::CancelingOnly), 2);
+        assert_eq!(backend_code(BackendId::Superset), 3);
+        assert_eq!(backend_code(BackendId::XCode), 4);
+        for code in 0..5u8 {
+            let backend = backend_from_code(code).unwrap();
+            assert_eq!(backend_code(backend), code);
+        }
+        assert_eq!(backend_from_code(5), None);
+        assert_eq!(backend_from_code(255), None);
     }
 
     #[test]

@@ -52,10 +52,10 @@ pub fn plan_request_hash(xmap_wire: &[u8], m: usize, q: usize, strategy: u8) -> 
 /// Extends [`plan_request_hash`] with the engine options beyond the
 /// strategy — and collapses to *exactly* [`plan_request_hash`] whenever
 /// those extras are at their defaults (policy `First`, no round cap,
-/// cost stop on), so every address minted before options existed stays
-/// valid. `threads` is deliberately never mixed in: the outcome is
-/// thread-count invariant, and a cache key that varied with worker count
-/// would store the same plan many times.
+/// cost stop on, hybrid backend), so every address minted before options
+/// or backends existed stays valid. `threads` is deliberately never
+/// mixed in: the outcome is thread-count invariant, and a cache key that
+/// varied with worker count would store the same plan many times.
 pub fn plan_request_hash_with_options(
     artifact_wire: &[u8],
     m: usize,
@@ -65,13 +65,15 @@ pub fn plan_request_hash_with_options(
     let strategy = crate::codec::strategy_code(options.strategy);
     let base = plan_request_hash(artifact_wire, m, q, strategy);
     let policy = crate::codec::policy_code(options.policy);
-    if policy == 0 && options.max_rounds.is_none() && options.cost_stop {
+    let backend = crate::codec::backend_code(options.backend);
+    if policy == 0 && options.max_rounds.is_none() && options.cost_stop && backend == 0 {
         return base;
     }
     let mut h = splitmix64_mix(base ^ u64::from(policy)).wrapping_add(GOLDEN);
     h = splitmix64_mix(h ^ crate::codec::policy_seed(options.policy)).wrapping_add(GOLDEN);
     h = splitmix64_mix(h ^ options.max_rounds.map_or(u64::MAX, |r| r as u64)).wrapping_add(GOLDEN);
-    splitmix64_mix(h ^ u64::from(options.cost_stop))
+    h = splitmix64_mix(h ^ u64::from(options.cost_stop)).wrapping_add(GOLDEN);
+    splitmix64_mix(h ^ u64::from(backend))
 }
 
 /// Renders a digest as the canonical 16-hex-character address.
@@ -150,6 +152,13 @@ mod tests {
                 plan_request_hash_with_options(bytes, 32, 7, &threaded),
                 want
             );
+            // The default (hybrid) backend collapses too: addresses
+            // minted before the backend field existed stay valid.
+            let hybrid = PlanOptions {
+                backend: xhc_core::BackendId::Hybrid,
+                ..opts
+            };
+            assert_eq!(plan_request_hash_with_options(bytes, 32, 7, &hybrid), want);
         }
     }
 
@@ -177,6 +186,24 @@ mod tests {
             },
             PlanOptions {
                 cost_stop: false,
+                ..PlanOptions::default()
+            },
+            // A non-default backend alone must change the key, even with
+            // every other option at its default.
+            PlanOptions {
+                backend: xhc_core::BackendId::MaskingOnly,
+                ..PlanOptions::default()
+            },
+            PlanOptions {
+                backend: xhc_core::BackendId::CancelingOnly,
+                ..PlanOptions::default()
+            },
+            PlanOptions {
+                backend: xhc_core::BackendId::Superset,
+                ..PlanOptions::default()
+            },
+            PlanOptions {
+                backend: xhc_core::BackendId::XCode,
                 ..PlanOptions::default()
             },
         ];

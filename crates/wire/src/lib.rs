@@ -66,10 +66,11 @@ pub use cert::{
     decode_certificate, encode_certificate, BlockCertificate, PartitionAccount, PlanCertificate,
 };
 pub use codec::{
-    decode_plan, decode_plan_request, decode_scan_config, decode_session_summary,
-    decode_workload_spec, decode_xmap, encode_plan, encode_plan_request, encode_scan_config,
-    encode_session_summary, encode_workload_spec, encode_xmap, policy_code, policy_from_code,
-    policy_seed, strategy_code, strategy_from_code, CancelBlockSummary, CancelSummary, PlanRequest,
+    backend_code, backend_from_code, decode_plan, decode_plan_request, decode_scan_config,
+    decode_session_summary, decode_workload_spec, decode_xmap, encode_plan, encode_plan_request,
+    encode_scan_config, encode_session_summary, encode_workload_spec, encode_xmap, policy_code,
+    policy_from_code, policy_seed, strategy_code, strategy_from_code, CancelBlockSummary,
+    CancelSummary, PlanRequest,
 };
 pub use hash::{
     content_hash, hash_hex, parse_hash_hex, plan_request_hash, plan_request_hash_with_options,

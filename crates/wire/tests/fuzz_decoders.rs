@@ -7,10 +7,11 @@ use xhc_misr::XCancelConfig;
 use xhc_prng::XhcRng;
 use xhc_scan::{CellId, ScanConfig, XMapBuilder};
 use xhc_wire::{
-    decode_certificate, decode_plan, decode_scan_config, decode_session_summary,
-    decode_workload_spec, decode_xmap, encode_certificate, encode_plan, encode_scan_config,
-    encode_session_summary, encode_workload_spec, encode_xmap, peek_kind, BlockCertificate,
-    CancelBlockSummary, CancelSummary, PartitionAccount, PlanCertificate,
+    decode_certificate, decode_plan, decode_plan_request, decode_scan_config,
+    decode_session_summary, decode_workload_spec, decode_xmap, encode_certificate, encode_plan,
+    encode_plan_request, encode_scan_config, encode_session_summary, encode_workload_spec,
+    encode_xmap, peek_kind, BlockCertificate, CancelBlockSummary, CancelSummary, PartitionAccount,
+    PlanCertificate, PlanRequest,
 };
 use xhc_workload::WorkloadSpec;
 
@@ -24,6 +25,7 @@ fn decoders() -> Vec<Decoder> {
         ("xmap", |b| decode_xmap(b).is_ok()),
         ("workload_spec", |b| decode_workload_spec(b).is_ok()),
         ("plan", |b| decode_plan(b).is_ok()),
+        ("plan_request", |b| decode_plan_request(b).is_ok()),
         ("session_summary", |b| decode_session_summary(b).is_ok()),
         ("certificate", |b| decode_certificate(b).is_ok()),
         ("peek_kind", |b| peek_kind(b).is_ok()),
@@ -92,6 +94,15 @@ fn seed_buffers() -> Vec<Vec<u8>> {
             combinations: 1,
         }],
     };
+    let request = PlanRequest {
+        m: 8,
+        q: 2,
+        options: xhc_core::PlanOptions {
+            backend: xhc_core::BackendId::XCode,
+            ..xhc_core::PlanOptions::default()
+        },
+        artifact: encode_xmap(&xmap),
+    };
     vec![
         encode_scan_config(&config),
         encode_xmap(&xmap),
@@ -99,6 +110,7 @@ fn seed_buffers() -> Vec<Vec<u8>> {
         encode_plan(&outcome, xmap.num_patterns()),
         encode_session_summary(&summary),
         encode_certificate(&seed_certificate()),
+        encode_plan_request(&request),
     ]
 }
 
@@ -156,6 +168,42 @@ fn random_garbage_never_panics() {
         }
         for (_, decode) in decoders() {
             let _ = decode(&buf);
+        }
+    }
+}
+
+#[test]
+fn plan_request_backend_byte_sweep() {
+    // The backend byte is the last byte of the params payload. Sweep it
+    // over every value: the five pinned codes decode to their backend,
+    // everything else is a typed error — never a panic.
+    let request = PlanRequest {
+        m: 8,
+        q: 2,
+        options: xhc_core::PlanOptions::default(),
+        artifact: encode_xmap(&{
+            let mut b = XMapBuilder::new(ScanConfig::uniform(2, 2), 4);
+            b.add_x(CellId::new(0, 0), 1).unwrap();
+            b.finish()
+        }),
+    };
+    let bytes = encode_plan_request(&request);
+    // Params payload: m(8) q(8) strategy(1) policy(1) seed(8) threads(8)
+    // flag(1) max_rounds(8) cost_stop(1) backend(1); it is the first
+    // section, after the 12-byte header and two 12-byte table entries.
+    let backend_off = 12 + 2 * 12 + 44;
+    assert_eq!(bytes[backend_off], 0);
+    for value in 0..=255u8 {
+        let mut buf = bytes.clone();
+        buf[backend_off] = value;
+        match decode_plan_request(&buf) {
+            Ok(back) => {
+                let code = xhc_wire::backend_code(back.options.backend);
+                assert_eq!(code, value, "decoded backend must match the byte");
+            }
+            Err(err) => {
+                assert!(value > 4, "pinned code {value} must decode: {err}");
+            }
         }
     }
 }

@@ -118,6 +118,46 @@ fn plans_roundtrip_for_random_workloads() {
     }
 }
 
+#[test]
+fn plan_requests_roundtrip_for_every_backend() {
+    use xhc_core::{BackendId, CellSelection, PlanOptions, SplitStrategy};
+    use xhc_wire::{decode_plan_request, encode_plan_request, PlanRequest};
+    let mut rng = XhcRng::seed_from_u64(0x5eed_0006);
+    for round in 0..40 {
+        let backend = BackendId::ALL[round % BackendId::ALL.len()];
+        let options = PlanOptions {
+            strategy: if rng.gen_bool(0.5) {
+                SplitStrategy::BestCost
+            } else {
+                SplitStrategy::LargestClass
+            },
+            policy: match rng.gen_index(3) {
+                0 => CellSelection::First,
+                1 => CellSelection::Seeded(rng.next_u64()),
+                _ => CellSelection::GlobalMaxX,
+            },
+            threads: rng.gen_index(9),
+            max_rounds: if rng.gen_bool(0.5) {
+                Some(rng.gen_index(20))
+            } else {
+                None
+            },
+            cost_stop: rng.gen_bool(0.5),
+            backend,
+        };
+        let request = PlanRequest {
+            m: 8 + rng.gen_index(60),
+            q: 1 + rng.gen_index(6),
+            options,
+            artifact: encode_xmap(&random_xmap(&mut rng)),
+        };
+        let bytes = encode_plan_request(&request);
+        let back = decode_plan_request(&bytes).expect("valid request must decode");
+        assert_eq!(back, request);
+        assert_eq!(encode_plan_request(&back), bytes, "canonical bytes");
+    }
+}
+
 // ---------------------------------------------------------------------
 // `xmap v1` text reader error paths
 // ---------------------------------------------------------------------

@@ -21,8 +21,8 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use xhybrid::core::{
-    inter_correlation_stats, intra_correlation_stats, schedule_hybrid, PartitionEngine,
-    PlanOptions, ScheduleOptions,
+    backend_for, inter_correlation_stats, intra_correlation_stats, schedule_hybrid, BackendId,
+    PartitionEngine, PlanOptions, ScheduleOptions, WorkloadInput,
 };
 use xhybrid::logic::Trit;
 use xhybrid::misr::{CancelSession, Taps, XCancelConfig};
@@ -38,6 +38,7 @@ fn usage() -> &'static str {
   xhybrid analyze FILE
   xhybrid partition FILE [--m 32] [--q 7] [--strategy largest|best-cost]
   xhybrid plan (FILE | --profile <ckt-a|ckt-b|ckt-c|demo> [--scale N])
+               [--backend hybrid|masking|canceling|superset|xcode]
                [--m 32] [--q 7] [--strategy largest|best-cost]
                [--policy first|seeded|global-max-x] [--seed S] [--threads N]
                [--max-rounds N] [--cost-stop 0|1] [--trace FILE]
@@ -83,6 +84,7 @@ baselines.
         ),
         "plan" => Some(
             "xhybrid plan (FILE | --profile <ckt-a|ckt-b|ckt-c|demo> [--scale N])
+             [--backend hybrid|masking|canceling|superset|xcode]
              [--m 32] [--q 7] [--strategy largest|best-cost]
              [--policy first|seeded|global-max-x] [--seed S] [--threads N]
              [--max-rounds N] [--cost-stop 0|1] [--trace FILE]
@@ -96,6 +98,10 @@ round trip — `--profile ckt-a` is the full 505,050-cell circuit.
 
   --profile     generate and plan a workload preset instead of a FILE
   --scale       divide the profile's cells/chains/patterns by N
+  --backend     compaction backend (default hybrid). The non-hybrid
+                backends (masking, canceling, superset, xcode) skip the
+                partition engine and print the uniform backend report:
+                control bits, masked/leaked X's, lost observability
   --m, --q      cancel parameters (defaults 32, 7)
   --strategy    partition split heuristic (default largest)
   --policy      pivot-cell selection policy (default first)
@@ -360,12 +366,19 @@ fn plan_options(args: &Args) -> Result<PlanOptions, CliError> {
             )))
         }
     };
+    let backend_raw = args.flag("backend").unwrap_or("hybrid");
+    let backend = BackendId::parse(backend_raw).ok_or_else(|| {
+        CliError::usage(format!(
+            "unknown backend `{backend_raw}` (expected hybrid, masking, canceling, superset, or xcode)"
+        ))
+    })?;
     Ok(PlanOptions {
         strategy,
         policy,
         threads,
         max_rounds,
         cost_stop,
+        backend,
     })
 }
 
@@ -453,6 +466,28 @@ fn cmd_plan(args: &Args) -> CmdResult {
         }
         (None, None) => return Err(CliError::usage("plan needs a FILE or --profile NAME")),
     };
+
+    // Non-hybrid backends have no partition plan to validate or trace:
+    // print their uniform report and stop.
+    if opts.backend != BackendId::Hybrid {
+        if trace_out.is_some() {
+            return Err(CliError::usage("--trace requires the hybrid backend"));
+        }
+        let report = backend_for(opts.backend).plan(&WorkloadInput::new(&xmap, cancel), &opts);
+        println!("backend          : {}", report.backend);
+        println!("control bits     : {:.1}", report.control_bits);
+        println!(
+            "X's              : {} masked + {} leaked = {}",
+            report.masked_x,
+            report.leaked_x,
+            report.masked_x + report.leaked_x
+        );
+        println!(
+            "observability    : {} non-X response bits lost",
+            report.lost_observability
+        );
+        return Ok(());
+    }
 
     let session = if trace_out.is_some() {
         Some(
@@ -602,6 +637,11 @@ fn cmd_verify(args: &Args) -> CmdResult {
 
     let cancel = cancel_config(args)?;
     let opts = plan_options(args)?;
+    if opts.backend != BackendId::Hybrid {
+        return Err(CliError::usage(
+            "verify certifies hybrid partition plans; --backend belongs to `plan`",
+        ));
+    }
     let plan_started = std::time::Instant::now();
     let outcome = PartitionEngine::with_options(cancel, opts).run(&xmap);
     let plan_ns = plan_started.elapsed().as_nanos();

@@ -90,8 +90,9 @@ pub mod prelude {
     //! assert!(!outcome.partitions.is_empty());
     //! ```
     pub use xhc_core::{
-        evaluate_hybrid, CellSelection, HybridCost, HybridReport, PartitionEngine,
-        PartitionOutcome, PlanOptions, SplitStrategy,
+        all_backends, backend_for, evaluate_hybrid, BackendCaps, BackendId, BackendReport,
+        CellSelection, HybridCost, HybridReport, PartitionEngine, PartitionOutcome, PlanBackend,
+        PlanOptions, SplitStrategy, WorkloadInput,
     };
     pub use xhc_misr::XCancelConfig;
     pub use xhc_scan::{CellId, ScanConfig, ScanError, XMap, XMapBuilder};

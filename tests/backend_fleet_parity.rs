@@ -1,0 +1,190 @@
+//! The backend fleet must agree with the legacy accounting it wraps:
+//! every [`PlanBackend`]'s `control_bits` is pinned against the free
+//! functions (`masking_only_bits`, `canceling_only_bits`,
+//! `superset_canceling`, the hybrid engine's cost) on the paper's Fig. 4
+//! worked example and on scaled CKT-A/B/C industrial profiles, and the
+//! uniform report's internal accounting holds on arbitrary maps.
+
+use xhc_prng::XhcRng;
+use xhybrid::core::backend::SUPERSET_BACKEND_SLACK;
+use xhybrid::core::baselines::{
+    canceling_only_bits, masking_only_bits, superset_canceling, SupersetConfig,
+};
+use xhybrid::prelude::*;
+
+/// The Fig. 4 X map: 8 patterns, 5 chains x 3 cells, 28 X's.
+fn fig4_xmap() -> XMap {
+    let cfg = ScanConfig::uniform(5, 3);
+    let mut b = XMapBuilder::new(cfg, 8);
+    for p in [0, 3, 4, 5] {
+        b.add_x(CellId::new(0, 0), p).unwrap();
+        b.add_x(CellId::new(1, 0), p).unwrap();
+        b.add_x(CellId::new(2, 0), p).unwrap();
+    }
+    for p in [0, 4] {
+        b.add_x(CellId::new(1, 2), p).unwrap();
+    }
+    for p in [0, 1, 2, 3, 4, 6, 7] {
+        b.add_x(CellId::new(3, 2), p).unwrap();
+    }
+    for p in [0, 1, 3, 4, 6, 7] {
+        b.add_x(CellId::new(4, 1), p).unwrap();
+    }
+    b.add_x(CellId::new(4, 2), 5).unwrap();
+    b.finish()
+}
+
+/// Shrinks a paper-scale profile so the suite stays fast while keeping
+/// its correlation structure (mirrors `xhybrid gen --scale`).
+fn scaled(mut spec: WorkloadSpec, scale: usize) -> XMap {
+    spec.total_cells = (spec.total_cells / scale).max(spec.num_chains.max(4));
+    spec.num_chains = (spec.num_chains / scale).max(4);
+    spec.num_patterns = (spec.num_patterns / scale).max(20);
+    spec.generate()
+}
+
+fn test_maps() -> Vec<(&'static str, XMap, XCancelConfig)> {
+    vec![
+        ("fig4", fig4_xmap(), XCancelConfig::new(10, 2)),
+        (
+            "ckt-a",
+            scaled(WorkloadSpec::ckt_a(), 60),
+            XCancelConfig::new(32, 7),
+        ),
+        (
+            "ckt-b",
+            scaled(WorkloadSpec::ckt_b(), 60),
+            XCancelConfig::new(32, 7),
+        ),
+        (
+            "ckt-c",
+            scaled(WorkloadSpec::ckt_c(), 60),
+            XCancelConfig::new(32, 7),
+        ),
+    ]
+}
+
+fn report(backend: BackendId, xmap: &XMap, cancel: XCancelConfig) -> BackendReport {
+    backend_for(backend).plan(&WorkloadInput::new(xmap, cancel), &PlanOptions::default())
+}
+
+#[test]
+fn every_backend_matches_its_legacy_accounting() {
+    for (name, xmap, cancel) in test_maps() {
+        let masking = report(BackendId::MaskingOnly, &xmap, cancel);
+        assert_eq!(
+            masking.control_bits,
+            masking_only_bits(xmap.config(), xmap.num_patterns()) as f64,
+            "masking backend diverged from masking_only_bits on {name}"
+        );
+
+        let canceling = report(BackendId::CancelingOnly, &xmap, cancel);
+        assert_eq!(
+            canceling.control_bits,
+            canceling_only_bits(cancel, xmap.total_x()),
+            "canceling backend diverged from canceling_only_bits on {name}"
+        );
+
+        let superset = report(BackendId::Superset, &xmap, cancel);
+        let legacy = superset_canceling(
+            &xmap,
+            SupersetConfig {
+                cancel,
+                merge_slack: SUPERSET_BACKEND_SLACK,
+            },
+        );
+        assert_eq!(
+            superset.control_bits,
+            legacy.control_bits(),
+            "superset backend diverged from superset_canceling on {name}"
+        );
+        assert_eq!(
+            superset.lost_observability, legacy.lost_observability,
+            "superset lost-observability diverged on {name}"
+        );
+
+        let hybrid = report(BackendId::Hybrid, &xmap, cancel);
+        let outcome = PartitionEngine::with_options(cancel, PlanOptions::default()).run(&xmap);
+        assert_eq!(
+            hybrid.control_bits,
+            outcome.cost.total(),
+            "hybrid backend diverged from the partition engine on {name}"
+        );
+        assert_eq!(hybrid.masked_x, outcome.masked_x(), "{name}");
+        assert_eq!(hybrid.leaked_x, outcome.leaked_x(), "{name}");
+
+        let xcode = report(BackendId::XCode, &xmap, cancel);
+        assert_eq!(
+            xcode.control_bits, 0.0,
+            "the X-code compactor spends no control bits ({name})"
+        );
+    }
+}
+
+#[test]
+fn fig4_pins_the_paper_numbers_across_the_fleet() {
+    let xmap = fig4_xmap();
+    let cancel = XCancelConfig::new(10, 2);
+    assert_eq!(
+        report(BackendId::MaskingOnly, &xmap, cancel).control_bits,
+        120.0
+    );
+    assert_eq!(
+        report(BackendId::CancelingOnly, &xmap, cancel).control_bits,
+        70.0
+    );
+    let hybrid = report(BackendId::Hybrid, &xmap, cancel);
+    assert_eq!(hybrid.control_bits, 57.5);
+    assert_eq!(hybrid.masked_x, 23);
+    assert_eq!(hybrid.leaked_x, 5);
+    assert_eq!(hybrid.outcome.as_ref().map(|o| o.partitions.len()), Some(3));
+}
+
+/// An arbitrary small X map: up to 12 cells x 24 patterns.
+fn random_xmap(rng: &mut XhcRng) -> XMap {
+    let cfg = ScanConfig::uniform(3, 4);
+    let mut b = XMapBuilder::new(cfg, 24);
+    for _ in 0..rng.gen_range(0..120) {
+        let cell = rng.gen_index(12);
+        b.add_x(CellId::new(cell / 4, cell % 4), rng.gen_index(24))
+            .unwrap();
+    }
+    b.finish()
+}
+
+#[test]
+fn uniform_reports_account_for_every_x_on_arbitrary_maps() {
+    let mut rng = XhcRng::seed_from_u64(0xBAC_0001);
+    for _ in 0..32 {
+        let xmap = random_xmap(&mut rng);
+        let m = rng.gen_range(4..=16);
+        let q = rng.gen_range(1..=3usize).min(m - 1);
+        let cancel = XCancelConfig::new(m, q);
+        for &backend in &BackendId::ALL {
+            let r = report(backend, &xmap, cancel);
+            assert_eq!(r.backend, backend);
+            assert_eq!(
+                r.masked_x + r.leaked_x,
+                xmap.total_x(),
+                "{backend}: masked + leaked must partition the X count"
+            );
+            assert_eq!(r.per_pattern.len(), xmap.num_patterns(), "{backend}");
+            let share_sum: f64 = r.per_pattern.iter().map(|p| p.control_bits).sum();
+            assert!(
+                (share_sum - r.control_bits).abs() <= 1e-3 * r.control_bits.max(1.0),
+                "{backend}: per-pattern shares sum to {share_sum}, report says {}",
+                r.control_bits
+            );
+            let per_pattern_x: usize = r.per_pattern.iter().map(|p| p.total_x).sum();
+            assert_eq!(per_pattern_x, xmap.total_x(), "{backend}");
+            if backend.caps().lossless {
+                assert_eq!(r.lost_observability, 0, "{backend} is lossless");
+            }
+            if backend.caps().partitions {
+                assert!(r.outcome.is_some(), "{backend} must expose its plan");
+            } else {
+                assert!(r.outcome.is_none(), "{backend} has no partition plan");
+            }
+        }
+    }
+}

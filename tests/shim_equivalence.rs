@@ -1,11 +1,9 @@
-//! The deprecated `with_*` builder shims must stay bit-identical to the
-//! [`PlanOptions`] struct they delegate to — on the paper's Fig. 4
-//! worked example and on scaled CKT-A/B/C industrial profiles, at every
-//! engine thread count. This is the compatibility contract that lets
-//! downstream callers migrate at their own pace.
-
-// The whole point of this suite is to call the deprecated builders.
-#![allow(deprecated)]
+//! [`PlanOptions`] is the only way to configure the partition engine —
+//! the deprecated `with_*` builder shims are gone. This suite pins the
+//! invariants the shims used to witness: every option combination is
+//! thread-count invariant (bit-identical outcomes at 1, 2, and 8 engine
+//! threads) on the paper's Fig. 4 worked example and on scaled CKT-A/B/C
+//! industrial profiles, and each option field actually steers the run.
 
 use xhybrid::prelude::*;
 
@@ -62,17 +60,22 @@ fn test_maps() -> Vec<(&'static str, XMap, XCancelConfig)> {
 }
 
 #[test]
-fn builder_shims_match_plan_options_bit_for_bit() {
+fn plan_options_are_thread_count_invariant() {
     for (name, xmap, cancel) in test_maps() {
         for strategy in [SplitStrategy::LargestClass, SplitStrategy::BestCost] {
             for policy in [CellSelection::First, CellSelection::GlobalMaxX] {
-                for threads in [1usize, 2, 8] {
-                    let via_builders = PartitionEngine::new(cancel)
-                        .with_strategy(strategy)
-                        .with_policy(policy)
-                        .with_threads(threads)
-                        .run(&xmap);
-                    let via_options = PartitionEngine::with_options(
+                let baseline = PartitionEngine::with_options(
+                    cancel,
+                    PlanOptions {
+                        strategy,
+                        policy,
+                        threads: 1,
+                        ..PlanOptions::default()
+                    },
+                )
+                .run(&xmap);
+                for threads in [2usize, 8] {
+                    let outcome = PartitionEngine::with_options(
                         cancel,
                         PlanOptions {
                             strategy,
@@ -83,8 +86,8 @@ fn builder_shims_match_plan_options_bit_for_bit() {
                     )
                     .run(&xmap);
                     assert_eq!(
-                        via_builders, via_options,
-                        "shim/options divergence on {name} ({strategy:?}, {policy:?}, {threads} threads)"
+                        baseline, outcome,
+                        "thread divergence on {name} ({strategy:?}, {policy:?}, {threads} threads)"
                     );
                 }
             }
@@ -93,13 +96,9 @@ fn builder_shims_match_plan_options_bit_for_bit() {
 }
 
 #[test]
-fn remaining_shims_match_their_option_fields() {
+fn bounded_options_steer_the_run() {
     let (_, xmap, cancel) = test_maps().swap_remove(1); // scaled CKT-A
-    let via_builders = PartitionEngine::new(cancel)
-        .without_cost_stop()
-        .with_max_rounds(3)
-        .run(&xmap);
-    let via_options = PartitionEngine::with_options(
+    let bounded = PartitionEngine::with_options(
         cancel,
         PlanOptions {
             cost_stop: false,
@@ -108,43 +107,44 @@ fn remaining_shims_match_their_option_fields() {
         },
     )
     .run(&xmap);
-    assert_eq!(via_builders, via_options);
+    assert!(
+        bounded.rounds.len() <= 3,
+        "--max-rounds 3 must cap the rounds, got {}",
+        bounded.rounds.len()
+    );
 
-    // Seeded policy carries its seed through both routes.
-    let seeded_builders = PartitionEngine::new(cancel)
-        .with_policy(CellSelection::Seeded(41))
-        .run(&xmap);
-    let seeded_options = PartitionEngine::with_options(
-        cancel,
-        PlanOptions {
-            policy: CellSelection::Seeded(41),
-            ..PlanOptions::default()
-        },
-    )
-    .run(&xmap);
-    assert_eq!(seeded_builders, seeded_options);
+    // Seeded policy is deterministic in the seed, and thread-invariant.
+    let seeded = |threads: usize| {
+        PartitionEngine::with_options(
+            cancel,
+            PlanOptions {
+                policy: CellSelection::Seeded(41),
+                threads,
+                ..PlanOptions::default()
+            },
+        )
+        .run(&xmap)
+    };
+    assert_eq!(seeded(1), seeded(1));
+    assert_eq!(seeded(1), seeded(8));
 }
 
 #[test]
-fn shims_compose_in_any_order() {
+fn default_options_match_the_plain_constructor() {
     let (_, xmap, cancel) = test_maps().swap_remove(3); // scaled CKT-C
-    let a = PartitionEngine::new(cancel)
-        .with_threads(2)
-        .with_strategy(SplitStrategy::BestCost)
-        .run(&xmap);
-    let b = PartitionEngine::new(cancel)
-        .with_strategy(SplitStrategy::BestCost)
-        .with_threads(2)
-        .run(&xmap);
-    let c = PartitionEngine::with_options(
+    let plain = PartitionEngine::new(cancel).run(&xmap);
+    let via_options = PartitionEngine::with_options(cancel, PlanOptions::default()).run(&xmap);
+    assert_eq!(plain, via_options);
+
+    // The backend field is planning metadata: it selects a backend at the
+    // `PlanBackend` layer but never perturbs the hybrid engine itself.
+    let tagged = PartitionEngine::with_options(
         cancel,
         PlanOptions {
-            strategy: SplitStrategy::BestCost,
-            threads: 2,
+            backend: BackendId::Superset,
             ..PlanOptions::default()
         },
     )
     .run(&xmap);
-    assert_eq!(a, b);
-    assert_eq!(b, c);
+    assert_eq!(plain, tagged);
 }
